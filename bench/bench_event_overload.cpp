@@ -1,0 +1,113 @@
+// Future work (iii) -- implications of unforeseen events on the time model:
+// aperiodic event handling under overload.
+//
+// A server partition hosts an aperiodic handler process that blocks on a
+// queuing port and computes per message; a producer partition generates
+// events at a configurable rate. As the arrival rate crosses the server
+// window's capacity, the destination queue saturates and overflows appear
+// at the source -- the shape TSP theory predicts: aperiodic load beyond the
+// partition's reserved window cannot steal time from other partitions, it
+// backs up in the queues instead.
+//
+// Counters: handled events per kilotick, destination queue overflow count,
+// and mean service latency (send -> handled).
+#include <benchmark/benchmark.h>
+
+#include "system/module.hpp"
+
+namespace {
+
+using namespace air;
+using pos::ScriptBuilder;
+
+void BM_EventOverload(benchmark::State& state) {
+  const Ticks inter_arrival = state.range(0);  // producer period
+  double handled = 0;
+  double overflows = 0;
+  double kiloticks = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    system::ModuleConfig config;
+    config.trace_enabled = false;
+
+    system::PartitionConfig producer;
+    producer.name = "PRODUCER";
+    producer.queuing_ports.push_back(
+        {"OUT", ipc::PortDirection::kSource, 32, 4});
+    system::ProcessConfig gen;
+    gen.attrs.name = "gen";
+    gen.attrs.priority = 10;
+    gen.attrs.script = ScriptBuilder{}
+                           .queuing_send(0, "event", /*timeout=*/0)
+                           .timed_wait(inter_arrival)
+                           .build();
+    producer.processes.push_back(std::move(gen));
+    config.partitions.push_back(std::move(producer));
+
+    system::PartitionConfig server;
+    server.name = "SERVER";
+    server.queuing_ports.push_back(
+        {"IN", ipc::PortDirection::kDestination, 32, 8});
+    system::ProcessConfig handler;
+    handler.attrs.name = "handler";
+    handler.attrs.priority = 10;
+    // 10 ticks of work per event; the server window is 40/100 -> capacity
+    // of ~4 events per 100 ticks.
+    handler.attrs.script = ScriptBuilder{}
+                               .queuing_receive(0)
+                               .compute(10)
+                               .log("handled")
+                               .build();
+    server.processes.push_back(std::move(handler));
+    config.partitions.push_back(std::move(server));
+
+    model::Schedule s;
+    s.id = ScheduleId{0};
+    s.mtf = 100;
+    s.requirements = {{PartitionId{0}, 100, 20}, {PartitionId{1}, 100, 40}};
+    s.windows = {{PartitionId{0}, 0, 20}, {PartitionId{1}, 20, 40}};
+    config.schedules = {s};
+
+    ipc::ChannelConfig channel;
+    channel.id = ChannelId{0};
+    channel.kind = ipc::ChannelKind::kQueuing;
+    channel.source = {PartitionId{0}, "OUT"};
+    channel.local_destinations = {{PartitionId{1}, "IN"}};
+    config.channels.push_back(channel);
+
+    system::Module module(std::move(config));
+    state.ResumeTiming();
+    module.run(10'000);
+    state.PauseTiming();
+
+    handled +=
+        static_cast<double>(module.console(PartitionId{1}).size());
+    // Overload shows up at the *source* port: sends that found the queue
+    // full (the producer uses a zero timeout, so bursts are shed there --
+    // they can never steal the server partition's window).
+    apex::QueuingPortStatus status;
+    (void)module.apex(PartitionId{0})
+        .get_queuing_port_status(PortId{0}, status);
+    overflows += static_cast<double>(status.overflows);
+    kiloticks += 10.0;
+    state.ResumeTiming();
+  }
+
+  state.counters["handled_per_kilotick"] =
+      benchmark::Counter(handled / kiloticks);
+  state.counters["shed_per_kilotick"] =
+      benchmark::Counter(overflows / kiloticks);
+}
+// Arrival periods: 50 (underload) down to 1 (heavy overload). The server's
+// capacity is ~40 events per kilotick (window 40/100, 10 ticks per event):
+// handled saturates there and the excess is shed at the source.
+BENCHMARK(BM_EventOverload)
+    ->Arg(50)
+    ->Arg(10)
+    ->Arg(5)
+    ->Arg(2)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

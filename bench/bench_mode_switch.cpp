@@ -1,0 +1,86 @@
+// E4 -- mode-based schedule switching, measured (Sect. 4).
+//
+// Reports:
+//   * the cost of the SET_MODULE_SCHEDULE service itself (paper: "the
+//     immediate result is only that of storing the identifier" -- it must
+//     be trivially cheap);
+//   * switch_effect_latency: ticks from request to the switch becoming
+//     effective, as a function of where in the MTF the request lands
+//     (expected: distance to the next MTF boundary, mean ~MTF/2);
+//   * the end-to-end rate of a module that alternates schedules every MTF.
+#include <benchmark/benchmark.h>
+
+#include "config/fig8.hpp"
+#include "system/module.hpp"
+
+namespace {
+
+using namespace air;
+
+void BM_SetModuleScheduleService(benchmark::State& state) {
+  scenarios::Fig8Options options;
+  options.with_faulty_process = false;
+  options.trace_enabled = false;
+  system::Module module(scenarios::fig8_config(options));
+  auto& apex = module.apex(module.partition_id("AOCS"));
+  std::int32_t flip = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apex.set_module_schedule(ScheduleId{flip ^= 1}));
+  }
+}
+BENCHMARK(BM_SetModuleScheduleService);
+
+void BM_SwitchEffectLatency(benchmark::State& state) {
+  // Request at a fixed offset within the MTF; measure ticks until the
+  // switch takes effect. Deterministic: latency = MTF - offset.
+  const Ticks offset = state.range(0);
+  double latency = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    scenarios::Fig8Options options;
+    options.with_faulty_process = false;
+    system::Module module(scenarios::fig8_config(options));
+    auto& apex = module.apex(module.partition_id("AOCS"));
+    module.run(offset);
+    (void)apex.set_module_schedule(ScheduleId{1});
+    const Ticks requested_at = module.now();
+    state.ResumeTiming();
+    module.run_until(requested_at + 2 * scenarios::kFig8Mtf);
+    state.PauseTiming();
+    const auto switches =
+        module.trace().filtered(util::EventKind::kScheduleSwitch);
+    if (!switches.empty()) {
+      latency = static_cast<double>(switches[0].time - requested_at);
+    }
+    state.ResumeTiming();
+  }
+  state.counters["switch_effect_latency"] = benchmark::Counter(latency);
+}
+BENCHMARK(BM_SwitchEffectLatency)
+    ->Arg(1)
+    ->Arg(325)
+    ->Arg(650)
+    ->Arg(1299)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AlternatingSchedules(benchmark::State& state) {
+  // A module that flips between chi_1 and chi_2 at every MTF: measures the
+  // whole-system overhead of continuous mode changes.
+  scenarios::Fig8Options options;
+  options.with_faulty_process = false;
+  options.trace_enabled = false;
+  system::Module module(scenarios::fig8_config(options));
+  auto& apex = module.apex(module.partition_id("AOCS"));
+  std::int32_t flip = 0;
+  for (auto _ : state) {
+    (void)apex.set_module_schedule(ScheduleId{flip ^= 1});
+    module.run(scenarios::kFig8Mtf);
+  }
+  state.counters["ticks_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1300.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AlternatingSchedules)->Unit(benchmark::kMillisecond);
+
+}  // namespace

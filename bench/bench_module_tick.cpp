@@ -1,0 +1,63 @@
+// Whole-module macro benchmark: cost of one simulated clock tick for the
+// Fig. 8 system (scheduler + dispatcher + channel pump + PAL announce +
+// process execution), with and without tracing, plus executor service
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include "config/fig8.hpp"
+#include "system/module.hpp"
+
+namespace {
+
+using namespace air;
+
+void BM_ModuleTick_Fig8(benchmark::State& state) {
+  scenarios::Fig8Options options;
+  options.with_faulty_process = false;
+  options.trace_enabled = state.range(0) != 0;
+  system::Module module(scenarios::fig8_config(options));
+  for (auto _ : state) {
+    module.tick_once();
+  }
+  state.counters["sim_ticks_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ModuleTick_Fig8)
+    ->Arg(0)  // trace off
+    ->Arg(1); // trace on
+
+void BM_ModuleTick_ManyPartitions(benchmark::State& state) {
+  // Scale the partition count: each gets an equal window in a generated
+  // round-robin table.
+  const int n = static_cast<int>(state.range(0));
+  system::ModuleConfig config;
+  config.trace_enabled = false;
+  model::Schedule schedule;
+  schedule.id = ScheduleId{0};
+  schedule.mtf = static_cast<Ticks>(n) * 20;
+  for (int i = 0; i < n; ++i) {
+    system::PartitionConfig partition;
+    partition.name = "P" + std::to_string(i);
+    system::ProcessConfig process;
+    process.attrs.name = "work";
+    process.attrs.period = schedule.mtf;
+    process.attrs.time_capacity = schedule.mtf;
+    process.attrs.priority = 10;
+    process.attrs.script =
+        pos::ScriptBuilder{}.compute(15).periodic_wait().build();
+    partition.processes.push_back(std::move(process));
+    config.partitions.push_back(std::move(partition));
+    schedule.requirements.push_back({PartitionId{i}, schedule.mtf, 20});
+    schedule.windows.push_back({PartitionId{i}, i * 20, 20});
+  }
+  config.schedules = {schedule};
+  system::Module module(std::move(config));
+  for (auto _ : state) {
+    module.tick_once();
+  }
+  state.counters["sim_ticks_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ModuleTick_ManyPartitions)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace

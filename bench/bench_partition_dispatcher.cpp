@@ -1,0 +1,89 @@
+// E6 -- Partition Dispatcher cost (Sect. 4.3, Algorithm 2).
+//
+// Paper claim (Fig. 5): the same-partition path is trivial (set
+// elapsedTicks = 1) while a partition switch saves/restores contexts and
+// applies pending schedule change actions. The context-switch path should
+// cost markedly more, and the MMU context switch (TLB flush) dominates it.
+#include <benchmark/benchmark.h>
+
+#include "hal/machine.hpp"
+#include "pmk/partition_dispatcher.hpp"
+#include "pmk/spatial.hpp"
+
+namespace {
+
+using namespace air;
+
+struct Fixture {
+  Fixture() : machine(4u << 20), spatial(machine) {
+    for (int i = 0; i < 2; ++i) {
+      pmk::PartitionControlBlock pcb;
+      pcb.id = PartitionId{i};
+      pcb.last_tick = -1;
+      pcb.mmu_context =
+          spatial.setup_partition(PartitionId{i}, {}).context;
+      pcbs.push_back(std::move(pcb));
+    }
+  }
+
+  hal::Machine machine;
+  pmk::SpatialManager spatial;
+  std::vector<pmk::PartitionControlBlock> pcbs;
+};
+
+void BM_Dispatch_SamePartition(benchmark::State& state) {
+  Fixture fx;
+  pmk::PartitionDispatcher dispatcher(fx.pcbs, &fx.machine.mmu());
+  Ticks t = 0;
+  dispatcher.dispatch(PartitionId{0}, t++);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dispatcher.dispatch(PartitionId{0}, t++));
+  }
+}
+BENCHMARK(BM_Dispatch_SamePartition);
+
+void BM_Dispatch_ContextSwitch(benchmark::State& state) {
+  Fixture fx;
+  pmk::PartitionDispatcher dispatcher(fx.pcbs, &fx.machine.mmu());
+  Ticks t = 0;
+  int which = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dispatcher.dispatch(PartitionId{which ^= 1}, t++));
+  }
+  state.counters["context_switches"] =
+      static_cast<double>(dispatcher.context_switches());
+}
+BENCHMARK(BM_Dispatch_ContextSwitch);
+
+void BM_Dispatch_ContextSwitch_NoMmu(benchmark::State& state) {
+  // Isolate the dispatcher bookkeeping from the MMU context switch.
+  Fixture fx;
+  pmk::PartitionDispatcher dispatcher(fx.pcbs, nullptr);
+  Ticks t = 0;
+  int which = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dispatcher.dispatch(PartitionId{which ^= 1}, t++));
+  }
+}
+BENCHMARK(BM_Dispatch_ContextSwitch_NoMmu);
+
+void BM_Dispatch_WindowPattern(benchmark::State& state) {
+  // Realistic mix: windows of `window` ticks alternating between two
+  // partitions -- one switch per window, same-partition otherwise.
+  const Ticks window = state.range(0);
+  Fixture fx;
+  pmk::PartitionDispatcher dispatcher(fx.pcbs, &fx.machine.mmu());
+  Ticks t = 0;
+  for (auto _ : state) {
+    const PartitionId heir{static_cast<std::int32_t>((t / window) % 2)};
+    benchmark::DoNotOptimize(dispatcher.dispatch(heir, t++));
+  }
+  state.counters["switch_ratio"] = benchmark::Counter(
+      static_cast<double>(dispatcher.context_switches()) /
+      static_cast<double>(dispatcher.dispatch_count()));
+}
+BENCHMARK(BM_Dispatch_WindowPattern)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace

@@ -1,0 +1,116 @@
+// E5 -- Partition Scheduler cost (Sect. 4.3, Algorithm 1).
+//
+// Paper claims: the scheduler runs at every clock tick; in the best and most
+// frequent case it performs only two computations (tick increment + failed
+// preemption-point comparison); mode-based schedule support adds nothing to
+// that best case beyond the modulo bookkeeping.
+//
+// Measured here:
+//   * average per-tick cost on the Fig. 8 table (7 points per 1300 ticks:
+//     the no-point case dominates);
+//   * per-tick cost on a pathological table with a point at every tick;
+//   * ablation: Algorithm 1 vs a minimal static scheduler without
+//     mode-based-schedule support (the original AIR design).
+#include <benchmark/benchmark.h>
+
+#include "config/fig8.hpp"
+#include "pmk/partition_scheduler.hpp"
+#include "pmk/schedule.hpp"
+
+namespace {
+
+using namespace air;
+
+pmk::RuntimeSchedule fig8_runtime() {
+  return pmk::compile_schedule(scenarios::fig8_chi1());
+}
+
+void BM_SchedulerTick_Fig8(benchmark::State& state) {
+  pmk::PartitionScheduler scheduler;
+  scheduler.add_schedule(fig8_runtime());
+  scheduler.set_initial_schedule(ScheduleId{0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.tick());
+  }
+  state.counters["preemption_point_ratio"] = benchmark::Counter(
+      static_cast<double>(scheduler.preemption_points_hit()) /
+      static_cast<double>(scheduler.tick_count()));
+}
+BENCHMARK(BM_SchedulerTick_Fig8);
+
+void BM_SchedulerTick_EveryTickAPoint(benchmark::State& state) {
+  // Worst case: a preemption point at every tick of the MTF.
+  model::Schedule dense;
+  dense.id = ScheduleId{0};
+  dense.mtf = 64;
+  dense.requirements = {{PartitionId{0}, 64, 32}, {PartitionId{1}, 64, 32}};
+  for (Ticks t = 0; t < 64; ++t) {
+    dense.windows.push_back(
+        {PartitionId{static_cast<std::int32_t>(t % 2)}, t, 1});
+  }
+  pmk::PartitionScheduler scheduler;
+  scheduler.add_schedule(pmk::compile_schedule(dense));
+  scheduler.set_initial_schedule(ScheduleId{0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.tick());
+  }
+  state.counters["preemption_point_ratio"] = benchmark::Counter(
+      static_cast<double>(scheduler.preemption_points_hit()) /
+      static_cast<double>(scheduler.tick_count()));
+}
+BENCHMARK(BM_SchedulerTick_EveryTickAPoint);
+
+/// The original AIR Partition Scheduler without mode-based schedules: one
+/// static table, no switch check (the ablation baseline of Sect. 4.3).
+class StaticScheduler {
+ public:
+  explicit StaticScheduler(pmk::RuntimeSchedule schedule)
+      : schedule_(std::move(schedule)) {}
+
+  bool tick() {
+    ++ticks_;
+    if (schedule_.table[iterator_].tick != ticks_ % schedule_.mtf) {
+      return false;
+    }
+    heir_ = schedule_.table[iterator_].partition;
+    iterator_ = (iterator_ + 1) % schedule_.table.size();
+    return true;
+  }
+
+  [[nodiscard]] PartitionId heir() const { return heir_; }
+
+ private:
+  pmk::RuntimeSchedule schedule_;
+  Ticks ticks_{-1};
+  std::size_t iterator_{0};
+  PartitionId heir_{PartitionId::invalid()};
+};
+
+void BM_SchedulerTick_StaticBaseline(benchmark::State& state) {
+  StaticScheduler scheduler(fig8_runtime());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.tick());
+  }
+}
+BENCHMARK(BM_SchedulerTick_StaticBaseline);
+
+void BM_SchedulerTick_WithPendingSwitch(benchmark::State& state) {
+  // A pending (not yet due) switch request must not slow the common case:
+  // the extra comparison only happens at preemption points.
+  pmk::PartitionScheduler scheduler;
+  scheduler.add_schedule(fig8_runtime());
+  auto chi2 = pmk::compile_schedule(scenarios::fig8_chi2());
+  scheduler.add_schedule(std::move(chi2));
+  scheduler.set_initial_schedule(ScheduleId{0});
+  scheduler.tick();  // move off the boundary
+  (void)scheduler.request_schedule(ScheduleId{1});
+  Ticks i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.tick());
+    // Re-arm the request so it never completes an MTF unnoticed; cheap.
+    if (++i % 1024 == 0) (void)scheduler.request_schedule(ScheduleId{1});
+  }
+}
+BENCHMARK(BM_SchedulerTick_WithPendingSwitch);
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Fault containment walkthrough: three fault classes, three containment
+// outcomes (Sect. 2.4 / Sect. 5).
+//
+//   1. A deadline overrun -- detected by the PAL on the partition's next
+//      dispatch (process deadline violation monitoring, Sect. 5), recovered
+//      by the partition's own application error handler.
+//   2. A spatial violation -- an out-of-partition memory access caught by
+//      the simulated MMU; the HM stops the offending process.
+//   3. A partition-level error escalation -- repeated application errors
+//      cross a log threshold and warm-restart the partition.
+//
+// Throughout, the *other* partition keeps its timeline untouched: faults
+// stay confined to their domain of occurrence.
+#include <cstdio>
+
+#include "system/module.hpp"
+
+using namespace air;
+using pos::ScriptBuilder;
+
+int main() {
+  system::ModuleConfig config;
+  config.name = "fault-injection";
+
+  // GOOD: a healthy control loop we expect to stay pristine.
+  system::PartitionConfig good;
+  good.name = "GOOD";
+  {
+    system::ProcessConfig loop;
+    loop.attrs.name = "good_loop";
+    loop.attrs.period = 100;
+    loop.attrs.time_capacity = 100;
+    loop.attrs.priority = 10;
+    loop.attrs.script =
+        ScriptBuilder{}.compute(20).periodic_wait().build();
+    good.processes.push_back(std::move(loop));
+  }
+  config.partitions.push_back(std::move(good));
+
+  // FAULTY: hosts all three demonstrations.
+  system::PartitionConfig faulty;
+  faulty.name = "FAULTY";
+  {
+    // (1) Overrunner: capacity 30, computes 45 per 100-tick period.
+    system::ProcessConfig overrun;
+    overrun.attrs.name = "overrunner";
+    overrun.attrs.period = 100;
+    overrun.attrs.time_capacity = 30;
+    overrun.attrs.priority = 10;
+    overrun.attrs.script =
+        ScriptBuilder{}.compute(45).periodic_wait().build();
+    overrun.auto_start = false;
+    faulty.processes.push_back(std::move(overrun));
+
+    // (2) Snooper: reads an address far outside the partition.
+    system::ProcessConfig snoop;
+    snoop.attrs.name = "snooper";
+    snoop.attrs.priority = 20;
+    snoop.attrs.script = ScriptBuilder{}
+                             .compute(2)
+                             .memory_access(0x7000'0000, /*write=*/true)
+                             .timed_wait(50)
+                             .build();
+    snoop.auto_start = false;
+    faulty.processes.push_back(std::move(snoop));
+
+    // (3) Repeater: raises an application error every 10 ticks.
+    system::ProcessConfig repeater;
+    repeater.attrs.name = "repeater";
+    repeater.attrs.priority = 30;
+    repeater.attrs.script = ScriptBuilder{}
+                                .raise_error(99, "repeated anomaly")
+                                .timed_wait(10)
+                                .build();
+    repeater.auto_start = false;
+    faulty.processes.push_back(std::move(repeater));
+
+    // HM policy (no application error handler here, so the table acts
+    // directly -- the handler path is exercised in tests/test_hm_integration):
+    // deadline misses are logged only, spatial violations stop the process,
+    // repeated application errors warm-restart the partition after three
+    // occurrences.
+    faulty.hm_table.set(hm::ErrorCode::kDeadlineMissed,
+                        hm::ErrorLevel::kProcess,
+                        hm::RecoveryAction::kIgnore);
+    faulty.hm_table.set(hm::ErrorCode::kMemoryViolation,
+                        hm::ErrorLevel::kProcess,
+                        hm::RecoveryAction::kStopProcess);
+    faulty.hm_table.set(hm::ErrorCode::kApplicationError,
+                        hm::ErrorLevel::kProcess,
+                        hm::RecoveryAction::kWarmRestartPartition,
+                        /*log_threshold=*/3);
+  }
+  config.partitions.push_back(std::move(faulty));
+
+  model::Schedule schedule;
+  schedule.id = ScheduleId{0};
+  schedule.name = "half-and-half";
+  schedule.mtf = 100;
+  schedule.requirements = {{PartitionId{0}, 100, 40},
+                           {PartitionId{1}, 100, 60}};
+  schedule.windows = {{PartitionId{0}, 0, 40}, {PartitionId{1}, 40, 60}};
+  config.schedules = {schedule};
+
+  system::Module module(std::move(config));
+  const PartitionId faulty_id = module.partition_id("FAULTY");
+  const PartitionId good_id = module.partition_id("GOOD");
+
+  std::printf("=== (1) deadline overrun ===\n");
+  module.start_process_by_name(faulty_id, "overrunner");
+  module.run(400);
+  std::printf("deadline misses detected by the PAL: %zu (logged, ignored)\n",
+              module.trace().count(util::EventKind::kDeadlineMiss));
+
+  std::printf("\n=== (2) spatial violation ===\n");
+  module.start_process_by_name(faulty_id, "snooper");
+  module.run(300);
+  const auto spatial =
+      module.trace().filtered(util::EventKind::kSpatialViolation);
+  std::printf("spatial violations: %zu (snooper stopped after the first)\n",
+              spatial.size());
+
+  std::printf("\n=== (3) escalation to partition restart ===\n");
+  module.start_process_by_name(faulty_id, "repeater");
+  const auto restarts_before =
+      module.trace()
+          .filtered(util::EventKind::kPartitionModeChange,
+                    [&](const util::TraceEvent& e) {
+                      return e.a == faulty_id.value() &&
+                             e.b == static_cast<std::int64_t>(
+                                        pmk::OperatingMode::kWarmStart);
+                    })
+          .size();
+  module.run(300);
+  const auto restarts_after =
+      module.trace()
+          .filtered(util::EventKind::kPartitionModeChange,
+                    [&](const util::TraceEvent& e) {
+                      return e.a == faulty_id.value() &&
+                             e.b == static_cast<std::int64_t>(
+                                        pmk::OperatingMode::kWarmStart);
+                    })
+          .size();
+  std::printf("warm restarts of FAULTY: %zu (every third application error)\n",
+              restarts_after - restarts_before);
+
+  std::printf("\n=== containment check ===\n");
+  std::size_t good_events = 0;
+  for (const auto& entry : module.health().log()) {
+    if (entry.partition == good_id) ++good_events;
+  }
+  std::printf("HM log entries total: %zu, involving GOOD: %zu (expected 0)\n",
+              module.health().log().size(), good_events);
+  std::printf("GOOD partition deadline misses: %zu (expected 0)\n",
+              module.trace()
+                  .filtered(util::EventKind::kDeadlineMiss,
+                            [&](const util::TraceEvent& e) {
+                              return e.a == good_id.value();
+                            })
+                  .size());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Offline verification & integration aid (Sect. 1, Sect. 3): validates the
+// partition scheduling tables of a module configuration against the model
+// equations (20)-(23), runs the process-level schedulability analysis, and
+// demonstrates automatic PST generation from the timing requirements.
+//
+// Usage:
+//   schedulability_tool               # analyses the built-in Fig. 8 system
+//   schedulability_tool config.json   # analyses a JSON integration file
+#include <cstdio>
+
+#include "config/fig8.hpp"
+#include "config/loader.hpp"
+#include "model/generator.hpp"
+#include "model/schedulability.hpp"
+#include "model/validation.hpp"
+
+using namespace air;
+
+int main(int argc, char** argv) {
+  system::ModuleConfig config;
+  if (argc > 1) {
+    auto loaded = config::load_module_config_file(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
+      return 1;
+    }
+    config = std::move(*loaded.config);
+  } else {
+    config = scenarios::fig8_config();
+  }
+
+  // Build the formal model from the configuration.
+  model::SystemModel system;
+  for (const auto& partition : config.partitions) {
+    model::PartitionModel pm;
+    pm.id = PartitionId{
+        static_cast<std::int32_t>(system.partitions.size())};
+    pm.name = partition.name;
+    pm.system_partition = partition.system_partition;
+    for (const auto& process : partition.processes) {
+      // WCET estimate: total compute ticks in one pass of the script, plus
+      // one tick for the completion service call (PERIODIC_WAIT must run
+      // inside a window tick -- an activation that computes through the
+      // last tick of its window only completes at the next dispatch).
+      Ticks wcet = 1;
+      for (const auto& op : process.attrs.script) {
+        if (const auto* compute = std::get_if<pos::OpCompute>(&op)) {
+          wcet += compute->ticks;
+        }
+      }
+      pm.processes.push_back({process.attrs.name, process.attrs.period,
+                              process.attrs.time_capacity,
+                              process.attrs.priority, wcet,
+                              process.attrs.period != kInfiniteTime});
+    }
+    system.partitions.push_back(std::move(pm));
+  }
+  system.schedules = config.schedules;
+
+  // 1. Validate every PST (eqs. 20-23).
+  std::printf("== PST validation ==\n");
+  const auto report = model::validate_system(system);
+  if (report.ok()) {
+    std::printf("all %zu schedules satisfy eqs. (20)-(23)\n",
+                system.schedules.size());
+  } else {
+    std::printf("%s", report.to_text().c_str());
+  }
+  for (const auto& warning : report.warnings) {
+    std::printf("warning: %s (schedule %d, partition %d)\n",
+                warning.detail.c_str(), warning.schedule.value(),
+                warning.partition.value());
+  }
+
+  // 2. Process-level response-time analysis per schedule.
+  std::printf("\n== schedulability analysis (MTF-aligned releases) ==\n");
+  for (const auto& schedule : system.schedules) {
+    const auto analysis = model::analyze_system(
+        system, schedule.id, model::Phasing::kMtfAligned);
+    std::printf("%s", analysis.to_text().c_str());
+  }
+
+  // 3. Automatic PST generation from the first schedule's requirements.
+  if (!system.schedules.empty()) {
+    std::printf("\n== generated PST (EDF construction) ==\n");
+    model::GeneratorInput input;
+    input.requirements = system.schedules[0].requirements;
+    input.name = "generated";
+    if (auto generated = model::generate_schedule(input)) {
+      std::printf("MTF=%lld, utilisation %.3f\n",
+                  static_cast<long long>(generated->mtf),
+                  generated->utilisation());
+      for (const auto& window : generated->windows) {
+        std::printf("  P%d  [%5lld, %5lld)\n", window.partition.value(),
+                    static_cast<long long>(window.offset),
+                    static_cast<long long>(window.offset + window.duration));
+      }
+      const auto generated_report = model::validate_schedule(*generated);
+      std::printf("generated schedule valid: %s\n",
+                  generated_report.ok() ? "yes" : "NO");
+    } else {
+      std::printf("requirements are infeasible (over-utilised)\n");
+    }
+  }
+  return 0;
+}

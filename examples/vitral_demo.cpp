@@ -1,0 +1,144 @@
+// VITRAL demonstration (Fig. 9): one text-mode window per partition showing
+// its console output, plus two windows observing AIR components (the
+// Partition Scheduler/Dispatcher and the Health Monitor), re-rendered as
+// the Fig. 8 prototype runs through fault injection and a schedule switch.
+#include <cstdio>
+
+#include "config/fig8.hpp"
+#include "system/module.hpp"
+#include "vitral/vitral.hpp"
+
+using namespace air;
+
+namespace {
+
+void refresh(vitral::Screen& screen, system::Module& module,
+             const std::vector<std::size_t>& partition_windows,
+             std::size_t air_window, std::size_t hm_window,
+             std::size_t& trace_cursor) {
+  // Partition consoles.
+  for (std::size_t p = 0; p < partition_windows.size(); ++p) {
+    auto& window = screen.window(partition_windows[p]);
+    window.clear();
+    const auto& lines =
+        module.console(PartitionId{static_cast<std::int32_t>(p)});
+    for (const auto& line : lines) window.write_line(line);
+  }
+  // AIR component windows are fed from the trace.
+  const auto& events = module.trace().events();
+  for (; trace_cursor < events.size(); ++trace_cursor) {
+    const auto& e = events[trace_cursor];
+    char buf[96];
+    switch (e.kind) {
+      case util::EventKind::kScheduleSwitch:
+        std::snprintf(buf, sizeof buf, "t=%lld switch chi_%lld->chi_%lld",
+                      static_cast<long long>(e.time),
+                      static_cast<long long>(e.b) + 1,
+                      static_cast<long long>(e.a) + 1);
+        screen.window(air_window).write_line(buf);
+        break;
+      case util::EventKind::kScheduleSwitchReq:
+        std::snprintf(buf, sizeof buf, "t=%lld request chi_%lld",
+                      static_cast<long long>(e.time),
+                      static_cast<long long>(e.a) + 1);
+        screen.window(air_window).write_line(buf);
+        break;
+      case util::EventKind::kDeadlineMiss:
+        std::snprintf(buf, sizeof buf, "t=%lld P%lld proc %lld MISS d=%lld",
+                      static_cast<long long>(e.time),
+                      static_cast<long long>(e.a) + 1,
+                      static_cast<long long>(e.b),
+                      static_cast<long long>(e.c));
+        screen.window(hm_window).write_line(buf);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  scenarios::Fig8Options options;
+  system::ModuleConfig config = scenarios::fig8_config(options);
+  // Give the mockup applications some console chatter, VITRAL-style.
+  for (auto& partition : config.partitions) {
+    for (auto& process : partition.processes) {
+      if (process.attrs.name == "p1_control") {
+        process.attrs.script = pos::ScriptBuilder{}
+                                   .compute(60)
+                                   .sampling_write(0, "q=[0.99 .01 .04 .02]")
+                                   .log("AOCS cycle complete")
+                                   .periodic_wait()
+                                   .build();
+      }
+      if (process.attrs.name == "p2_tm") {
+        process.attrs.script = pos::ScriptBuilder{}
+                                   .sampling_read(0)
+                                   .compute(50)
+                                   .queuing_receive(0, 0)
+                                   .log("TM frame sent")
+                                   .periodic_wait()
+                                   .build();
+      }
+      if (process.attrs.name == "p3_monitor") {
+        process.attrs.script = pos::ScriptBuilder{}
+                                   .compute(40)
+                                   .sem_signal(0)
+                                   .log("FDIR scan ok")
+                                   .periodic_wait()
+                                   .build();
+      }
+      if (process.attrs.name == "p4_sci") {
+        process.attrs.script = pos::ScriptBuilder{}
+                                   .compute(150)
+                                   .queuing_send(0, "science-frame", 0)
+                                   .sampling_read(0)
+                                   .log("payload frame queued")
+                                   .periodic_wait()
+                                   .build();
+      }
+    }
+  }
+
+  system::Module module(std::move(config));
+
+  vitral::Screen screen(100, 30);
+  std::vector<std::size_t> partition_windows;
+  const char* titles[] = {"P1 AOCS", "P2 TTC", "P3 FDIR", "P4 PAYLOAD"};
+  for (int i = 0; i < 4; ++i) {
+    partition_windows.push_back(
+        screen.add_window(titles[i], {(i % 2) * 50, (i / 2) * 10, 50, 10}));
+  }
+  const std::size_t air_window =
+      screen.add_window("AIR Partition Scheduler", {0, 20, 50, 10});
+  const std::size_t hm_window =
+      screen.add_window("AIR Health Monitor", {50, 20, 50, 10});
+
+  std::size_t cursor = 0;
+  const Ticks mtf = scenarios::kFig8Mtf;
+
+  // Frame 1: nominal operation.
+  module.run(2 * mtf);
+  refresh(screen, module, partition_windows, air_window, hm_window, cursor);
+  std::printf("===== frame 1: nominal operation (chi_1) =====\n%s\n",
+              screen.render().c_str());
+
+  // Frame 2: operator injects the faulty process (keyboard in the paper).
+  module.start_process_by_name(module.partition_id("AOCS"),
+                               scenarios::kFaultyProcessName);
+  module.run(2 * mtf);
+  refresh(screen, module, partition_windows, air_window, hm_window, cursor);
+  std::printf("===== frame 2: faulty process active on P1 =====\n%s\n",
+              screen.render().c_str());
+
+  // Frame 3: operator switches to chi_2.
+  (void)module.apex(module.partition_id("AOCS"))
+      .set_module_schedule(ScheduleId{1});
+  module.run(2 * mtf);
+  refresh(screen, module, partition_windows, air_window, hm_window, cursor);
+  std::printf("===== frame 3: after switching to chi_2 =====\n%s\n",
+              screen.render().c_str());
+  return 0;
+}

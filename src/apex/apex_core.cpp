@@ -1,0 +1,443 @@
+// APEX core: construction, partition management, process management, time
+// management, and the mode-based schedule services.
+#include "apex/apex.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace air::apex {
+
+Apex::Apex(PartitionId partition, pmk::PartitionControlBlock& pcb,
+           pal::Pal& pal, ipc::Router& router, hm::HealthMonitor& health,
+           pmk::PartitionScheduler& scheduler, std::function<Ticks()> now_fn)
+    : partition_(partition),
+      pcb_(pcb),
+      pal_(pal),
+      router_(router),
+      health_(health),
+      scheduler_(scheduler),
+      now_fn_(std::move(now_fn)) {
+  AIR_ASSERT(now_fn_ != nullptr);
+}
+
+pos::ProcessControlBlock* Apex::current_pcb() {
+  return pal_.kernel().pcb(pal_.kernel().current());
+}
+
+// ---------- partition management ----------
+
+PartitionStatus Apex::get_partition_status() const {
+  return {partition_, pcb_.mode, pcb_.system_partition};
+}
+
+ReturnCode Apex::set_partition_mode(pmk::OperatingMode mode) {
+  if (mode == pcb_.mode) return ReturnCode::kNoAction;
+  switch (mode) {
+    case pmk::OperatingMode::kNormal:
+      if (pcb_.mode == pmk::OperatingMode::kIdle) {
+        return ReturnCode::kInvalidMode;  // idle partitions restart, not resume
+      }
+      enter_normal_mode();
+      return ReturnCode::kNoError;
+    case pmk::OperatingMode::kIdle:
+      pcb_.mode = pmk::OperatingMode::kIdle;
+      pal_.reset();
+      if (on_mode_transition) on_mode_transition(mode);
+      return ReturnCode::kNoError;
+    case pmk::OperatingMode::kColdStart:
+    case pmk::OperatingMode::kWarmStart:
+      pcb_.mode = mode;
+      if (on_mode_transition) on_mode_transition(mode);
+      return ReturnCode::kNoError;
+  }
+  return ReturnCode::kInvalidParam;
+}
+
+void Apex::enter_normal_mode() {
+  pcb_.mode = pmk::OperatingMode::kNormal;
+  for (ProcessId pid : pending_starts_) start_now(pid);
+  pending_starts_.clear();
+}
+
+void Apex::reset_runtime_state() {
+  buffers_.clear();
+  blackboards_.clear();
+  semaphores_.clear();
+  events_.clear();
+  for (auto& q : queuing_ports_) {
+    q.senders.waiters.clear();
+    q.receivers.waiters.clear();
+    q.port->clear();
+  }
+  for (auto& s : sampling_ports_) s.port->clear();
+  pending_starts_.clear();
+  pending_errors_.clear();
+  error_handler_ = ProcessId::invalid();
+}
+
+// ---------- process management ----------
+
+ReturnCode Apex::create_process(const pos::ProcessAttributes& attrs,
+                                ProcessId& out) {
+  if (!in_init_mode()) return ReturnCode::kInvalidMode;
+  if (attrs.priority < 0 || attrs.priority >= 256) {
+    return ReturnCode::kInvalidParam;
+  }
+  if (attrs.sporadic && attrs.period == kInfiniteTime) {
+    return ReturnCode::kInvalidParam;  // sporadic needs an inter-arrival bound
+  }
+  if (pal_.kernel().find_process(attrs.name).valid()) {
+    return ReturnCode::kNoAction;  // duplicate name
+  }
+  out = pal_.kernel().create_process(attrs);
+  return ReturnCode::kNoError;
+}
+
+void Apex::start_now(ProcessId pid) {
+  pos::ProcessControlBlock* p = pal_.kernel().pcb(pid);
+  AIR_ASSERT(p != nullptr);
+  const Ticks now = now_fn_();
+  p->pc = 0;
+  p->op_progress = 0;
+  p->op_blocked = false;
+  ++p->start_epoch;
+  p->wake_result = pos::WakeResult::kNone;
+  p->inbox.clear();
+  p->current_priority = p->attrs.priority;
+  p->wait_deadline = kInfiniteTime;
+  p->release_pending = false;
+  p->sporadic_active = false;
+  if (p->attrs.sporadic) {
+    // The first activation is unconstrained by the inter-arrival bound and
+    // carries no deadline until it is released.
+    p->next_release = now - p->attrs.period;
+    p->absolute_deadline = kInfiniteTime;
+  } else {
+    p->next_release = now;
+    if (p->attrs.time_capacity != kInfiniteTime) {
+      // Fig. 6: START sets the deadline to now + time capacity and
+      // registers it through the PAL private interface.
+      p->absolute_deadline = now + p->attrs.time_capacity;
+      pal_.register_deadline(pid, p->absolute_deadline);
+    } else {
+      p->absolute_deadline = kInfiniteTime;
+    }
+  }
+  pal_.kernel().make_ready(pid);
+}
+
+ReturnCode Apex::start(ProcessId pid) {
+  pos::ProcessControlBlock* p = pal_.kernel().pcb(pid);
+  if (p == nullptr) return ReturnCode::kInvalidParam;
+  if (p->state != pos::ProcessState::kDormant) return ReturnCode::kNoAction;
+  if (in_init_mode()) {
+    // Processes started during initialisation become ready when the
+    // partition enters NORMAL mode.
+    pending_starts_.push_back(pid);
+    return ReturnCode::kNoError;
+  }
+  if (pcb_.mode != pmk::OperatingMode::kNormal) {
+    return ReturnCode::kInvalidMode;
+  }
+  start_now(pid);
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::delayed_start(ProcessId pid, Ticks delay) {
+  if (delay < 0) return ReturnCode::kInvalidParam;
+  if (delay == 0) return start(pid);
+  pos::ProcessControlBlock* p = pal_.kernel().pcb(pid);
+  if (p == nullptr) return ReturnCode::kInvalidParam;
+  if (p->state != pos::ProcessState::kDormant) return ReturnCode::kNoAction;
+  if (in_init_mode()) {
+    pending_starts_.push_back(pid);  // delay consumed by initialisation
+    return ReturnCode::kNoError;
+  }
+  if (pcb_.mode != pmk::OperatingMode::kNormal) {
+    return ReturnCode::kInvalidMode;
+  }
+  const Ticks now = now_fn_();
+  p->pc = 0;
+  p->op_progress = 0;
+  p->current_priority = p->attrs.priority;
+  p->next_release = now + delay;
+  if (p->attrs.time_capacity != kInfiniteTime) {
+    p->absolute_deadline = now + delay + p->attrs.time_capacity;
+    pal_.register_deadline(pid, p->absolute_deadline);
+  }
+  pal_.kernel().make_ready(pid);
+  pal_.kernel().block(pid, pos::WaitReason::kDelayedStart, now + delay);
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::stop(ProcessId pid) {
+  pos::ProcessControlBlock* p = pal_.kernel().pcb(pid);
+  if (p == nullptr) return ReturnCode::kInvalidParam;
+  if (p->state == pos::ProcessState::kDormant) return ReturnCode::kNoAction;
+  purge_from_all_queues(pid);
+  pal_.unregister_deadline(pid);
+  pal_.kernel().make_dormant(pid);
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::stop_self() {
+  const ProcessId self = pal_.kernel().current();
+  if (!self.valid()) return ReturnCode::kInvalidMode;
+  return stop(self);
+}
+
+ServiceResult Apex::suspend_self(Ticks timeout, bool resumed) {
+  pos::ProcessControlBlock* self = current_pcb();
+  if (self == nullptr) return ServiceResult::error(ReturnCode::kInvalidMode);
+  if (self->attrs.periodic()) {
+    return ServiceResult::error(ReturnCode::kInvalidMode);
+  }
+  if (resumed) {
+    const auto result = self->wake_result;
+    self->wake_result = pos::WakeResult::kNone;
+    return ServiceResult::error(result == pos::WakeResult::kTimeout
+                                    ? ReturnCode::kTimedOut
+                                    : ReturnCode::kNoError);
+  }
+  const Ticks wake =
+      timeout == kInfiniteTime ? kInfiniteTime : now_fn_() + timeout;
+  pal_.kernel().suspend(self->id, wake);
+  return ServiceResult::block();
+}
+
+ReturnCode Apex::suspend(ProcessId pid) {
+  pos::ProcessControlBlock* p = pal_.kernel().pcb(pid);
+  if (p == nullptr) return ReturnCode::kInvalidParam;
+  if (p->state == pos::ProcessState::kDormant) return ReturnCode::kInvalidMode;
+  if (p->attrs.periodic()) return ReturnCode::kInvalidMode;
+  if (p->suspended) return ReturnCode::kNoAction;
+  pal_.kernel().suspend(pid, kInfiniteTime);
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::resume(ProcessId pid) {
+  pos::ProcessControlBlock* p = pal_.kernel().pcb(pid);
+  if (p == nullptr) return ReturnCode::kInvalidParam;
+  if (p->state == pos::ProcessState::kDormant) return ReturnCode::kInvalidMode;
+  if (!p->suspended) return ReturnCode::kNoAction;
+  pal_.kernel().resume(pid);
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::set_priority(ProcessId pid, Priority priority) {
+  pos::ProcessControlBlock* p = pal_.kernel().pcb(pid);
+  if (p == nullptr) return ReturnCode::kInvalidParam;
+  if (priority < 0 || priority >= 256) return ReturnCode::kInvalidParam;
+  if (p->state == pos::ProcessState::kDormant) return ReturnCode::kInvalidMode;
+  pal_.kernel().set_priority(pid, priority);
+  return ReturnCode::kNoError;
+}
+
+ProcessId Apex::get_my_id() const { return pal_.kernel().current(); }
+
+ReturnCode Apex::get_process_id(std::string_view name, ProcessId& out) const {
+  out = pal_.kernel().find_process(name);
+  return out.valid() ? ReturnCode::kNoError : ReturnCode::kInvalidConfig;
+}
+
+ReturnCode Apex::get_process_status(ProcessId pid, ProcessStatus& out) const {
+  const pos::ProcessControlBlock* p = pal_.kernel().pcb(pid);
+  if (p == nullptr) return ReturnCode::kInvalidParam;
+  out.id = p->id;
+  out.name = p->attrs.name;
+  out.period = p->attrs.period;
+  out.time_capacity = p->attrs.time_capacity;
+  out.base_priority = p->attrs.priority;
+  out.current_priority = p->current_priority;
+  out.deadline_time = p->absolute_deadline;
+  out.state = p->state;
+  out.completions = p->completions;
+  out.max_response = p->max_response;
+  out.mean_response =
+      p->completions > 0
+          ? static_cast<double>(p->total_response) /
+                static_cast<double>(p->completions)
+          : 0.0;
+  out.deadline_misses = p->deadline_misses;
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::lock_preemption() {
+  if (pcb_.mode != pmk::OperatingMode::kNormal) return ReturnCode::kNoAction;
+  pal_.kernel().lock_preemption();
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::unlock_preemption() {
+  if (!pal_.kernel().preemption_locked()) return ReturnCode::kNoAction;
+  pal_.kernel().unlock_preemption();
+  return ReturnCode::kNoError;
+}
+
+// ---------- time management ----------
+
+ServiceResult Apex::timed_wait(Ticks delay) {
+  pos::ProcessControlBlock* self = current_pcb();
+  if (self == nullptr) return ServiceResult::error(ReturnCode::kInvalidMode);
+  if (delay < 0) return ServiceResult::error(ReturnCode::kInvalidParam);
+  if (self->wake_result != pos::WakeResult::kNone) {
+    self->wake_result = pos::WakeResult::kNone;  // resumed after the wait
+    return ServiceResult::ok();
+  }
+  // delay == 0 is a yield: wake at the next tick announcement.
+  pal_.kernel().block(self->id, pos::WaitReason::kDelay, now_fn_() + delay);
+  return ServiceResult::block();
+}
+
+ServiceResult Apex::periodic_wait() {
+  pos::ProcessControlBlock* self = current_pcb();
+  if (self == nullptr) return ServiceResult::error(ReturnCode::kInvalidMode);
+  if (!self->attrs.periodic()) {
+    return ServiceResult::error(ReturnCode::kInvalidMode);
+  }
+  if (self->wake_result != pos::WakeResult::kNone) {
+    self->wake_result = pos::WakeResult::kNone;  // released
+    return ServiceResult::ok();
+  }
+  const Ticks now = now_fn_();
+
+  // Activation completed: record its response time (diagnostics).
+  const Ticks response = now - self->next_release;
+  ++self->completions;
+  self->total_response += response;
+  self->max_response = std::max(self->max_response, response);
+
+  const Ticks next = self->next_release + self->attrs.period;
+  self->next_release = next;
+  // Fig. 6: PERIODIC_WAIT is one of the services that "insert or update the
+  // due processes' deadlines" -- the deadline of the *next* activation is
+  // registered here (the current activation completed; its entry is
+  // replaced, so no stale deadline can fire while the process waits).
+  if (self->attrs.time_capacity != kInfiniteTime) {
+    self->absolute_deadline = next + self->attrs.time_capacity;
+    pal_.register_deadline(self->id, self->absolute_deadline);
+  }
+  if (next <= now) {
+    // Release point already passed (the process overran its period): the
+    // release is immediate; the deadline still counts from the nominal
+    // release point, keeping overruns observable.
+    return ServiceResult::ok();
+  }
+  pal_.kernel().block(self->id, pos::WaitReason::kNextRelease, next);
+  return ServiceResult::block();
+}
+
+// ---------- sporadic activation ----------
+
+ServiceResult Apex::sporadic_wait() {
+  pos::ProcessControlBlock* self = current_pcb();
+  if (self == nullptr) return ServiceResult::error(ReturnCode::kInvalidMode);
+  if (!self->attrs.sporadic) {
+    return ServiceResult::error(ReturnCode::kInvalidMode);
+  }
+  if (self->wake_result != pos::WakeResult::kNone) {
+    self->wake_result = pos::WakeResult::kNone;  // activated
+    return ServiceResult::ok();
+  }
+  const Ticks now = now_fn_();
+
+  // The previous activation (if any) completed: record its response time
+  // and retire its deadline.
+  if (self->sporadic_active) {
+    self->sporadic_active = false;
+    const Ticks response = now - self->next_release;
+    ++self->completions;
+    self->total_response += response;
+    self->max_response = std::max(self->max_response, response);
+    pal_.unregister_deadline(self->id);
+  }
+
+  // Earliest legal next activation (minimum inter-arrival enforcement).
+  const Ticks earliest = self->next_release + self->attrs.period;
+  if (self->release_pending) {
+    self->release_pending = false;
+    const Ticks release_at = std::max(now, earliest);
+    self->next_release = release_at;
+    self->sporadic_active = true;
+    if (self->attrs.time_capacity != kInfiniteTime) {
+      self->absolute_deadline = release_at + self->attrs.time_capacity;
+      pal_.register_deadline(self->id, self->absolute_deadline);
+    }
+    if (release_at <= now) return ServiceResult::ok();
+    pal_.kernel().block(self->id, pos::WaitReason::kNextRelease, release_at);
+    return ServiceResult::block();
+  }
+  // No buffered release: wait for one (indefinitely).
+  pal_.kernel().block(self->id, pos::WaitReason::kSporadic, kInfiniteTime);
+  return ServiceResult::block();
+}
+
+ReturnCode Apex::release_process(ProcessId pid) {
+  pos::ProcessControlBlock* p = pal_.kernel().pcb(pid);
+  if (p == nullptr) return ReturnCode::kInvalidParam;
+  if (!p->attrs.sporadic || p->state == pos::ProcessState::kDormant) {
+    return ReturnCode::kInvalidMode;
+  }
+  if (p->state == pos::ProcessState::kWaiting &&
+      p->wait_reason == pos::WaitReason::kSporadic) {
+    const Ticks now = now_fn_();
+    const Ticks earliest = p->next_release + p->attrs.period;
+    const Ticks release_at = std::max(now, earliest);
+    p->next_release = release_at;
+    p->sporadic_active = true;
+    if (p->attrs.time_capacity != kInfiniteTime) {
+      p->absolute_deadline = release_at + p->attrs.time_capacity;
+      pal_.register_deadline(pid, p->absolute_deadline);
+    }
+    if (release_at <= now) {
+      pal_.kernel().wake(pid, pos::WakeResult::kOk);
+    } else {
+      // Defer to the inter-arrival bound: turn the wait into a timed one.
+      p->wait_reason = pos::WaitReason::kNextRelease;
+      p->wake_time = release_at;
+    }
+    return ReturnCode::kNoError;
+  }
+  // Target is busy with the previous activation: buffer one release.
+  if (p->release_pending) {
+    ++p->lost_releases;  // event overload: the inter-arrival bound sheds it
+    return ReturnCode::kNoAction;
+  }
+  p->release_pending = true;
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::replenish(Ticks budget) {
+  pos::ProcessControlBlock* self = current_pcb();
+  if (self == nullptr) return ReturnCode::kInvalidMode;
+  if (budget < 0) return ReturnCode::kInvalidParam;
+  if (self->attrs.time_capacity == kInfiniteTime) {
+    return ReturnCode::kNoAction;  // no deadline to postpone
+  }
+  // Fig. 6: REPLENISH computes the new deadline (now + budget) and updates
+  // the PAL registry, re-sorting the entry as needed.
+  self->absolute_deadline = now_fn_() + budget;
+  pal_.register_deadline(self->id, self->absolute_deadline);
+  return ReturnCode::kNoError;
+}
+
+// ---------- mode-based schedules ----------
+
+ReturnCode Apex::set_module_schedule(ScheduleId schedule) {
+  if (!pcb_.system_partition) {
+    // Only authorised (system) partitions may switch schedules (Sect. 4.2).
+    return ReturnCode::kInvalidConfig;
+  }
+  if (!scheduler_.request_schedule(schedule)) {
+    return ReturnCode::kInvalidParam;
+  }
+  return ReturnCode::kNoError;
+}
+
+ModuleScheduleStatus Apex::get_module_schedule_status() const {
+  const pmk::ScheduleStatus status = scheduler_.status();
+  return {status.last_switch_time, status.current, status.next};
+}
+
+}  // namespace air::apex

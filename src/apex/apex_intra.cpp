@@ -1,0 +1,325 @@
+// APEX intrapartition communication: buffers, blackboards, semaphores,
+// events, plus the shared wait-queue machinery used by every blocking
+// service.
+//
+// Blocking model: a service that cannot complete enqueues the calling
+// process on the object's wait queue and blocks it in the kernel with the
+// absolute timeout deadline. A wake (resource available / timeout) makes the
+// executor re-issue the call with resumed = true; the retried call either
+// completes, reports TIMED_OUT, or re-blocks against the *original*
+// deadline. FIFO queue discipline (ARINC 653 also allows priority order).
+#include "apex/apex.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace air::apex {
+
+// ---------- wait-queue machinery ----------
+
+Ticks Apex::resolve_wait_deadline(pos::ProcessControlBlock& self,
+                                  Ticks timeout, bool resumed) {
+  if (resumed) return self.wait_deadline;
+  const Ticks deadline =
+      timeout == kInfiniteTime ? kInfiniteTime : now_fn_() + timeout;
+  self.wait_deadline = deadline;
+  return deadline;
+}
+
+ServiceResult Apex::block_current(pos::ProcessControlBlock& self,
+                                  pos::WaitReason reason, Ticks deadline,
+                                  WaitQueue& queue) {
+  purge_waiter(queue, self.id);  // no duplicates across retries
+  if (queue.discipline == ipc::QueuingDiscipline::kPriority) {
+    // Insert before the first strictly-lower-priority waiter (higher
+    // numeric value); stable among equals = FIFO within priority.
+    auto it = queue.waiters.begin();
+    for (; it != queue.waiters.end(); ++it) {
+      const pos::ProcessControlBlock* other = pal_.kernel().pcb(*it);
+      if (other != nullptr &&
+          other->current_priority > self.current_priority) {
+        break;
+      }
+    }
+    queue.waiters.insert(it, self.id);
+  } else {
+    queue.waiters.push_back(self.id);
+  }
+  pal_.kernel().block(self.id, reason, deadline);
+  return ServiceResult::block();
+}
+
+void Apex::purge_waiter(WaitQueue& queue, ProcessId pid) {
+  auto& w = queue.waiters;
+  w.erase(std::remove(w.begin(), w.end(), pid), w.end());
+}
+
+void Apex::purge_from_all_queues(ProcessId pid) {
+  for (auto& b : buffers_) {
+    purge_waiter(b.senders, pid);
+    purge_waiter(b.receivers, pid);
+  }
+  for (auto& b : blackboards_) purge_waiter(b.readers, pid);
+  for (auto& s : semaphores_) purge_waiter(s.waiters, pid);
+  for (auto& e : events_) purge_waiter(e.waiters, pid);
+  for (auto& q : queuing_ports_) {
+    purge_waiter(q.senders, pid);
+    purge_waiter(q.receivers, pid);
+  }
+}
+
+void Apex::wake_first(WaitQueue& queue) {
+  while (!queue.waiters.empty()) {
+    const ProcessId pid = queue.waiters.front();
+    queue.waiters.pop_front();
+    pos::ProcessControlBlock* p = pal_.kernel().pcb(pid);
+    if (p != nullptr && p->state == pos::ProcessState::kWaiting) {
+      pal_.kernel().wake(pid, pos::WakeResult::kOk);
+      return;
+    }
+    // Stale entry (process stopped meanwhile): drop and try the next.
+  }
+}
+
+void Apex::wake_all(WaitQueue& queue) {
+  while (!queue.waiters.empty()) {
+    const ProcessId pid = queue.waiters.front();
+    queue.waiters.pop_front();
+    pos::ProcessControlBlock* p = pal_.kernel().pcb(pid);
+    if (p != nullptr && p->state == pos::ProcessState::kWaiting) {
+      pal_.kernel().wake(pid, pos::WakeResult::kOk);
+    }
+  }
+}
+
+namespace {
+
+/// Shared epilogue for resumed blocking calls: consume the wake result;
+/// true when the wait timed out.
+bool consume_timeout(pos::ProcessControlBlock& self) {
+  const bool timed_out = self.wake_result == pos::WakeResult::kTimeout;
+  self.wake_result = pos::WakeResult::kNone;
+  return timed_out;
+}
+
+}  // namespace
+
+// ---------- buffers ----------
+
+ReturnCode Apex::create_buffer(std::string name, std::size_t max_bytes,
+                               std::size_t capacity, BufferId& out,
+                               ipc::QueuingDiscipline discipline) {
+  if (!in_init_mode()) return ReturnCode::kInvalidMode;
+  if (capacity == 0 || max_bytes == 0) return ReturnCode::kInvalidParam;
+  BufferObject buffer{ipc::BufferState{std::move(name), max_bytes, capacity},
+                      {},
+                      {}};
+  buffer.senders.discipline = discipline;
+  buffer.receivers.discipline = discipline;
+  buffers_.push_back(std::move(buffer));
+  out = BufferId{static_cast<std::int32_t>(buffers_.size() - 1)};
+  return ReturnCode::kNoError;
+}
+
+ServiceResult Apex::send_buffer(BufferId id, std::string message,
+                                Ticks timeout, bool resumed) {
+  if (!id.valid() || static_cast<std::size_t>(id.value()) >= buffers_.size()) {
+    return ServiceResult::error(ReturnCode::kInvalidParam);
+  }
+  BufferObject& buffer = buffers_[static_cast<std::size_t>(id.value())];
+  pos::ProcessControlBlock* self = current_pcb();
+  if (self == nullptr) return ServiceResult::error(ReturnCode::kInvalidMode);
+  if (message.size() > buffer.state.max_message_bytes()) {
+    return ServiceResult::error(ReturnCode::kInvalidParam);
+  }
+  if (resumed && consume_timeout(*self)) {
+    purge_waiter(buffer.senders, self->id);
+    return ServiceResult::error(ReturnCode::kTimedOut);
+  }
+  if (buffer.state.push(std::move(message))) {
+    wake_first(buffer.receivers);
+    return ServiceResult::ok();
+  }
+  if (timeout == 0) return ServiceResult::error(ReturnCode::kNotAvailable);
+  const Ticks deadline = resolve_wait_deadline(*self, timeout, resumed);
+  return block_current(*self, pos::WaitReason::kBuffer, deadline,
+                       buffer.senders);
+}
+
+ServiceResult Apex::receive_buffer(BufferId id, Ticks timeout,
+                                   std::string& out, bool resumed) {
+  if (!id.valid() || static_cast<std::size_t>(id.value()) >= buffers_.size()) {
+    return ServiceResult::error(ReturnCode::kInvalidParam);
+  }
+  BufferObject& buffer = buffers_[static_cast<std::size_t>(id.value())];
+  pos::ProcessControlBlock* self = current_pcb();
+  if (self == nullptr) return ServiceResult::error(ReturnCode::kInvalidMode);
+  if (resumed && consume_timeout(*self)) {
+    purge_waiter(buffer.receivers, self->id);
+    return ServiceResult::error(ReturnCode::kTimedOut);
+  }
+  if (auto message = buffer.state.pop()) {
+    out = std::move(*message);
+    self->inbox = out;
+    wake_first(buffer.senders);
+    return ServiceResult::ok();
+  }
+  if (timeout == 0) return ServiceResult::error(ReturnCode::kNotAvailable);
+  const Ticks deadline = resolve_wait_deadline(*self, timeout, resumed);
+  return block_current(*self, pos::WaitReason::kBuffer, deadline,
+                       buffer.receivers);
+}
+
+// ---------- blackboards ----------
+
+ReturnCode Apex::create_blackboard(std::string name, std::size_t max_bytes,
+                                   BlackboardId& out) {
+  if (!in_init_mode()) return ReturnCode::kInvalidMode;
+  if (max_bytes == 0) return ReturnCode::kInvalidParam;
+  blackboards_.push_back(
+      {ipc::BlackboardState{std::move(name), max_bytes}, {}});
+  out = BlackboardId{static_cast<std::int32_t>(blackboards_.size() - 1)};
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::display_blackboard(BlackboardId id, std::string message) {
+  if (!id.valid() ||
+      static_cast<std::size_t>(id.value()) >= blackboards_.size()) {
+    return ReturnCode::kInvalidParam;
+  }
+  BlackboardObject& bb = blackboards_[static_cast<std::size_t>(id.value())];
+  if (!bb.state.display(std::move(message))) {
+    return ReturnCode::kInvalidParam;  // too large
+  }
+  wake_all(bb.readers);
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::clear_blackboard(BlackboardId id) {
+  if (!id.valid() ||
+      static_cast<std::size_t>(id.value()) >= blackboards_.size()) {
+    return ReturnCode::kInvalidParam;
+  }
+  blackboards_[static_cast<std::size_t>(id.value())].state.clear();
+  return ReturnCode::kNoError;
+}
+
+ServiceResult Apex::read_blackboard(BlackboardId id, Ticks timeout,
+                                    std::string& out, bool resumed) {
+  if (!id.valid() ||
+      static_cast<std::size_t>(id.value()) >= blackboards_.size()) {
+    return ServiceResult::error(ReturnCode::kInvalidParam);
+  }
+  BlackboardObject& bb = blackboards_[static_cast<std::size_t>(id.value())];
+  pos::ProcessControlBlock* self = current_pcb();
+  if (self == nullptr) return ServiceResult::error(ReturnCode::kInvalidMode);
+  if (resumed && consume_timeout(*self)) {
+    purge_waiter(bb.readers, self->id);
+    return ServiceResult::error(ReturnCode::kTimedOut);
+  }
+  if (bb.state.displayed()) {
+    out = *bb.state.read();
+    self->inbox = out;
+    return ServiceResult::ok();
+  }
+  if (timeout == 0) return ServiceResult::error(ReturnCode::kNotAvailable);
+  const Ticks deadline = resolve_wait_deadline(*self, timeout, resumed);
+  return block_current(*self, pos::WaitReason::kBlackboard, deadline,
+                       bb.readers);
+}
+
+// ---------- semaphores ----------
+
+ReturnCode Apex::create_semaphore(std::string name, std::int32_t initial,
+                                  std::int32_t maximum, SemaphoreId& out,
+                                  ipc::QueuingDiscipline discipline) {
+  if (!in_init_mode()) return ReturnCode::kInvalidMode;
+  if (initial < 0 || maximum <= 0 || initial > maximum) {
+    return ReturnCode::kInvalidParam;
+  }
+  SemaphoreObject sem{ipc::SemaphoreState{std::move(name), initial, maximum},
+                      {}};
+  sem.waiters.discipline = discipline;
+  semaphores_.push_back(std::move(sem));
+  out = SemaphoreId{static_cast<std::int32_t>(semaphores_.size() - 1)};
+  return ReturnCode::kNoError;
+}
+
+ServiceResult Apex::wait_semaphore(SemaphoreId id, Ticks timeout,
+                                   bool resumed) {
+  if (!id.valid() ||
+      static_cast<std::size_t>(id.value()) >= semaphores_.size()) {
+    return ServiceResult::error(ReturnCode::kInvalidParam);
+  }
+  SemaphoreObject& sem = semaphores_[static_cast<std::size_t>(id.value())];
+  pos::ProcessControlBlock* self = current_pcb();
+  if (self == nullptr) return ServiceResult::error(ReturnCode::kInvalidMode);
+  if (resumed && consume_timeout(*self)) {
+    purge_waiter(sem.waiters, self->id);
+    return ServiceResult::error(ReturnCode::kTimedOut);
+  }
+  if (sem.state.try_wait()) return ServiceResult::ok();
+  if (timeout == 0) return ServiceResult::error(ReturnCode::kNotAvailable);
+  const Ticks deadline = resolve_wait_deadline(*self, timeout, resumed);
+  return block_current(*self, pos::WaitReason::kSemaphore, deadline,
+                       sem.waiters);
+}
+
+ReturnCode Apex::signal_semaphore(SemaphoreId id) {
+  if (!id.valid() ||
+      static_cast<std::size_t>(id.value()) >= semaphores_.size()) {
+    return ReturnCode::kInvalidParam;
+  }
+  SemaphoreObject& sem = semaphores_[static_cast<std::size_t>(id.value())];
+  if (!sem.state.signal()) return ReturnCode::kNoAction;  // at maximum
+  wake_first(sem.waiters);
+  return ReturnCode::kNoError;
+}
+
+// ---------- events ----------
+
+ReturnCode Apex::create_event(std::string name, EventId& out) {
+  if (!in_init_mode()) return ReturnCode::kInvalidMode;
+  events_.push_back({ipc::EventState{std::move(name)}, {}});
+  out = EventId{static_cast<std::int32_t>(events_.size() - 1)};
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::set_event(EventId id) {
+  if (!id.valid() || static_cast<std::size_t>(id.value()) >= events_.size()) {
+    return ReturnCode::kInvalidParam;
+  }
+  EventObject& event = events_[static_cast<std::size_t>(id.value())];
+  event.state.set();
+  wake_all(event.waiters);
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::reset_event(EventId id) {
+  if (!id.valid() || static_cast<std::size_t>(id.value()) >= events_.size()) {
+    return ReturnCode::kInvalidParam;
+  }
+  events_[static_cast<std::size_t>(id.value())].state.reset();
+  return ReturnCode::kNoError;
+}
+
+ServiceResult Apex::wait_event(EventId id, Ticks timeout, bool resumed) {
+  if (!id.valid() || static_cast<std::size_t>(id.value()) >= events_.size()) {
+    return ServiceResult::error(ReturnCode::kInvalidParam);
+  }
+  EventObject& event = events_[static_cast<std::size_t>(id.value())];
+  pos::ProcessControlBlock* self = current_pcb();
+  if (self == nullptr) return ServiceResult::error(ReturnCode::kInvalidMode);
+  if (resumed && consume_timeout(*self)) {
+    purge_waiter(event.waiters, self->id);
+    return ServiceResult::error(ReturnCode::kTimedOut);
+  }
+  if (event.state.up()) return ServiceResult::ok();
+  if (timeout == 0) return ServiceResult::error(ReturnCode::kNotAvailable);
+  const Ticks deadline = resolve_wait_deadline(*self, timeout, resumed);
+  return block_current(*self, pos::WaitReason::kEvent, deadline,
+                       event.waiters);
+}
+
+}  // namespace air::apex

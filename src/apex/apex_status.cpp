@@ -1,0 +1,138 @@
+// APEX status and id-lookup services (ARINC 653 GET_*_ID / GET_*_STATUS).
+#include "apex/apex.hpp"
+
+namespace air::apex {
+
+namespace {
+
+template <class Vec, class NameOf>
+std::int32_t find_by_name(const Vec& objects, std::string_view name,
+                          NameOf name_of) {
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (name_of(objects[i]) == name) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+ReturnCode Apex::get_buffer_id(std::string_view name, BufferId& out) const {
+  const std::int32_t i = find_by_name(
+      buffers_, name, [](const BufferObject& b) { return b.state.name(); });
+  if (i < 0) return ReturnCode::kInvalidConfig;
+  out = BufferId{i};
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::get_blackboard_id(std::string_view name,
+                                   BlackboardId& out) const {
+  const std::int32_t i = find_by_name(
+      blackboards_, name,
+      [](const BlackboardObject& b) { return b.state.name(); });
+  if (i < 0) return ReturnCode::kInvalidConfig;
+  out = BlackboardId{i};
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::get_semaphore_id(std::string_view name,
+                                  SemaphoreId& out) const {
+  const std::int32_t i = find_by_name(
+      semaphores_, name,
+      [](const SemaphoreObject& s) { return s.state.name(); });
+  if (i < 0) return ReturnCode::kInvalidConfig;
+  out = SemaphoreId{i};
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::get_event_id(std::string_view name, EventId& out) const {
+  const std::int32_t i = find_by_name(
+      events_, name, [](const EventObject& e) { return e.state.name(); });
+  if (i < 0) return ReturnCode::kInvalidConfig;
+  out = EventId{i};
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::get_buffer_status(BufferId id, BufferStatus& out) const {
+  if (!id.valid() || static_cast<std::size_t>(id.value()) >= buffers_.size()) {
+    return ReturnCode::kInvalidParam;
+  }
+  const BufferObject& buffer = buffers_[static_cast<std::size_t>(id.value())];
+  out.nb_message = buffer.state.depth();
+  out.max_nb_message = buffer.state.capacity();
+  out.max_message_size = buffer.state.max_message_bytes();
+  out.waiting_processes =
+      buffer.senders.waiters.size() + buffer.receivers.waiters.size();
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::get_blackboard_status(BlackboardId id,
+                                       BlackboardStatus& out) const {
+  if (!id.valid() ||
+      static_cast<std::size_t>(id.value()) >= blackboards_.size()) {
+    return ReturnCode::kInvalidParam;
+  }
+  const BlackboardObject& bb =
+      blackboards_[static_cast<std::size_t>(id.value())];
+  out.empty = !bb.state.displayed();
+  out.max_message_size = bb.state.max_message_bytes();
+  out.waiting_processes = bb.readers.waiters.size();
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::get_semaphore_status(SemaphoreId id,
+                                      SemaphoreStatus& out) const {
+  if (!id.valid() ||
+      static_cast<std::size_t>(id.value()) >= semaphores_.size()) {
+    return ReturnCode::kInvalidParam;
+  }
+  const SemaphoreObject& sem =
+      semaphores_[static_cast<std::size_t>(id.value())];
+  out.current_value = sem.state.value();
+  out.maximum_value = sem.state.maximum();
+  out.waiting_processes = sem.waiters.waiters.size();
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::get_event_status(EventId id, EventStatus& out) const {
+  if (!id.valid() || static_cast<std::size_t>(id.value()) >= events_.size()) {
+    return ReturnCode::kInvalidParam;
+  }
+  const EventObject& event = events_[static_cast<std::size_t>(id.value())];
+  out.up = event.state.up();
+  out.waiting_processes = event.waiters.waiters.size();
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::get_sampling_port_status(PortId id,
+                                          SamplingPortStatus& out) const {
+  if (!id.valid() ||
+      static_cast<std::size_t>(id.value()) >= sampling_ports_.size()) {
+    return ReturnCode::kInvalidParam;
+  }
+  const ipc::SamplingPort& port =
+      *sampling_ports_[static_cast<std::size_t>(id.value())].port;
+  out.max_message_size = port.max_message_bytes();
+  out.refresh_period = port.refresh_period();
+  out.has_message = port.has_message();
+  out.last_valid = port.read(now_fn_()).valid;
+  return ReturnCode::kNoError;
+}
+
+ReturnCode Apex::get_queuing_port_status(PortId id,
+                                         QueuingPortStatus& out) const {
+  if (!id.valid() ||
+      static_cast<std::size_t>(id.value()) >= queuing_ports_.size()) {
+    return ReturnCode::kInvalidParam;
+  }
+  const QueuingPortObject& obj =
+      queuing_ports_[static_cast<std::size_t>(id.value())];
+  out.nb_message = obj.port->depth();
+  out.max_nb_message = obj.port->capacity();
+  out.max_message_size = obj.port->max_message_bytes();
+  out.waiting_processes =
+      obj.senders.waiters.size() + obj.receivers.waiters.size();
+  out.overflows = obj.port->overflows();
+  return ReturnCode::kNoError;
+}
+
+}  // namespace air::apex

@@ -1,0 +1,134 @@
+// APEX service types: return codes and status structures (ARINC 653 P1/P2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pmk/partition.hpp"
+#include "pos/process.hpp"
+#include "util/types.hpp"
+
+namespace air::apex {
+
+/// ARINC 653 service return codes.
+enum class ReturnCode : std::uint8_t {
+  kNoError = 0,       // request valid and operation performed
+  kNoAction = 1,      // system in proper state, no action performed
+  kNotAvailable = 2,  // resource unavailable right now
+  kInvalidParam = 3,  // parameter outside the valid range
+  kInvalidConfig = 4, // parameter incompatible with the configuration
+  kInvalidMode = 5,   // request incompatible with the current mode
+  kTimedOut = 6,      // the time expired before the request could complete
+};
+
+[[nodiscard]] constexpr const char* to_string(ReturnCode code) {
+  switch (code) {
+    case ReturnCode::kNoError: return "NO_ERROR";
+    case ReturnCode::kNoAction: return "NO_ACTION";
+    case ReturnCode::kNotAvailable: return "NOT_AVAILABLE";
+    case ReturnCode::kInvalidParam: return "INVALID_PARAM";
+    case ReturnCode::kInvalidConfig: return "INVALID_CONFIG";
+    case ReturnCode::kInvalidMode: return "INVALID_MODE";
+    case ReturnCode::kTimedOut: return "TIMED_OUT";
+  }
+  return "?";
+}
+
+/// Result of a potentially blocking APEX call. When `blocked` is true the
+/// calling process has been placed in the waiting state and must re-issue
+/// the call after it wakes (the executor does this automatically); `code`
+/// is then meaningless.
+struct ServiceResult {
+  ReturnCode code{ReturnCode::kNoError};
+  bool blocked{false};
+
+  static ServiceResult ok() { return {ReturnCode::kNoError, false}; }
+  static ServiceResult error(ReturnCode code) { return {code, false}; }
+  static ServiceResult block() { return {ReturnCode::kNoError, true}; }
+};
+
+/// GET_PARTITION_STATUS output.
+struct PartitionStatus {
+  PartitionId id;
+  pmk::OperatingMode mode{pmk::OperatingMode::kColdStart};
+  bool system_partition{false};
+};
+
+/// GET_PROCESS_STATUS output (attributes + current status, eq. 11/12).
+struct ProcessStatus {
+  ProcessId id;
+  std::string name;
+  Ticks period{0};
+  Ticks time_capacity{0};
+  Priority base_priority{0};
+  Priority current_priority{0};
+  Ticks deadline_time{kInfiniteTime};  // D'(t)
+  pos::ProcessState state{pos::ProcessState::kDormant};
+  // Diagnostics (beyond ARINC 653): observed activation statistics.
+  std::uint64_t completions{0};
+  Ticks max_response{0};
+  double mean_response{0.0};
+  std::uint64_t deadline_misses{0};
+};
+
+/// GET_MODULE_SCHEDULE_STATUS output (ARINC 653 P2, Sect. 4.2).
+struct ModuleScheduleStatus {
+  Ticks last_switch_time{0};  // 0 when no switch ever occurred
+  ScheduleId current_schedule;
+  ScheduleId next_schedule;   // == current when no switch pending
+};
+
+/// GET_ERROR_STATUS output (error handler support).
+struct ErrorStatus {
+  std::int32_t error_code{0};
+  ProcessId failed_process;
+  std::string message;
+  Ticks when{0};
+};
+
+/// GET_BUFFER_STATUS output.
+struct BufferStatus {
+  std::size_t nb_message{0};       // messages currently queued
+  std::size_t max_nb_message{0};   // capacity
+  std::size_t max_message_size{0};
+  std::size_t waiting_processes{0};  // blocked senders + receivers
+};
+
+/// GET_BLACKBOARD_STATUS output.
+struct BlackboardStatus {
+  bool empty{true};
+  std::size_t max_message_size{0};
+  std::size_t waiting_processes{0};
+};
+
+/// GET_SEMAPHORE_STATUS output.
+struct SemaphoreStatus {
+  std::int32_t current_value{0};
+  std::int32_t maximum_value{0};
+  std::size_t waiting_processes{0};
+};
+
+/// GET_EVENT_STATUS output.
+struct EventStatus {
+  bool up{false};
+  std::size_t waiting_processes{0};
+};
+
+/// GET_SAMPLING_PORT_STATUS output.
+struct SamplingPortStatus {
+  std::size_t max_message_size{0};
+  Ticks refresh_period{kInfiniteTime};
+  bool has_message{false};
+  bool last_valid{false};  // validity at the time of the status call
+};
+
+/// GET_QUEUING_PORT_STATUS output.
+struct QueuingPortStatus {
+  std::size_t nb_message{0};
+  std::size_t max_nb_message{0};
+  std::size_t max_message_size{0};
+  std::size_t waiting_processes{0};
+  std::uint64_t overflows{0};
+};
+
+}  // namespace air::apex

@@ -1,0 +1,20 @@
+// Integration-file writer: system::ModuleConfig -> JSON.
+//
+// Inverse of the loader. Round-tripping a configuration through
+// to_json/load_module_config yields an equivalent module, which is what
+// lets tools generate or transform integration files (e.g. emitting a
+// config whose schedules came from the PST generator).
+#pragma once
+
+#include <string>
+
+#include "system/module_config.hpp"
+
+namespace air::config {
+
+/// Serialise `config` to the loader's JSON schema (pretty-printed).
+/// Workload scripts, HM tables, channels, schedules, change actions and
+/// the multicore core list are all preserved.
+[[nodiscard]] std::string to_json(const system::ModuleConfig& config);
+
+}  // namespace air::config

@@ -1,0 +1,225 @@
+#include "config/fig8.hpp"
+
+namespace air::scenarios {
+
+namespace {
+
+constexpr PartitionId kP1{0};
+constexpr PartitionId kP2{1};
+constexpr PartitionId kP3{2};
+constexpr PartitionId kP4{3};
+
+std::vector<model::ScheduleRequirement> fig8_requirements() {
+  return {
+      {kP1, 1300, 200},
+      {kP2, 650, 100},
+      {kP3, 650, 100},
+      {kP4, 1300, 100},
+  };
+}
+
+}  // namespace
+
+model::Schedule fig8_chi1() {
+  model::Schedule chi1;
+  chi1.id = ScheduleId{0};
+  chi1.name = "chi1";
+  chi1.mtf = kFig8Mtf;
+  chi1.requirements = fig8_requirements();
+  chi1.windows = {
+      {kP1, 0, 200},   {kP2, 200, 100},  {kP3, 300, 100}, {kP4, 400, 600},
+      {kP2, 1000, 100}, {kP3, 1100, 100}, {kP4, 1200, 100},
+  };
+  return chi1;
+}
+
+model::Schedule fig8_chi2() {
+  model::Schedule chi2;
+  chi2.id = ScheduleId{1};
+  chi2.name = "chi2";
+  chi2.mtf = kFig8Mtf;
+  chi2.requirements = fig8_requirements();
+  chi2.windows = {
+      {kP1, 0, 200},   {kP4, 200, 100},  {kP3, 300, 100}, {kP2, 400, 600},
+      {kP4, 1000, 100}, {kP3, 1100, 100}, {kP2, 1200, 100},
+  };
+  return chi2;
+}
+
+system::ModuleConfig fig8_config(const Fig8Options& options) {
+  using pos::ScriptBuilder;
+  system::ModuleConfig config;
+  config.name = "fig8-prototype";
+  config.trace_enabled = options.trace_enabled;
+
+  // ---- P1: AOCS (system partition) ----
+  system::PartitionConfig p1;
+  p1.name = "AOCS";
+  p1.system_partition = true;
+  p1.deadline_registry = options.deadline_registry;
+  p1.sampling_ports.push_back(
+      {"ATT_OUT", ipc::PortDirection::kSource, 64, kInfiniteTime});
+  {
+    system::ProcessConfig control;
+    control.attrs.name = "p1_control";
+    control.attrs.period = 1300;
+    control.attrs.time_capacity = 200;
+    control.attrs.priority = 10;
+    control.attrs.script = ScriptBuilder{}
+                               .compute(60)
+                               .sampling_write(0, "attitude-quaternion")
+                               .periodic_wait()
+                               .build();
+    p1.processes.push_back(std::move(control));
+
+    system::ProcessConfig nav;
+    nav.attrs.name = "p1_nav";
+    nav.attrs.period = 1300;  // multiple of P1's cycle duration (Sect. 6)
+    nav.attrs.time_capacity = 1300;
+    nav.attrs.priority = 20;
+    nav.attrs.script = ScriptBuilder{}.compute(20).periodic_wait().build();
+    p1.processes.push_back(std::move(nav));
+
+    if (options.with_faulty_process) {
+      // The injectable faulty process: its time capacity (205) was
+      // "underestimated" at integration time. Each activation computes for
+      // 120 ticks -- exactly the window time left after p1_control (60) and
+      // p1_nav (20) -- so it completes on the *last* tick of P1's window,
+      // long after its 205-tick deadline expired while P1 was inactive.
+      // Every activation therefore misses, and the PAL detects the miss on
+      // the first tick of P1's next window: one report per MTF, "every time
+      // (except the first) that P1 is scheduled and dispatched" (Sect. 6).
+      system::ProcessConfig faulty;
+      faulty.attrs.name = kFaultyProcessName;
+      faulty.attrs.period = 1300;
+      faulty.attrs.time_capacity = 205;
+      faulty.attrs.priority = 30;  // below the healthy processes
+      faulty.attrs.script =
+          ScriptBuilder{}.compute(120).periodic_wait().build();
+      faulty.auto_start = false;  // injected at runtime
+      p1.processes.push_back(std::move(faulty));
+    }
+  }
+  config.partitions.push_back(std::move(p1));
+
+  // ---- P2: TTC ----
+  system::PartitionConfig p2;
+  p2.name = "TTC";
+  p2.deadline_registry = options.deadline_registry;
+  p2.sampling_ports.push_back(
+      {"ATT_IN", ipc::PortDirection::kDestination, 64, 2 * kFig8Mtf});
+  p2.queuing_ports.push_back(
+      {"SCI_IN", ipc::PortDirection::kDestination, 64, 8});
+  {
+    system::ProcessConfig tm;
+    tm.attrs.name = "p2_tm";
+    tm.attrs.period = 650;
+    tm.attrs.time_capacity = 650;
+    tm.attrs.priority = 10;
+    tm.attrs.script = ScriptBuilder{}
+                          .sampling_read(0)
+                          .compute(50)
+                          .queuing_receive(0, /*timeout=*/0)  // poll
+                          .periodic_wait()
+                          .build();
+    p2.processes.push_back(std::move(tm));
+  }
+  config.partitions.push_back(std::move(p2));
+
+  // ---- P3: FDIR ----
+  system::PartitionConfig p3;
+  p3.name = "FDIR";
+  p3.deadline_registry = options.deadline_registry;
+  p3.semaphores.push_back({"fdir_work", 0, 8});
+  {
+    system::ProcessConfig monitor;
+    monitor.attrs.name = "p3_monitor";
+    monitor.attrs.period = 650;
+    monitor.attrs.time_capacity = 650;
+    monitor.attrs.priority = 10;
+    monitor.attrs.script = ScriptBuilder{}
+                               .compute(40)
+                               .sem_signal(0)
+                               .periodic_wait()
+                               .build();
+    p3.processes.push_back(std::move(monitor));
+
+    system::ProcessConfig logger;
+    logger.attrs.name = "p3_logger";
+    logger.attrs.period = kInfiniteTime;  // aperiodic
+    logger.attrs.time_capacity = kInfiniteTime;
+    logger.attrs.priority = 20;
+    logger.attrs.script =
+        ScriptBuilder{}.sem_wait(0).compute(20).build();  // loops
+    p3.processes.push_back(std::move(logger));
+  }
+  config.partitions.push_back(std::move(p3));
+
+  // ---- P4: PAYLOAD ----
+  system::PartitionConfig p4;
+  p4.name = "PAYLOAD";
+  p4.deadline_registry = options.deadline_registry;
+  p4.sampling_ports.push_back(
+      {"ATT_IN", ipc::PortDirection::kDestination, 64, 2 * kFig8Mtf});
+  p4.queuing_ports.push_back({"SCI_OUT", ipc::PortDirection::kSource, 64, 8});
+  {
+    system::ProcessConfig sci;
+    sci.attrs.name = "p4_sci";
+    sci.attrs.period = 1300;
+    sci.attrs.time_capacity = 1300;
+    sci.attrs.priority = 10;
+    sci.attrs.script = ScriptBuilder{}
+                           .compute(150)
+                           .queuing_send(0, "science-frame", /*timeout=*/0)
+                           .sampling_read(0)
+                           .periodic_wait()
+                           .build();
+    p4.processes.push_back(std::move(sci));
+
+    system::ProcessConfig hk;
+    hk.attrs.name = "p4_hk";
+    hk.attrs.period = 1300;
+    hk.attrs.time_capacity = kInfiniteTime;  // housekeeping has no deadline
+    hk.attrs.priority = 30;
+    hk.attrs.script = ScriptBuilder{}.compute(30).periodic_wait().build();
+    p4.processes.push_back(std::move(hk));
+  }
+  config.partitions.push_back(std::move(p4));
+
+  // ---- schedules ----
+  config.schedules = {fig8_chi1(), fig8_chi2()};
+  config.initial_schedule = ScheduleId{0};
+
+  // ---- channels ----
+  {
+    ipc::ChannelConfig attitude;
+    attitude.id = ChannelId{0};
+    attitude.kind = ipc::ChannelKind::kSampling;
+    attitude.source = {kP1, "ATT_OUT"};
+    attitude.local_destinations = {{kP2, "ATT_IN"}, {kP4, "ATT_IN"}};
+    config.channels.push_back(std::move(attitude));
+
+    ipc::ChannelConfig science;
+    science.id = ChannelId{1};
+    science.kind = ipc::ChannelKind::kQueuing;
+    science.source = {kP4, "SCI_OUT"};
+    science.local_destinations = {{kP2, "SCI_IN"}};
+    config.channels.push_back(std::move(science));
+  }
+
+  // ---- health monitoring ----
+  // Deadline misses are logged but the process keeps running (the paper's
+  // prototype reports the violation on every P1 dispatch; stopping the
+  // process would end the demonstration).
+  hm::HmTable table;
+  table.set(hm::ErrorCode::kDeadlineMissed, hm::ErrorLevel::kProcess,
+            hm::RecoveryAction::kIgnore);
+  config.module_hm_table = table;
+  for (auto& partition : config.partitions) {
+    partition.hm_table = table;
+  }
+
+  return config;
+}
+
+}  // namespace air::scenarios

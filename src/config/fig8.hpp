@@ -1,0 +1,53 @@
+// The paper's prototype system (Sect. 6, Fig. 8).
+//
+// Four partitions running mockup satellite functions, two partition
+// scheduling tables chi_1 and chi_2 over an MTF of 1300 time units, exactly
+// as printed in Fig. 8:
+//
+//   Q1 = Q2 = { <P1,1300,200>, <P2,650,100>, <P3,650,100>, <P4,1300,100> }
+//   chi_1: (P1,0,200) (P2,200,100) (P3,300,100) (P4,400,600)
+//          (P2,1000,100) (P3,1100,100) (P4,1200,100)
+//   chi_2: (P1,0,200) (P4,200,100) (P3,300,100) (P2,400,600)
+//          (P4,1000,100) (P3,1100,100) (P2,1200,100)
+//
+// Partition contents (mockups of typical satellite functions):
+//   P1 AOCS    (system partition; may request schedule switches; the
+//               injectable faulty process of Sect. 6 lives here, dormant
+//               until started)
+//   P2 TTC     (telemetry: consumes AOCS attitude + payload science data)
+//   P3 FDIR    (monitor + logger pair synchronised by a semaphore)
+//   P4 PAYLOAD (science: produces queuing data, reads attitude)
+//
+// Channels: sampling P1.ATT_OUT -> {P2.ATT_IN, P4.ATT_IN};
+//           queuing  P4.SCI_OUT -> P2.SCI_IN.
+#pragma once
+
+#include "model/model.hpp"
+#include "system/module_config.hpp"
+
+namespace air::scenarios {
+
+struct Fig8Options {
+  /// Create the faulty process on P1 (dormant; inject by starting it, as
+  /// the paper's prototype does through VITRAL keyboard interaction).
+  bool with_faulty_process{true};
+  /// Record trace events (turn off in hot benches).
+  bool trace_enabled{true};
+  /// Deadline registry implementation for every partition.
+  pal::RegistryKind deadline_registry{pal::RegistryKind::kLinkedList};
+};
+
+/// Major time frame shared by both PSTs.
+inline constexpr Ticks kFig8Mtf = 1300;
+
+/// chi_1 and chi_2 exactly as in Fig. 8.
+[[nodiscard]] model::Schedule fig8_chi1();
+[[nodiscard]] model::Schedule fig8_chi2();
+
+/// The complete module configuration of the prototype.
+[[nodiscard]] system::ModuleConfig fig8_config(const Fig8Options& options = {});
+
+/// Name of the injectable faulty process on P1.
+inline constexpr const char* kFaultyProcessName = "p1_faulty";
+
+}  // namespace air::scenarios

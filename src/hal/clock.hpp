@@ -1,0 +1,25 @@
+// Simulated system clock.
+//
+// The real AIR prototype drives partition scheduling from the hardware timer
+// tick ISR. Here a deterministic tick counter substitutes for the hardware
+// timer; Module::run() advances it and invokes the same chain of handlers an
+// ISR would (PMK partition scheduler -> dispatcher -> PAL announce).
+#pragma once
+
+#include "util/types.hpp"
+
+namespace air::hal {
+
+class Clock {
+ public:
+  /// Current time, in ticks since power-on.
+  [[nodiscard]] Ticks now() const { return now_; }
+
+  /// Advance time by exactly one tick (one timer interrupt period).
+  void advance() { ++now_; }
+
+ private:
+  Ticks now_{0};
+};
+
+}  // namespace air::hal

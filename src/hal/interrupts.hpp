@@ -1,0 +1,51 @@
+// Simulated interrupt controller.
+//
+// Only the lines the AIR stack needs are modelled. Crucially, masking the
+// timer line is a *privileged* operation: partition code (including a whole
+// guest POS) cannot reach it directly -- attempts are routed through the PMK
+// paravirtualisation gate (Sect. 2.5 of the paper), which refuses and traps.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace air::hal {
+
+enum class IrqLine : std::uint8_t {
+  kTimer = 0,
+  kBus = 1,
+  kCount,
+};
+
+class InterruptController {
+ public:
+  void enable(IrqLine line, bool on) { enabled_[index(line)] = on; }
+  [[nodiscard]] bool enabled(IrqLine line) const {
+    return enabled_[index(line)];
+  }
+
+  void raise(IrqLine line) { pending_[index(line)] = true; }
+
+  /// Consume a pending+enabled interrupt, if any; returns true when taken.
+  [[nodiscard]] bool take(IrqLine line) {
+    const std::size_t i = index(line);
+    if (!enabled_[i] || !pending_[i]) return false;
+    pending_[i] = false;
+    return true;
+  }
+
+ private:
+  static std::size_t index(IrqLine line) {
+    const auto i = static_cast<std::size_t>(line);
+    AIR_ASSERT(i < static_cast<std::size_t>(IrqLine::kCount));
+    return i;
+  }
+
+  std::array<bool, static_cast<std::size_t>(IrqLine::kCount)> enabled_{true,
+                                                                       true};
+  std::array<bool, static_cast<std::size_t>(IrqLine::kCount)> pending_{};
+};
+
+}  // namespace air::hal

@@ -1,0 +1,49 @@
+#include "hal/machine.hpp"
+
+namespace air::hal {
+
+namespace {
+
+// Split an access into per-page chunks so a span crossing a page boundary is
+// checked (and faulted) page by page, as hardware would.
+template <class Fn>
+TranslateResult for_each_page(VirtAddr vaddr, std::size_t size, Fn&& fn) {
+  std::size_t done = 0;
+  while (done < size) {
+    const VirtAddr v = vaddr + static_cast<VirtAddr>(done);
+    const std::size_t in_page =
+        Mmu::kPageSize - (v & (Mmu::kPageSize - 1));
+    const std::size_t chunk = std::min(in_page, size - done);
+    TranslateResult r = fn(v, done, chunk);
+    if (!r.ok()) return r;
+    done += chunk;
+  }
+  return {PhysAddr{0}, {}};
+}
+
+}  // namespace
+
+TranslateResult Machine::checked_write(VirtAddr vaddr,
+                                       std::span<const std::byte> data,
+                                       ExecLevel level) {
+  return for_each_page(
+      vaddr, data.size(),
+      [&](VirtAddr v, std::size_t offset, std::size_t chunk) {
+        TranslateResult r = mmu_.translate(v, AccessType::kWrite, level);
+        if (r.ok()) memory_.write(*r.paddr, data.subspan(offset, chunk));
+        return r;
+      });
+}
+
+TranslateResult Machine::checked_read(VirtAddr vaddr, std::span<std::byte> out,
+                                      ExecLevel level) {
+  return for_each_page(
+      vaddr, out.size(),
+      [&](VirtAddr v, std::size_t offset, std::size_t chunk) {
+        TranslateResult r = mmu_.translate(v, AccessType::kRead, level);
+        if (r.ok()) memory_.read(*r.paddr, out.subspan(offset, chunk));
+        return r;
+      });
+}
+
+}  // namespace air::hal

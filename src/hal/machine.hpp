@@ -1,0 +1,51 @@
+// The simulated computing platform: clock + interrupt controller + physical
+// memory + MMU, aggregated the way a LEON3-class onboard computer would be.
+#pragma once
+
+#include <cstddef>
+
+#include "hal/clock.hpp"
+#include "hal/interrupts.hpp"
+#include "hal/memory.hpp"
+#include "hal/mmu.hpp"
+
+namespace air::hal {
+
+class Machine {
+ public:
+  explicit Machine(std::size_t memory_bytes = 16u << 20)
+      : memory_(memory_bytes), allocator_(0, memory_bytes) {}
+
+  /// Advance the platform by one timer period: bump the clock and latch a
+  /// timer interrupt for the kernel to take.
+  void tick() {
+    clock_.advance();
+    interrupts_.raise(IrqLine::kTimer);
+  }
+
+  [[nodiscard]] Clock& clock() { return clock_; }
+  [[nodiscard]] const Clock& clock() const { return clock_; }
+  [[nodiscard]] InterruptController& interrupts() { return interrupts_; }
+  [[nodiscard]] PhysicalMemory& memory() { return memory_; }
+  [[nodiscard]] FrameAllocator& allocator() { return allocator_; }
+  [[nodiscard]] Mmu& mmu() { return mmu_; }
+  [[nodiscard]] const Mmu& mmu() const { return mmu_; }
+
+  /// Checked memory access through the MMU in the active context.
+  /// Returns the fault on violation instead of touching memory.
+  [[nodiscard]] TranslateResult checked_write(VirtAddr vaddr,
+                                              std::span<const std::byte> data,
+                                              ExecLevel level);
+  [[nodiscard]] TranslateResult checked_read(VirtAddr vaddr,
+                                             std::span<std::byte> out,
+                                             ExecLevel level);
+
+ private:
+  Clock clock_;
+  InterruptController interrupts_;
+  PhysicalMemory memory_;
+  FrameAllocator allocator_;
+  Mmu mmu_;
+};
+
+}  // namespace air::hal

@@ -1,0 +1,50 @@
+#include "hal/memory.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace air::hal {
+
+void PhysicalMemory::write(PhysAddr addr, std::span<const std::byte> data) {
+  AIR_ASSERT_MSG(addr + data.size() <= bytes_.size(),
+                 "physical write out of range");
+  std::memcpy(bytes_.data() + addr, data.data(), data.size());
+}
+
+void PhysicalMemory::read(PhysAddr addr, std::span<std::byte> out) const {
+  AIR_ASSERT_MSG(addr + out.size() <= bytes_.size(),
+                 "physical read out of range");
+  std::memcpy(out.data(), bytes_.data() + addr, out.size());
+}
+
+std::uint8_t PhysicalMemory::read_u8(PhysAddr addr) const {
+  AIR_ASSERT(addr < bytes_.size());
+  return static_cast<std::uint8_t>(bytes_[addr]);
+}
+
+void PhysicalMemory::write_u8(PhysAddr addr, std::uint8_t value) {
+  AIR_ASSERT(addr < bytes_.size());
+  bytes_[addr] = static_cast<std::byte>(value);
+}
+
+std::uint32_t PhysicalMemory::read_u32(PhysAddr addr) const {
+  std::uint32_t v = 0;
+  read(addr, std::as_writable_bytes(std::span{&v, 1}));
+  return v;
+}
+
+void PhysicalMemory::write_u32(PhysAddr addr, std::uint32_t value) {
+  write(addr, std::as_bytes(std::span{&value, 1}));
+}
+
+PhysAddr FrameAllocator::allocate(std::size_t size, std::size_t align) {
+  AIR_ASSERT(align > 0 && (align & (align - 1)) == 0);
+  PhysAddr base = (next_ + static_cast<PhysAddr>(align) - 1) &
+                  ~static_cast<PhysAddr>(align - 1);
+  AIR_ASSERT_MSG(base + size <= end_, "physical memory exhausted");
+  next_ = base + static_cast<PhysAddr>(size);
+  return base;
+}
+
+}  // namespace air::hal

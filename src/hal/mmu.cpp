@@ -1,0 +1,137 @@
+#include "hal/mmu.hpp"
+
+#include "util/assert.hpp"
+
+namespace air::hal {
+
+namespace {
+
+constexpr std::uint32_t l1_index(VirtAddr v) { return (v >> 24) & 0xFF; }
+constexpr std::uint32_t l2_index(VirtAddr v) { return (v >> 18) & 0x3F; }
+constexpr std::uint32_t l3_index(VirtAddr v) { return (v >> 12) & 0x3F; }
+constexpr std::uint32_t page_offset(VirtAddr v) { return v & (Mmu::kPageSize - 1); }
+constexpr VirtAddr page_of(VirtAddr v) { return v & ~(Mmu::kPageSize - 1); }
+
+}  // namespace
+
+MmuContextId Mmu::create_context() {
+  contexts_.push_back(std::make_unique<L1Table>());
+  return static_cast<MmuContextId>(contexts_.size() - 1);
+}
+
+Mmu::Pte& Mmu::walk_or_create(MmuContextId ctx, VirtAddr vaddr) {
+  AIR_ASSERT(ctx >= 0 && static_cast<std::size_t>(ctx) < contexts_.size());
+  L1Table& l1 = *contexts_[static_cast<std::size_t>(ctx)];
+  auto& l2 = l1.entries[l1_index(vaddr)];
+  if (!l2) l2 = std::make_unique<L2Table>();
+  auto& l3 = l2->entries[l2_index(vaddr)];
+  if (!l3) l3 = std::make_unique<L3Table>();
+  return l3->entries[l3_index(vaddr)];
+}
+
+const Mmu::Pte* Mmu::walk(MmuContextId ctx, VirtAddr vaddr) const {
+  if (ctx < 0 || static_cast<std::size_t>(ctx) >= contexts_.size()) {
+    return nullptr;
+  }
+  const L1Table& l1 = *contexts_[static_cast<std::size_t>(ctx)];
+  const auto& l2 = l1.entries[l1_index(vaddr)];
+  if (!l2) return nullptr;
+  const auto& l3 = l2->entries[l2_index(vaddr)];
+  if (!l3) return nullptr;
+  const Pte& pte = l3->entries[l3_index(vaddr)];
+  return pte.valid ? &pte : nullptr;
+}
+
+void Mmu::map(MmuContextId ctx, VirtAddr vaddr, PhysAddr paddr,
+              std::size_t size, const LevelRights& rights) {
+  AIR_ASSERT_MSG(page_offset(vaddr) == 0, "vaddr must be page aligned");
+  AIR_ASSERT_MSG(page_offset(paddr) == 0, "paddr must be page aligned");
+  const std::size_t pages = (size + kPageSize - 1) / kPageSize;
+  for (std::size_t i = 0; i < pages; ++i) {
+    Pte& pte = walk_or_create(
+        ctx, vaddr + static_cast<VirtAddr>(i * kPageSize));
+    pte.valid = true;
+    pte.frame = paddr + static_cast<PhysAddr>(i * kPageSize);
+    pte.rights = rights;
+  }
+  flush_tlb();
+}
+
+void Mmu::unmap(MmuContextId ctx, VirtAddr vaddr, std::size_t size) {
+  const std::size_t pages = (size + kPageSize - 1) / kPageSize;
+  for (std::size_t i = 0; i < pages; ++i) {
+    const VirtAddr v = vaddr + static_cast<VirtAddr>(i * kPageSize);
+    // Walk without creating intermediate tables.
+    if (const Pte* pte = walk(ctx, v)) {
+      const_cast<Pte*>(pte)->valid = false;
+    }
+  }
+  flush_tlb();
+}
+
+void Mmu::set_active_context(MmuContextId ctx) {
+  AIR_ASSERT(ctx >= 0 && static_cast<std::size_t>(ctx) < contexts_.size());
+  if (active_ == ctx) return;
+  active_ = ctx;
+  // A real context switch invalidates non-tagged TLB entries.
+  flush_tlb();
+}
+
+void Mmu::flush_tlb() {
+  for (auto& entry : tlb_) entry.valid = false;
+}
+
+TranslateResult Mmu::translate(VirtAddr vaddr, AccessType type,
+                               ExecLevel level) {
+  if (active_ < 0) {
+    ++stats_.faults;
+    return {std::nullopt,
+            {MmuFault::Kind::kNoContext, vaddr, type, level}};
+  }
+
+  const VirtAddr vpage = page_of(vaddr);
+  const Pte* pte = nullptr;
+
+  for (const TlbEntry& entry : tlb_) {
+    if (entry.valid && entry.ctx == active_ && entry.vpage == vpage) {
+      pte = entry.pte;
+      ++stats_.tlb_hits;
+      break;
+    }
+  }
+
+  if (pte == nullptr) {
+    ++stats_.tlb_misses;
+    ++stats_.table_walks;
+    pte = walk(active_, vaddr);
+    if (pte != nullptr) {
+      TlbEntry& slot = tlb_[tlb_cursor_];
+      tlb_cursor_ = (tlb_cursor_ + 1) % kTlbEntries;
+      slot = {true, active_, vpage, pte};
+    }
+  }
+
+  if (pte == nullptr) {
+    ++stats_.faults;
+    return {std::nullopt, {MmuFault::Kind::kUnmapped, vaddr, type, level}};
+  }
+  if (!pte->rights.at(level).permits(type)) {
+    ++stats_.faults;
+    return {std::nullopt, {MmuFault::Kind::kProtection, vaddr, type, level}};
+  }
+  return {pte->frame + page_offset(vaddr), {}};
+}
+
+TranslateResult Mmu::probe(MmuContextId ctx, VirtAddr vaddr, AccessType type,
+                           ExecLevel level) const {
+  const Pte* pte = walk(ctx, vaddr);
+  if (pte == nullptr) {
+    return {std::nullopt, {MmuFault::Kind::kUnmapped, vaddr, type, level}};
+  }
+  if (!pte->rights.at(level).permits(type)) {
+    return {std::nullopt, {MmuFault::Kind::kProtection, vaddr, type, level}};
+  }
+  return {pte->frame + page_offset(vaddr), {}};
+}
+
+}  // namespace air::hal

@@ -1,0 +1,174 @@
+// Simulated three-level page-based MMU.
+//
+// Models the structure of the Gaisler SPARC V8 LEON3 reference MMU the paper
+// names as the spatial-partitioning substrate (Fig. 3): a context table
+// selects a per-partition level-1 table; the 32-bit virtual address is split
+// 8/6/6 bits of table index plus a 12-bit page offset (4 KiB pages). Each
+// page-table entry carries access rights *per execution level* (application,
+// POS, PMK), which is how AIR maps its high-level spatial-partitioning
+// descriptors onto hardware protection.
+//
+// A small fully-associative TLB caches translations; the walk depth and
+// hit/miss counters feed the E11 spatial-partitioning bench.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hal/memory.hpp"
+#include "util/types.hpp"
+
+namespace air::hal {
+
+/// Execution levels of Fig. 3, most to least privileged when descending.
+enum class ExecLevel : std::uint8_t {
+  kApplication = 0,
+  kPos = 1,
+  kPmk = 2,
+};
+
+enum class AccessType : std::uint8_t { kRead, kWrite, kExecute };
+
+struct AccessRights {
+  bool read{false};
+  bool write{false};
+  bool execute{false};
+
+  [[nodiscard]] bool permits(AccessType type) const {
+    switch (type) {
+      case AccessType::kRead: return read;
+      case AccessType::kWrite: return write;
+      case AccessType::kExecute: return execute;
+    }
+    return false;
+  }
+
+  static constexpr AccessRights rw() { return {true, true, false}; }
+  static constexpr AccessRights rx() { return {true, false, true}; }
+  static constexpr AccessRights ro() { return {true, false, false}; }
+  static constexpr AccessRights none() { return {}; }
+};
+
+/// Rights for each execution level; a page readable by the POS need not be
+/// readable by application code (e.g. kernel data inside a partition).
+struct LevelRights {
+  std::array<AccessRights, 3> by_level{};
+
+  [[nodiscard]] const AccessRights& at(ExecLevel level) const {
+    return by_level[static_cast<std::size_t>(level)];
+  }
+  AccessRights& at(ExecLevel level) {
+    return by_level[static_cast<std::size_t>(level)];
+  }
+
+  /// Same rights at every level.
+  static LevelRights uniform(AccessRights rights) {
+    return {{rights, rights, rights}};
+  }
+};
+
+struct MmuFault {
+  enum class Kind : std::uint8_t { kUnmapped, kProtection, kNoContext };
+  Kind kind{Kind::kUnmapped};
+  VirtAddr vaddr{0};
+  AccessType access{AccessType::kRead};
+  ExecLevel level{ExecLevel::kApplication};
+};
+
+struct TranslateResult {
+  std::optional<PhysAddr> paddr;  // engaged on success
+  MmuFault fault;                 // meaningful when !paddr
+
+  [[nodiscard]] bool ok() const { return paddr.has_value(); }
+};
+
+struct MmuStats {
+  std::uint64_t tlb_hits{0};
+  std::uint64_t tlb_misses{0};
+  std::uint64_t table_walks{0};
+  std::uint64_t faults{0};
+};
+
+using MmuContextId = std::int32_t;
+
+class Mmu {
+ public:
+  static constexpr std::uint32_t kPageBits = 12;
+  static constexpr std::uint32_t kPageSize = 1u << kPageBits;
+  static constexpr std::size_t kTlbEntries = 32;
+
+  /// Create a fresh address-space context (one per partition, plus one for
+  /// the PMK itself). Returns the new context id.
+  [[nodiscard]] MmuContextId create_context();
+
+  /// Map the virtual range [vaddr, vaddr+size) onto the physical range
+  /// starting at `paddr` in context `ctx`, with the given per-level rights.
+  /// Both addresses must be page aligned; size is rounded up to whole pages.
+  void map(MmuContextId ctx, VirtAddr vaddr, PhysAddr paddr, std::size_t size,
+           const LevelRights& rights);
+
+  /// Remove any mapping for the range (used on partition restart).
+  void unmap(MmuContextId ctx, VirtAddr vaddr, std::size_t size);
+
+  /// Select the active context (the PMK dispatcher does this on every
+  /// partition context switch) and invalidate the TLB, as a hardware context
+  /// switch would.
+  void set_active_context(MmuContextId ctx);
+  [[nodiscard]] MmuContextId active_context() const { return active_; }
+
+  /// Translate a virtual access in the *active* context.
+  [[nodiscard]] TranslateResult translate(VirtAddr vaddr, AccessType type,
+                                          ExecLevel level);
+
+  /// Translation without TLB/stat side effects (debug / model checking).
+  [[nodiscard]] TranslateResult probe(MmuContextId ctx, VirtAddr vaddr,
+                                      AccessType type, ExecLevel level) const;
+
+  void flush_tlb();
+
+  [[nodiscard]] const MmuStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  // 8/6/6 split over the upper 20 bits of the virtual address.
+  static constexpr std::uint32_t kL1Bits = 8;
+  static constexpr std::uint32_t kL2Bits = 6;
+  static constexpr std::uint32_t kL3Bits = 6;
+
+  struct Pte {
+    bool valid{false};
+    PhysAddr frame{0};  // page-aligned physical base
+    LevelRights rights;
+  };
+
+  struct L3Table {
+    std::array<Pte, 1u << kL3Bits> entries{};
+  };
+  struct L2Table {
+    std::array<std::unique_ptr<L3Table>, 1u << kL2Bits> entries{};
+  };
+  struct L1Table {
+    std::array<std::unique_ptr<L2Table>, 1u << kL1Bits> entries{};
+  };
+
+  struct TlbEntry {
+    bool valid{false};
+    MmuContextId ctx{-1};
+    VirtAddr vpage{0};
+    const Pte* pte{nullptr};
+  };
+
+  [[nodiscard]] const Pte* walk(MmuContextId ctx, VirtAddr vaddr) const;
+  Pte& walk_or_create(MmuContextId ctx, VirtAddr vaddr);
+
+  std::vector<std::unique_ptr<L1Table>> contexts_;
+  std::array<TlbEntry, kTlbEntries> tlb_{};
+  std::size_t tlb_cursor_{0};
+  MmuContextId active_{-1};
+  MmuStats stats_;
+};
+
+}  // namespace air::hal

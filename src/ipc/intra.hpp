@@ -1,0 +1,120 @@
+// Intrapartition communication object state (ARINC 653 P1: buffers,
+// blackboards, semaphores, events).
+//
+// Passive state only -- the APEX layer owns the per-object wait queues and
+// implements blocking-with-timeout using the POS kernel primitives, because
+// which process waits and who is woken first is a *scheduling* concern.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/ring_buffer.hpp"
+#include "util/types.hpp"
+
+namespace air::ipc {
+
+/// Buffer: bounded FIFO of messages between processes of one partition.
+class BufferState {
+ public:
+  BufferState(std::string name, std::size_t max_message_bytes,
+              std::size_t capacity)
+      : name_(std::move(name)), max_bytes_(max_message_bytes), fifo_(capacity) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t max_message_bytes() const { return max_bytes_; }
+  [[nodiscard]] bool full() const { return fifo_.full(); }
+  [[nodiscard]] bool empty() const { return fifo_.empty(); }
+  [[nodiscard]] std::size_t depth() const { return fifo_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return fifo_.capacity(); }
+
+  [[nodiscard]] bool push(std::string message) {
+    if (message.size() > max_bytes_) return false;
+    return fifo_.push(std::move(message));
+  }
+  [[nodiscard]] std::optional<std::string> pop() {
+    std::string out;
+    if (!fifo_.pop(out)) return std::nullopt;
+    return out;
+  }
+  void clear() { fifo_.clear(); }
+
+ private:
+  std::string name_;
+  std::size_t max_bytes_;
+  util::RingBuffer<std::string> fifo_;
+};
+
+/// Blackboard: one message displayed until cleared or overwritten; reads do
+/// not consume.
+class BlackboardState {
+ public:
+  BlackboardState(std::string name, std::size_t max_message_bytes)
+      : name_(std::move(name)), max_bytes_(max_message_bytes) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t max_message_bytes() const { return max_bytes_; }
+  [[nodiscard]] bool displayed() const { return message_.has_value(); }
+
+  [[nodiscard]] bool display(std::string message) {
+    if (message.size() > max_bytes_) return false;
+    message_ = std::move(message);
+    return true;
+  }
+  [[nodiscard]] const std::optional<std::string>& read() const {
+    return message_;
+  }
+  void clear() { message_.reset(); }
+
+ private:
+  std::string name_;
+  std::size_t max_bytes_;
+  std::optional<std::string> message_;
+};
+
+/// Counting semaphore value (wait queue lives in APEX).
+class SemaphoreState {
+ public:
+  SemaphoreState(std::string name, std::int32_t initial, std::int32_t maximum)
+      : name_(std::move(name)), value_(initial), max_(maximum) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::int32_t value() const { return value_; }
+  [[nodiscard]] std::int32_t maximum() const { return max_; }
+
+  /// Try to take one unit; false when the value is zero (caller blocks).
+  [[nodiscard]] bool try_wait() {
+    if (value_ <= 0) return false;
+    --value_;
+    return true;
+  }
+  /// Return one unit; false on overflow above the configured maximum.
+  [[nodiscard]] bool signal() {
+    if (value_ >= max_) return false;
+    ++value_;
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::int32_t value_;
+  std::int32_t max_;
+};
+
+/// Binary event (up/down) -- processes wait for "up".
+class EventState {
+ public:
+  explicit EventState(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool up() const { return up_; }
+  void set() { up_ = true; }
+  void reset() { up_ = false; }
+
+ private:
+  std::string name_;
+  bool up_{false};
+};
+
+}  // namespace air::ipc

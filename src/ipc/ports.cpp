@@ -1,0 +1,34 @@
+#include "ipc/ports.hpp"
+
+namespace air::ipc {
+
+bool SamplingPort::write(Message message) {
+  if (message.payload.size() > max_bytes_) return false;
+  slot_ = std::move(message);
+  return true;
+}
+
+SamplingPort::ReadResult SamplingPort::read(Ticks now) const {
+  if (!slot_.has_value()) return {std::nullopt, false};
+  const bool valid =
+      refresh_period_ == kInfiniteTime ||
+      now - slot_->sent_at <= refresh_period_;
+  return {slot_, valid};
+}
+
+QueuingPort::SendStatus QueuingPort::send(Message message) {
+  if (message.payload.size() > max_bytes_) return SendStatus::kTooLarge;
+  if (!fifo_.push(std::move(message))) {
+    ++overflows_;
+    return SendStatus::kFull;
+  }
+  return SendStatus::kOk;
+}
+
+std::optional<Message> QueuingPort::receive() {
+  Message out;
+  if (!fifo_.pop(out)) return std::nullopt;
+  return out;
+}
+
+}  // namespace air::ipc

@@ -1,0 +1,106 @@
+// Interpartition communication port objects (Sect. 2.1, "Interpartition
+// Communication"; service semantics per ARINC 653 P1).
+//
+// Ports are passive state holders: operations never block here. The APEX
+// layer implements blocking-with-timeout on top, and the PMK router performs
+// the actual message transfer (memory-to-memory copy for co-located
+// partitions; simulated bus for remote ones), so applications stay agnostic
+// of partition placement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/ring_buffer.hpp"
+#include "util/types.hpp"
+
+namespace air::ipc {
+
+enum class PortDirection : std::uint8_t { kSource, kDestination };
+
+/// ARINC 653 queuing discipline for processes blocked on a communication
+/// object: woken in FIFO order, or in priority order (higher priority
+/// first, FIFO among equals).
+enum class QueuingDiscipline : std::uint8_t { kFifo, kPriority };
+
+struct Message {
+  std::string payload;
+  Ticks sent_at{0};
+  PartitionId from_partition;
+};
+
+/// Sampling port: a single message slot; writes overwrite, reads do not
+/// consume. A read is "valid" while the message age does not exceed the
+/// port's refresh period.
+class SamplingPort {
+ public:
+  SamplingPort(std::string name, PortDirection direction,
+               std::size_t max_message_bytes, Ticks refresh_period)
+      : name_(std::move(name)),
+        direction_(direction),
+        max_bytes_(max_message_bytes),
+        refresh_period_(refresh_period) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] PortDirection direction() const { return direction_; }
+  [[nodiscard]] std::size_t max_message_bytes() const { return max_bytes_; }
+  [[nodiscard]] Ticks refresh_period() const { return refresh_period_; }
+
+  /// Overwrite the slot. Returns false when the payload exceeds the
+  /// configured maximum (the APEX layer maps that to INVALID_PARAM).
+  [[nodiscard]] bool write(Message message);
+
+  struct ReadResult {
+    std::optional<Message> message;  // empty slot -> nullopt
+    bool valid{false};               // age <= refresh period at `now`
+  };
+  [[nodiscard]] ReadResult read(Ticks now) const;
+
+  [[nodiscard]] bool has_message() const { return slot_.has_value(); }
+  void clear() { slot_.reset(); }
+
+ private:
+  std::string name_;
+  PortDirection direction_;
+  std::size_t max_bytes_;
+  Ticks refresh_period_;
+  std::optional<Message> slot_;
+};
+
+/// Queuing port: bounded FIFO; messages are consumed by reads. Overflow is
+/// observable (ARINC 653 requires the sender to learn of it).
+class QueuingPort {
+ public:
+  QueuingPort(std::string name, PortDirection direction,
+              std::size_t max_message_bytes, std::size_t capacity)
+      : name_(std::move(name)),
+        direction_(direction),
+        max_bytes_(max_message_bytes),
+        fifo_(capacity) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] PortDirection direction() const { return direction_; }
+  [[nodiscard]] std::size_t max_message_bytes() const { return max_bytes_; }
+  [[nodiscard]] std::size_t capacity() const { return fifo_.capacity(); }
+  [[nodiscard]] std::size_t depth() const { return fifo_.size(); }
+  [[nodiscard]] bool full() const { return fifo_.full(); }
+  [[nodiscard]] bool empty() const { return fifo_.empty(); }
+
+  enum class SendStatus { kOk, kFull, kTooLarge };
+  [[nodiscard]] SendStatus send(Message message);
+
+  [[nodiscard]] std::optional<Message> receive();
+
+  [[nodiscard]] std::uint64_t overflows() const { return overflows_; }
+  void clear() { fifo_.clear(); }
+
+ private:
+  std::string name_;
+  PortDirection direction_;
+  std::size_t max_bytes_;
+  util::RingBuffer<Message> fifo_;
+  std::uint64_t overflows_{0};
+};
+
+}  // namespace air::ipc

@@ -1,0 +1,110 @@
+#include "ipc/router.hpp"
+
+#include "util/assert.hpp"
+
+namespace air::ipc {
+
+void Router::add_sampling_port(PartitionId partition, SamplingPort* port) {
+  AIR_ASSERT(port != nullptr);
+  sampling_[{partition, port->name()}] = port;
+}
+
+void Router::add_queuing_port(PartitionId partition, QueuingPort* port) {
+  AIR_ASSERT(port != nullptr);
+  queuing_[{partition, port->name()}] = port;
+}
+
+void Router::add_channel(ChannelConfig config) {
+  channels_.push_back(std::move(config));
+}
+
+SamplingPort* Router::sampling_port(const PortRef& ref) {
+  auto it = sampling_.find(ref);
+  return it != sampling_.end() ? it->second : nullptr;
+}
+
+QueuingPort* Router::queuing_port(const PortRef& ref) {
+  auto it = queuing_.find(ref);
+  return it != queuing_.end() ? it->second : nullptr;
+}
+
+const ChannelConfig* Router::channel_for_source(const PortRef& source) const {
+  for (const auto& channel : channels_) {
+    if (channel.source == source) return &channel;
+  }
+  return nullptr;
+}
+
+void Router::propagate_sampling(const PortRef& source,
+                                const Message& message) {
+  const ChannelConfig* channel = channel_for_source(source);
+  if (channel == nullptr) return;  // unconnected port: message stays local
+  for (const PortRef& dest : channel->local_destinations) {
+    if (SamplingPort* port = sampling_port(dest)) {
+      (void)port->write(message);  // sampling writes always overwrite
+      if (on_delivery) on_delivery(dest);
+    }
+  }
+  for (const RemotePortRef& dest : channel->remote_destinations) {
+    if (remote_send) remote_send(dest, message, ChannelKind::kSampling);
+  }
+}
+
+void Router::pump(const PortRef& source) {
+  const ChannelConfig* channel = channel_for_source(source);
+  if (channel == nullptr || channel->kind != ChannelKind::kQueuing) return;
+  QueuingPort* src = queuing_port(source);
+  if (src == nullptr) return;
+
+  bool moved_any = false;
+  while (!src->empty()) {
+    // Atomic multicast: move only when every local destination has space.
+    bool all_have_space = true;
+    for (const PortRef& dest : channel->local_destinations) {
+      QueuingPort* port = queuing_port(dest);
+      if (port != nullptr && port->full()) {
+        all_have_space = false;
+        break;
+      }
+    }
+    if (!all_have_space) break;
+
+    auto message = src->receive();
+    AIR_ASSERT(message.has_value());
+    for (const PortRef& dest : channel->local_destinations) {
+      if (QueuingPort* port = queuing_port(dest)) {
+        (void)port->send(*message);
+        if (on_delivery) on_delivery(dest);
+      }
+    }
+    for (const RemotePortRef& dest : channel->remote_destinations) {
+      if (remote_send) remote_send(dest, *message, ChannelKind::kQueuing);
+    }
+    moved_any = true;
+  }
+  if (moved_any && on_source_space) on_source_space(source);
+}
+
+void Router::pump_all() {
+  for (const auto& channel : channels_) {
+    if (channel.kind == ChannelKind::kQueuing) pump(channel.source);
+  }
+}
+
+void Router::deliver_remote(const PortRef& destination, const Message& message,
+                            ChannelKind kind) {
+  if (kind == ChannelKind::kSampling) {
+    if (SamplingPort* port = sampling_port(destination)) {
+      (void)port->write(message);
+      if (on_delivery) on_delivery(destination);
+    }
+  } else {
+    if (QueuingPort* port = queuing_port(destination)) {
+      if (port->send(message) == QueuingPort::SendStatus::kOk && on_delivery) {
+        on_delivery(destination);
+      }
+    }
+  }
+}
+
+}  // namespace air::ipc

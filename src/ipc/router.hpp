@@ -1,0 +1,101 @@
+// Channel routing between partition ports (the PMK low-level interpartition
+// communication mechanism of Sect. 2.1).
+//
+// A channel connects one source port to one or more destination ports.
+// Destinations on the same module are served by direct memory-to-memory
+// copies (never violating spatial separation: the router runs at PMK level
+// and is the only code touching both sides). Destinations on a *remote*
+// module are handed to the remote hook, behind which src/net simulates a
+// communication infrastructure -- applications cannot tell the difference,
+// which is the property the paper requires of the APEX interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ipc/ports.hpp"
+#include "util/types.hpp"
+
+namespace air::ipc {
+
+enum class ChannelKind : std::uint8_t { kSampling, kQueuing };
+
+struct PortRef {
+  PartitionId partition;
+  std::string port;
+
+  friend auto operator<=>(const PortRef&, const PortRef&) = default;
+};
+
+struct RemotePortRef {
+  ModuleId module;
+  PartitionId partition;
+  std::string port;
+};
+
+struct ChannelConfig {
+  ChannelId id;
+  ChannelKind kind{ChannelKind::kSampling};
+  PortRef source;
+  std::vector<PortRef> local_destinations;
+  std::vector<RemotePortRef> remote_destinations;
+};
+
+class Router {
+ public:
+  // --- integration-time wiring ---
+  void add_sampling_port(PartitionId partition, SamplingPort* port);
+  void add_queuing_port(PartitionId partition, QueuingPort* port);
+  void add_channel(ChannelConfig config);
+
+  [[nodiscard]] SamplingPort* sampling_port(const PortRef& ref);
+  [[nodiscard]] QueuingPort* queuing_port(const PortRef& ref);
+
+  // --- runtime, called from APEX source-port services ---
+  /// Propagate a sampling message written at `source` to every destination.
+  void propagate_sampling(const PortRef& source, const Message& message);
+
+  /// Transfer queuing messages of the channel rooted at `source` from the
+  /// source port queue to the destination port queues (ARINC 653 channels
+  /// move messages between port queues; senders enqueue at the source).
+  /// A message moves only when *every* local destination has space (atomic
+  /// multicast); remote destinations go through the hook, which models the
+  /// bus interface queue as always accepting. Fires on_source_space when
+  /// room opened up at the source, and on_delivery per local destination.
+  void pump(const PortRef& source);
+
+  /// Pump every queuing channel -- the PMK runs this once per tick so that
+  /// channels progress even while the source partition is inactive.
+  void pump_all();
+
+  // --- runtime, called by the net layer on remote arrival ---
+  void deliver_remote(const PortRef& destination, const Message& message,
+                      ChannelKind kind);
+
+  /// Send to a remote module (wired by the system layer to the bus).
+  std::function<void(const RemotePortRef&, const Message&, ChannelKind)>
+      remote_send;
+
+  /// A message landed in a destination port (used to wake blocked readers).
+  std::function<void(const PortRef&)> on_delivery;
+
+  /// Space opened in a source port queue (used to wake blocked senders).
+  std::function<void(const PortRef&)> on_source_space;
+
+  [[nodiscard]] const std::vector<ChannelConfig>& channels() const {
+    return channels_;
+  }
+
+ private:
+  [[nodiscard]] const ChannelConfig* channel_for_source(
+      const PortRef& source) const;
+
+  std::map<PortRef, SamplingPort*> sampling_;
+  std::map<PortRef, QueuingPort*> queuing_;
+  std::vector<ChannelConfig> channels_;
+};
+
+}  // namespace air::ipc

@@ -1,0 +1,106 @@
+#include "model/generator.hpp"
+
+#include <algorithm>
+
+namespace air::model {
+
+double requirement_utilisation(
+    const std::vector<ScheduleRequirement>& requirements) {
+  double u = 0.0;
+  for (const auto& req : requirements) {
+    if (req.period > 0) {
+      u += static_cast<double>(req.duration) /
+           static_cast<double>(req.period);
+    }
+  }
+  return u;
+}
+
+std::optional<Schedule> generate_schedule(const GeneratorInput& input) {
+  // Structural feasibility.
+  for (const auto& req : input.requirements) {
+    if (req.period <= 0 || req.duration < 0 || req.duration > req.period) {
+      return std::nullopt;
+    }
+  }
+  const Ticks period_lcm = lcm_of_periods(input.requirements);
+  if (period_lcm <= 0) return std::nullopt;
+  const Ticks mtf = input.mtf > 0 ? input.mtf : period_lcm;
+  if (mtf % period_lcm != 0) return std::nullopt;  // would break eq. (22)
+  if (requirement_utilisation(input.requirements) > 1.0) return std::nullopt;
+
+  struct Job {
+    std::size_t req_index;
+    Ticks release;
+    Ticks deadline;
+    Ticks remaining;
+  };
+
+  std::vector<Job> jobs;
+  for (std::size_t r = 0; r < input.requirements.size(); ++r) {
+    const auto& req = input.requirements[r];
+    if (req.duration == 0) continue;
+    for (Ticks k = 0; k < mtf / req.period; ++k) {
+      jobs.push_back(
+          {r, k * req.period, (k + 1) * req.period, req.duration});
+    }
+  }
+
+  // EDF over the integer-tick timeline. One pass over [0, MTF); at each tick
+  // run the released job with the earliest deadline (ties: lower partition
+  // id, for determinism).
+  std::vector<std::size_t> slot_owner(static_cast<std::size_t>(mtf),
+                                      SIZE_MAX);
+  for (Ticks t = 0; t < mtf; ++t) {
+    Job* chosen = nullptr;
+    for (Job& job : jobs) {
+      if (job.remaining <= 0 || job.release > t) continue;
+      if (chosen == nullptr || job.deadline < chosen->deadline ||
+          (job.deadline == chosen->deadline &&
+           input.requirements[job.req_index].partition.value() <
+               input.requirements[chosen->req_index].partition.value())) {
+        chosen = &job;
+      }
+    }
+    if (chosen == nullptr) continue;  // idle tick
+    if (t >= chosen->deadline) return std::nullopt;  // infeasible
+    slot_owner[static_cast<std::size_t>(t)] = chosen->req_index;
+    --chosen->remaining;
+  }
+  for (const Job& job : jobs) {
+    if (job.remaining > 0) return std::nullopt;
+  }
+
+  // Coalesce consecutive slots of the same partition into windows, breaking
+  // at the partition's own cycle boundaries so eq. (23) credits each window
+  // to exactly one cycle.
+  Schedule schedule;
+  schedule.id = input.id;
+  schedule.name = input.name;
+  schedule.mtf = mtf;
+  schedule.requirements = input.requirements;
+
+  Ticks t = 0;
+  while (t < mtf) {
+    const std::size_t owner = slot_owner[static_cast<std::size_t>(t)];
+    if (owner == SIZE_MAX) {
+      ++t;
+      continue;
+    }
+    const auto& req = input.requirements[owner];
+    const Ticks cycle_end = (t / req.period + 1) * req.period;
+    Ticks end = t;
+    while (end < mtf && end < cycle_end &&
+           slot_owner[static_cast<std::size_t>(end)] == owner) {
+      ++end;
+    }
+    schedule.windows.push_back({req.partition, t, end - t});
+    t = end;
+  }
+
+  std::sort(schedule.windows.begin(), schedule.windows.end(),
+            [](const Window& a, const Window& b) { return a.offset < b.offset; });
+  return schedule;
+}
+
+}  // namespace air::model

@@ -1,0 +1,38 @@
+// Automated PST generation -- the "automated aids to the definition of
+// system parameters" the paper's introduction calls for.
+//
+// Given the per-partition timing requirements Q = {<P, eta, d>}, produces a
+// partition scheduling table whose windows satisfy eqs. (20)-(23) by
+// construction. The generator runs EDF over the partition *cycles* (each
+// cycle k of partition m is a job released at k*eta with deadline (k+1)*eta
+// and demand d); EDF optimality makes the construction succeed whenever
+// sum(d/eta) <= 1 on this integer-tick timeline.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace air::model {
+
+struct GeneratorInput {
+  std::vector<ScheduleRequirement> requirements;
+  /// Major time frame; 0 selects lcm of the periods (the minimal legal MTF
+  /// under eq. (22) with k = 1).
+  Ticks mtf{0};
+  ScheduleId id{ScheduleId{0}};
+  std::string name{"generated"};
+};
+
+/// Returns a valid schedule, or nullopt when the requirement set is
+/// infeasible (over-utilised or structurally impossible).
+[[nodiscard]] std::optional<Schedule> generate_schedule(
+    const GeneratorInput& input);
+
+/// Total utilisation sum(d/eta) of a requirement set.
+[[nodiscard]] double requirement_utilisation(
+    const std::vector<ScheduleRequirement>& requirements);
+
+}  // namespace air::model

@@ -1,0 +1,100 @@
+// Schedulability analysis for processes under two-level TSP scheduling.
+//
+// The paper lays the ground for this analysis (Sect. 1: "lays the ground for
+// schedulability analysis and automated aids") and lists necessary conditions
+// for *partition* scheduling (eqs. 21-23). This module adds the process-level
+// analysis the paper cites as future work (i): a supply-bound-function /
+// response-time analysis of the fixed-priority process sets inside each
+// partition, given the exact time windows of a PST.
+//
+// Because a PST is periodic over its MTF, the worst-case supply is additive:
+//   sbf(q*MTF + r) = q*A + sbf(r),   A = partition time per MTF,
+// so only sbf over one MTF is tabulated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace air::model {
+
+/// Worst-case processor supply delivered to one partition by one PST.
+class PartitionSupply {
+ public:
+  PartitionSupply(const Schedule& schedule, PartitionId partition);
+
+  /// Execution time available to the partition in [t0, t0 + len), with the
+  /// window pattern repeating every MTF (t0 in absolute ticks).
+  [[nodiscard]] Ticks supply(Ticks t0, Ticks len) const;
+
+  /// Supply bound function: least supply over any interval of length `len`.
+  [[nodiscard]] Ticks sbf(Ticks len) const;
+
+  /// Smallest interval length whose worst-case supply reaches `demand`;
+  /// kInfiniteTime when the partition has no window time at all.
+  [[nodiscard]] Ticks inverse_sbf(Ticks demand) const;
+
+  /// Smallest interval length starting at absolute phase `phase` whose
+  /// supply reaches `demand` (phase-aware variant used by the MTF-aligned
+  /// analysis); kInfiniteTime when unreachable.
+  [[nodiscard]] Ticks inverse_supply_from(Ticks phase, Ticks demand) const;
+
+  /// Partition time per MTF (the A above).
+  [[nodiscard]] Ticks per_mtf() const { return per_mtf_; }
+  [[nodiscard]] Ticks mtf() const { return mtf_; }
+
+ private:
+  Ticks mtf_{0};
+  Ticks per_mtf_{0};
+  std::vector<char> available_;   // one flag per tick of the MTF
+  std::vector<Ticks> prefix_;     // prefix_[t] = supply in [0, t)
+  std::vector<Ticks> sbf_table_;  // sbf for len in [0, MTF]
+};
+
+struct ProcessAnalysis {
+  std::string name;
+  Ticks wcrt{0};  // worst-case response time; kInfiniteTime if unbounded
+  bool schedulable{false};
+};
+
+struct PartitionAnalysis {
+  PartitionId partition;
+  bool schedulable{false};
+  double process_utilisation{0.0};  // sum C/T
+  double supply_ratio{0.0};         // partition time per MTF / MTF
+  std::vector<ProcessAnalysis> processes;
+};
+
+struct SystemAnalysis {
+  ScheduleId schedule;
+  bool schedulable{false};
+  std::vector<PartitionAnalysis> partitions;
+
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Release phasing assumed by the analysis.
+///
+/// kWorstCase bounds the response time over *any* release instant (the
+/// classical supply-bound analysis) -- sound but pessimistic for deadlines
+/// shorter than the window recurrence. kMtfAligned assumes every process
+/// releases at multiples of its period from the MTF origin, which is how
+/// ARINC 653 periodic processes started at NORMAL-mode entry behave; the
+/// response time is then maximised over the process's distinct release
+/// offsets within the hyperperiod.
+enum class Phasing { kWorstCase, kMtfAligned };
+
+/// Fixed-priority preemptive response-time analysis of `partition`'s process
+/// set under `schedule`. Ties in priority are treated as mutual interference
+/// (conservative w.r.t. the FIFO-within-priority rule of eq. 14).
+[[nodiscard]] PartitionAnalysis analyze_partition(
+    const Schedule& schedule, const PartitionModel& partition,
+    Phasing phasing = Phasing::kWorstCase);
+
+/// Analysis of every partition that owns windows in `schedule`.
+[[nodiscard]] SystemAnalysis analyze_system(
+    const SystemModel& system, ScheduleId schedule,
+    Phasing phasing = Phasing::kWorstCase);
+
+}  // namespace air::model

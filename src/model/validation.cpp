@@ -1,0 +1,225 @@
+#include "model/validation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace air::model {
+
+std::string to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kWindowPartitionUnknown: return "window_partition_unknown(eq20)";
+    case ViolationKind::kWindowsOverlap: return "windows_overlap(eq21)";
+    case ViolationKind::kWindowExceedsMtf: return "window_exceeds_mtf(eq21)";
+    case ViolationKind::kMtfNotMultipleOfLcm: return "mtf_not_multiple_of_lcm(eq22)";
+    case ViolationKind::kCycleDurationUnmet: return "cycle_duration_unmet(eq23)";
+    case ViolationKind::kDurationExceedsPeriod: return "duration_exceeds_period";
+    case ViolationKind::kPeriodNotDivisorOfMtf: return "period_not_divisor_of_mtf";
+    case ViolationKind::kRequirementWithoutWindow: return "requirement_without_window";
+    case ViolationKind::kWindowCrossesCycle: return "window_crosses_cycle";
+    case ViolationKind::kNonPositiveField: return "non_positive_field";
+  }
+  return "unknown";
+}
+
+bool ValidationReport::has(ViolationKind kind) const {
+  return std::any_of(violations.begin(), violations.end(),
+                     [kind](const Violation& v) { return v.kind == kind; });
+}
+
+bool ValidationReport::has_warning(ViolationKind kind) const {
+  return std::any_of(warnings.begin(), warnings.end(),
+                     [kind](const Violation& v) { return v.kind == kind; });
+}
+
+std::string ValidationReport::to_text() const {
+  std::ostringstream os;
+  for (const auto& v : violations) {
+    os << to_string(v.kind) << " schedule=" << v.schedule.value()
+       << " partition=" << v.partition.value() << ": " << v.detail << '\n';
+  }
+  return os.str();
+}
+
+Ticks cycle_window_time(const Schedule& schedule, PartitionId partition,
+                        Ticks cycle_index) {
+  const ScheduleRequirement* req = schedule.requirement_for(partition);
+  if (req == nullptr || req->period <= 0) return 0;
+  const Ticks lo = cycle_index * req->period;
+  const Ticks hi = lo + req->period;
+  Ticks total = 0;
+  // Sum over { omega_{i,j} | P = partition and O in [k*eta, (k+1)*eta) },
+  // exactly as the summation domain of eq. (23).
+  for (const Window& w : schedule.windows) {
+    if (w.partition == partition && w.offset >= lo && w.offset < hi) {
+      total += w.duration;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+void check_structure(const Schedule& s, ValidationReport& report) {
+  if (s.mtf <= 0) {
+    report.violations.push_back({ViolationKind::kNonPositiveField, s.id,
+                                 PartitionId::invalid(),
+                                 "MTF must be positive"});
+  }
+  for (const auto& req : s.requirements) {
+    if (req.period <= 0) {
+      report.violations.push_back(
+          {ViolationKind::kNonPositiveField, s.id, req.partition,
+           "activation cycle eta must be positive"});
+    }
+    if (req.duration < 0) {
+      report.violations.push_back(
+          {ViolationKind::kNonPositiveField, s.id, req.partition,
+           "duration d must be non-negative"});
+    }
+  }
+  for (const auto& w : s.windows) {
+    if (w.duration <= 0) {
+      report.violations.push_back(
+          {ViolationKind::kNonPositiveField, s.id, w.partition,
+           "window duration c must be positive"});
+    }
+    if (w.offset < 0) {
+      report.violations.push_back(
+          {ViolationKind::kNonPositiveField, s.id, w.partition,
+           "window offset O must be non-negative"});
+    }
+  }
+}
+
+void check_eq20(const Schedule& s, ValidationReport& report) {
+  for (const auto& w : s.windows) {
+    if (s.requirement_for(w.partition) == nullptr) {
+      std::ostringstream os;
+      os << "window at offset " << w.offset
+         << " names a partition absent from Q_i";
+      report.violations.push_back({ViolationKind::kWindowPartitionUnknown,
+                                   s.id, w.partition, os.str()});
+    }
+  }
+}
+
+void check_eq21(const Schedule& s, ValidationReport& report) {
+  std::vector<Window> sorted = s.windows;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Window& a, const Window& b) { return a.offset < b.offset; });
+  for (std::size_t j = 0; j + 1 < sorted.size(); ++j) {
+    if (sorted[j].offset + sorted[j].duration > sorted[j + 1].offset) {
+      std::ostringstream os;
+      os << "O_j + c_j = " << sorted[j].offset + sorted[j].duration
+         << " > O_{j+1} = " << sorted[j + 1].offset;
+      report.violations.push_back(
+          {ViolationKind::kWindowsOverlap, s.id, sorted[j].partition, os.str()});
+    }
+  }
+  if (!sorted.empty()) {
+    const Window& last = sorted.back();
+    if (last.offset + last.duration > s.mtf) {
+      std::ostringstream os;
+      os << "O_n + c_n = " << last.offset + last.duration << " > MTF = "
+         << s.mtf;
+      report.violations.push_back(
+          {ViolationKind::kWindowExceedsMtf, s.id, last.partition, os.str()});
+    }
+  }
+}
+
+void check_eq22(const Schedule& s, ValidationReport& report) {
+  const Ticks period_lcm = lcm_of_periods(s.requirements);
+  if (period_lcm <= 0 || s.mtf <= 0) return;  // structural errors already filed
+  if (s.mtf % period_lcm != 0) {
+    std::ostringstream os;
+    os << "MTF = " << s.mtf << " is not a multiple of lcm(eta) = " << period_lcm;
+    report.violations.push_back({ViolationKind::kMtfNotMultipleOfLcm, s.id,
+                                 PartitionId::invalid(), os.str()});
+  }
+}
+
+void check_eq23(const Schedule& s, ValidationReport& report) {
+  for (const auto& req : s.requirements) {
+    if (req.period <= 0 || s.mtf <= 0) continue;
+    if (req.duration > req.period) {
+      std::ostringstream os;
+      os << "d = " << req.duration << " > eta = " << req.period;
+      report.violations.push_back({ViolationKind::kDurationExceedsPeriod, s.id,
+                                   req.partition, os.str()});
+      continue;
+    }
+    if (s.mtf % req.period != 0) {
+      std::ostringstream os;
+      os << "eta = " << req.period << " does not divide MTF = " << s.mtf;
+      report.violations.push_back({ViolationKind::kPeriodNotDivisorOfMtf, s.id,
+                                   req.partition, os.str()});
+      continue;
+    }
+    if (req.duration > 0 && s.assigned_time(req.partition) == 0) {
+      report.violations.push_back({ViolationKind::kRequirementWithoutWindow,
+                                   s.id, req.partition,
+                                   "requirement has no time window"});
+      continue;
+    }
+    const Ticks cycles = s.mtf / req.period;
+    for (Ticks k = 0; k < cycles; ++k) {
+      const Ticks got = cycle_window_time(s, req.partition, k);
+      if (got < req.duration) {
+        std::ostringstream os;
+        os << "cycle k=" << k << ": sum(c) = " << got << " < d = "
+           << req.duration;
+        report.violations.push_back({ViolationKind::kCycleDurationUnmet, s.id,
+                                     req.partition, os.str()});
+      }
+    }
+    // Eq. (23) attributes a window wholly to the cycle containing its
+    // offset; a boundary-crossing window is legal (the paper's chi_2 has
+    // one) but flagged as a warning for the integrator.
+    for (const Window& w : s.windows) {
+      if (w.partition != req.partition) continue;
+      const Ticks cycle_end = (w.offset / req.period + 1) * req.period;
+      if (w.offset + w.duration > cycle_end) {
+        std::ostringstream os;
+        os << "window [" << w.offset << ", " << w.offset + w.duration
+           << ") crosses cycle boundary " << cycle_end;
+        report.warnings.push_back({ViolationKind::kWindowCrossesCycle, s.id,
+                                   req.partition, os.str()});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ValidationReport validate_schedule(const Schedule& schedule) {
+  ValidationReport report;
+  check_structure(schedule, report);
+  check_eq20(schedule, report);
+  check_eq21(schedule, report);
+  check_eq22(schedule, report);
+  check_eq23(schedule, report);
+  return report;
+}
+
+ValidationReport validate_system(const SystemModel& system) {
+  ValidationReport report;
+  for (const auto& schedule : system.schedules) {
+    ValidationReport r = validate_schedule(schedule);
+    report.violations.insert(report.violations.end(), r.violations.begin(),
+                             r.violations.end());
+    report.warnings.insert(report.warnings.end(), r.warnings.begin(),
+                           r.warnings.end());
+    // Windows must reference partitions that exist in the system, too.
+    for (const auto& w : schedule.windows) {
+      if (system.partition(w.partition) == nullptr) {
+        report.violations.push_back(
+            {ViolationKind::kWindowPartitionUnknown, schedule.id, w.partition,
+             "window partition not in system partition set P"});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace air::model

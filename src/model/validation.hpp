@@ -1,0 +1,72 @@
+// Offline verification of integrator-defined system parameters (Sect. 3/4.1).
+//
+// Checks each partition scheduling table against the paper's conditions:
+//   eq. (20) -- every window's partition appears in Q_i
+//   eq. (21) -- windows ordered, disjoint, contained in the MTF
+//   eq. (22) -- MTF is a positive integer multiple of lcm of cycles
+//   eq. (23) -- every partition receives its duration d within *each* of its
+//               activation cycles inside the MTF (the fundamental timing
+//               requirement; implies the weaker eq. (8))
+// plus structural sanity the equations assume (d <= eta, eta divides MTF,
+// every requirement has at least one window, windows do not straddle their
+// partition's cycle boundary).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace air::model {
+
+enum class ViolationKind {
+  kWindowPartitionUnknown,    // eq. (20)
+  kWindowsOverlap,            // eq. (21) first clause
+  kWindowExceedsMtf,          // eq. (21) second clause
+  kMtfNotMultipleOfLcm,       // eq. (22)
+  kCycleDurationUnmet,        // eq. (23)
+  kDurationExceedsPeriod,     // d > eta can never be satisfied
+  kPeriodNotDivisorOfMtf,     // MTF/eta must be integral for eq. (23) cycles
+  kRequirementWithoutWindow,  // a partition in Q_i with d>0 but no window
+  kWindowCrossesCycle,        // window straddles a k*eta boundary; eq. (23)
+                              // credits it to one cycle only
+  kNonPositiveField,          // mtf/duration/period <= 0 where > 0 required
+};
+
+[[nodiscard]] std::string to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  ScheduleId schedule;
+  PartitionId partition;  // invalid() when not partition-specific
+  std::string detail;     // human-readable, cites the equation
+};
+
+struct ValidationReport {
+  std::vector<Violation> violations;
+  /// Non-fatal observations. kWindowCrossesCycle lands here: eq. (23)
+  /// credits a window wholly to the cycle containing its offset, so a
+  /// boundary-crossing window gives that cycle more credit than it supplies
+  /// before the boundary -- legal (the paper's own chi_2 does it) but worth
+  /// flagging to the integrator.
+  std::vector<Violation> warnings;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] bool has(ViolationKind kind) const;
+  [[nodiscard]] bool has_warning(ViolationKind kind) const;
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Validate one PST against eqs. (20)-(23).
+[[nodiscard]] ValidationReport validate_schedule(const Schedule& schedule);
+
+/// Validate every PST of the system (eq. (23) quantifies over all i <= n(chi)).
+[[nodiscard]] ValidationReport validate_system(const SystemModel& system);
+
+/// The derivation of eq. (25): check eq. (23) for one (schedule, partition,
+/// cycle index k) triple and return the accumulated window time, so callers
+/// (and the E2 test) can reproduce the paper's "200 >= 200" instantiation.
+[[nodiscard]] Ticks cycle_window_time(const Schedule& schedule,
+                                      PartitionId partition, Ticks cycle_index);
+
+}  // namespace air::model

@@ -1,0 +1,65 @@
+#include "net/bus.hpp"
+
+#include "util/assert.hpp"
+
+namespace air::net {
+
+void Bus::attach(ModuleId module, DeliverFn deliver) {
+  AIR_ASSERT(station(module) == nullptr);
+  stations_.push_back({module, std::move(deliver), {}});
+}
+
+Bus::Station* Bus::station(ModuleId module) {
+  for (auto& s : stations_) {
+    if (s.module == module) return &s;
+  }
+  return nullptr;
+}
+
+std::size_t Bus::pending(ModuleId module) const {
+  for (const auto& s : stations_) {
+    if (s.module == module) return s.tx_queue.size();
+  }
+  return 0;
+}
+
+void Bus::send(ModuleId from, const ipc::RemotePortRef& dest,
+               const ipc::Message& message, ipc::ChannelKind kind, Ticks now) {
+  Station* s = station(from);
+  AIR_ASSERT_MSG(s != nullptr, "sending module not attached to the bus");
+  s->tx_queue.push_back({dest, message, kind, now});
+  ++stats_.frames_sent;
+}
+
+void Bus::tick(Ticks now) {
+  // Deliver frames whose propagation completed.
+  while (!in_flight_.empty() && in_flight_.front().deliver_at <= now) {
+    InFlight flight = std::move(in_flight_.front());
+    in_flight_.pop_front();
+    Station* dest = station(flight.frame.dest.module);
+    if (dest == nullptr) {
+      ++stats_.frames_dropped;
+      continue;
+    }
+    stats_.total_latency += now - flight.frame.enqueued_at;
+    ++stats_.frames_delivered;
+    dest->deliver(flight.frame.dest.partition, flight.frame.dest.port,
+                  flight.frame.message, flight.frame.kind);
+  }
+
+  if (stations_.empty()) return;
+
+  // TDMA: the slot owner transmits up to frames_per_slot frames this tick's
+  // slot; other stations wait for their slot.
+  const auto owner_index = static_cast<std::size_t>(
+      (now / config_.slot_length) % static_cast<Ticks>(stations_.size()));
+  Station& owner = stations_[owner_index];
+  for (std::size_t i = 0;
+       i < config_.frames_per_slot && !owner.tx_queue.empty(); ++i) {
+    Frame frame = std::move(owner.tx_queue.front());
+    owner.tx_queue.pop_front();
+    in_flight_.push_back({std::move(frame), now + config_.propagation_delay});
+  }
+}
+
+}  // namespace air::net

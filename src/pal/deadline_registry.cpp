@@ -1,0 +1,165 @@
+#include "pal/deadline_registry.hpp"
+
+#include "util/assert.hpp"
+
+namespace air::pal {
+
+// --- ListDeadlineRegistry ---
+
+DeadlineRecord& ListDeadlineRegistry::slot(ProcessId pid) {
+  AIR_ASSERT(pid.valid());
+  const auto index = static_cast<std::size_t>(pid.value());
+  while (pool_.size() <= index) {
+    pool_.emplace_back();
+    pool_.back().pid = ProcessId{static_cast<std::int32_t>(pool_.size() - 1)};
+  }
+  return pool_[index];
+}
+
+void ListDeadlineRegistry::register_deadline(ProcessId pid, Ticks deadline) {
+  DeadlineRecord& rec = slot(pid);
+  if (rec.hook.linked()) {
+    rec.hook.unlink();
+    --live_;
+  }
+  rec.deadline = deadline;
+
+  // Walk to the first record with a later deadline and insert before it,
+  // keeping ascending order (paper Fig. 6: "if necessary, this information
+  // will be moved to keep the deadlines sorted").
+  DeadlineRecord* insert_before = nullptr;
+  for (DeadlineRecord& other : sorted_) {
+    if (other.deadline > deadline) {
+      insert_before = &other;
+      break;
+    }
+  }
+  sorted_.insert_before(insert_before, rec);
+  ++live_;
+}
+
+void ListDeadlineRegistry::unregister(ProcessId pid) {
+  if (!pid.valid() ||
+      static_cast<std::size_t>(pid.value()) >= pool_.size()) {
+    return;
+  }
+  DeadlineRecord& rec = pool_[static_cast<std::size_t>(pid.value())];
+  if (rec.hook.linked()) {
+    rec.hook.unlink();
+    --live_;
+  }
+}
+
+const DeadlineRecord* ListDeadlineRegistry::earliest() const {
+  // O(1): the head of the sorted list.
+  auto& self = const_cast<ListDeadlineRegistry&>(*this);
+  if (self.sorted_.empty()) return nullptr;
+  return &self.sorted_.front();
+}
+
+void ListDeadlineRegistry::remove_earliest() {
+  AIR_ASSERT(!sorted_.empty());
+  // O(1): we already hold the node pointer (paper Sect. 5.3).
+  sorted_.pop_front();
+  --live_;
+}
+
+void ListDeadlineRegistry::clear() {
+  sorted_.clear();
+  live_ = 0;
+}
+
+// --- HeapDeadlineRegistry ---
+
+void HeapDeadlineRegistry::register_deadline(ProcessId pid, Ticks deadline) {
+  auto [it, inserted] = generation_.emplace(pid.value(), 0);
+  if (!inserted) {
+    // An update: the previous heap entry (if any) becomes stale.
+    if (it->second % 2 == 1) --live_;  // odd generation = currently live
+  }
+  // Bump to the next odd generation: live entry.
+  it->second += it->second % 2 == 1 ? 2 : 1;
+  heap_.push({deadline, pid, it->second});
+  ++live_;
+}
+
+void HeapDeadlineRegistry::unregister(ProcessId pid) {
+  auto it = generation_.find(pid.value());
+  if (it == generation_.end() || it->second % 2 == 0) return;
+  ++it->second;  // even generation = no live entry
+  --live_;
+}
+
+void HeapDeadlineRegistry::drop_stale() const {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    auto it = generation_.find(top.pid.value());
+    if (it != generation_.end() && it->second == top.generation) return;
+    heap_.pop();  // stale: superseded or unregistered
+  }
+}
+
+const DeadlineRecord* HeapDeadlineRegistry::earliest() const {
+  drop_stale();
+  if (heap_.empty()) return nullptr;
+  earliest_view_.pid = heap_.top().pid;
+  earliest_view_.deadline = heap_.top().deadline;
+  return &earliest_view_;
+}
+
+void HeapDeadlineRegistry::remove_earliest() {
+  drop_stale();
+  AIR_ASSERT(!heap_.empty());
+  auto it = generation_.find(heap_.top().pid.value());
+  AIR_ASSERT(it != generation_.end());
+  ++it->second;
+  --live_;
+  heap_.pop();
+}
+
+void HeapDeadlineRegistry::clear() {
+  heap_ = {};
+  generation_.clear();
+  live_ = 0;
+}
+
+// --- TreeDeadlineRegistry ---
+
+void TreeDeadlineRegistry::register_deadline(ProcessId pid, Ticks deadline) {
+  auto it = by_pid_.find(pid.value());
+  if (it != by_pid_.end()) {
+    by_deadline_.erase(it->second);
+    by_pid_.erase(it);
+  }
+  auto inserted = by_deadline_.emplace(deadline, pid);
+  by_pid_.emplace(pid.value(), inserted);
+}
+
+void TreeDeadlineRegistry::unregister(ProcessId pid) {
+  auto it = by_pid_.find(pid.value());
+  if (it == by_pid_.end()) return;
+  by_deadline_.erase(it->second);
+  by_pid_.erase(it);
+}
+
+const DeadlineRecord* TreeDeadlineRegistry::earliest() const {
+  if (by_deadline_.empty()) return nullptr;
+  const auto& [deadline, pid] = *by_deadline_.begin();
+  earliest_view_.pid = pid;
+  earliest_view_.deadline = deadline;
+  return &earliest_view_;
+}
+
+void TreeDeadlineRegistry::remove_earliest() {
+  AIR_ASSERT(!by_deadline_.empty());
+  auto it = by_deadline_.begin();
+  by_pid_.erase(it->second.value());
+  by_deadline_.erase(it);
+}
+
+void TreeDeadlineRegistry::clear() {
+  by_deadline_.clear();
+  by_pid_.clear();
+}
+
+}  // namespace air::pal

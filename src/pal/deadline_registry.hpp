@@ -1,0 +1,130 @@
+// Process deadline registries (Sect. 5 / 5.3).
+//
+// The AIR PAL keeps per-partition process deadline information ordered by
+// ascending deadline time, so that the earliest deadline is retrievable in
+// O(1) inside the clock-tick ISR, and removal-after-violation is O(1) given
+// the node pointer.
+//
+// Two interchangeable implementations:
+//  * ListDeadlineRegistry -- the paper's choice: a sorted linked list.
+//    register/update is O(n), but runs in the partition's own window, not in
+//    the ISR; earliest() and remove_earliest() are O(1).
+//  * TreeDeadlineRegistry -- the self-balancing-search-tree alternative the
+//    paper discusses and rejects (O(log n) insert, but worse constants and
+//    no profit at typical process counts). Kept for the E7 ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/intrusive_list.hpp"
+#include "util/types.hpp"
+
+namespace air::pal {
+
+struct DeadlineRecord {
+  ProcessId pid;
+  Ticks deadline{kInfiniteTime};
+  util::ListHook hook;
+};
+
+class IDeadlineRegistry {
+ public:
+  virtual ~IDeadlineRegistry() = default;
+
+  /// Insert or update the deadline of `pid` (APEX register interface of
+  /// Fig. 6; an update re-sorts the entry).
+  virtual void register_deadline(ProcessId pid, Ticks deadline) = 0;
+
+  /// Remove `pid`'s record if present (process stopped / deadline served).
+  virtual void unregister(ProcessId pid) = 0;
+
+  /// Earliest registered deadline; nullptr when empty. Must be O(1).
+  [[nodiscard]] virtual const DeadlineRecord* earliest() const = 0;
+
+  /// Remove the earliest record (after a violation was reported). O(1).
+  virtual void remove_earliest() = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  virtual void clear() = 0;
+};
+
+/// Sorted intrusive linked list (the paper's implementation).
+class ListDeadlineRegistry final : public IDeadlineRegistry {
+ public:
+  void register_deadline(ProcessId pid, Ticks deadline) override;
+  void unregister(ProcessId pid) override;
+  [[nodiscard]] const DeadlineRecord* earliest() const override;
+  void remove_earliest() override;
+  [[nodiscard]] std::size_t size() const override { return live_; }
+  void clear() override;
+
+ private:
+  DeadlineRecord& slot(ProcessId pid);
+
+  using List = util::IntrusiveList<DeadlineRecord, &DeadlineRecord::hook>;
+  List sorted_;
+  // One record slot per pid; deque gives address stability (hooks must not
+  // relocate while linked).
+  std::deque<DeadlineRecord> pool_;
+  std::size_t live_{0};
+};
+
+/// Binary-heap variant with lazy deletion: O(log n) register, amortised
+/// O(1)+skip earliest. The third point in the Sect. 5.3 design space --
+/// cheaper inserts than the list, cheaper constants than the tree, but
+/// updates leave stale entries that the ISR-side check must skip, which is
+/// exactly the kind of jitter the paper's ISR argument warns about.
+class HeapDeadlineRegistry final : public IDeadlineRegistry {
+ public:
+  void register_deadline(ProcessId pid, Ticks deadline) override;
+  void unregister(ProcessId pid) override;
+  [[nodiscard]] const DeadlineRecord* earliest() const override;
+  void remove_earliest() override;
+  [[nodiscard]] std::size_t size() const override { return live_; }
+  void clear() override;
+
+ private:
+  struct Entry {
+    Ticks deadline;
+    ProcessId pid;
+    std::uint64_t generation;  // stale when != current generation of pid
+    friend bool operator>(const Entry& a, const Entry& b) {
+      return a.deadline != b.deadline ? a.deadline > b.deadline
+                                      : a.pid > b.pid;
+    }
+  };
+
+  void drop_stale() const;
+
+  // Min-heap via std::priority_queue<greater>.
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+      heap_;
+  std::unordered_map<std::int32_t, std::uint64_t> generation_;
+  std::size_t live_{0};
+  mutable DeadlineRecord earliest_view_;
+};
+
+/// Balanced-tree variant (std::multimap is a red-black tree).
+class TreeDeadlineRegistry final : public IDeadlineRegistry {
+ public:
+  void register_deadline(ProcessId pid, Ticks deadline) override;
+  void unregister(ProcessId pid) override;
+  [[nodiscard]] const DeadlineRecord* earliest() const override;
+  void remove_earliest() override;
+  [[nodiscard]] std::size_t size() const override { return by_deadline_.size(); }
+  void clear() override;
+
+ private:
+  std::multimap<Ticks, ProcessId> by_deadline_;
+  std::unordered_map<std::int32_t, std::multimap<Ticks, ProcessId>::iterator>
+      by_pid_;
+  mutable DeadlineRecord earliest_view_;  // materialised for the interface
+};
+
+}  // namespace air::pal

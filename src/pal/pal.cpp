@@ -1,0 +1,63 @@
+#include "pal/pal.hpp"
+
+#include "util/assert.hpp"
+
+namespace air::pal {
+
+Pal::Pal(std::unique_ptr<pos::IKernel> kernel, RegistryKind registry_kind)
+    : kernel_(std::move(kernel)) {
+  AIR_ASSERT(kernel_ != nullptr);
+  switch (registry_kind) {
+    case RegistryKind::kLinkedList:
+      registry_ = std::make_unique<ListDeadlineRegistry>();
+      break;
+    case RegistryKind::kTree:
+      registry_ = std::make_unique<TreeDeadlineRegistry>();
+      break;
+    case RegistryKind::kHeap:
+      registry_ = std::make_unique<HeapDeadlineRegistry>();
+      break;
+  }
+}
+
+void Pal::announce_ticks(Ticks now, Ticks elapsed) {
+  // Algorithm 3, line 1: *POS_CLOCKTICKANNOUNCE(elapsedTicks).
+  kernel_->tick_announce(now, elapsed);
+
+  // Algorithm 3, lines 2-8: check deadlines in ascending order, stopping at
+  // the first that has not been violated. Retrieval of the earliest is O(1).
+  while (true) {
+    const DeadlineRecord* rec = registry_->earliest();
+    ++deadline_checks_;
+    if (rec == nullptr || rec->deadline >= now) break;  // line 3-4
+    const ProcessId pid = rec->pid;
+    const Ticks missed = rec->deadline;
+    ++violations_;
+    // Line 7 before line 6: the record is removed (O(1), pointer already
+    // held) before HM_DEADLINEVIOLATED runs, because the Health Monitor's
+    // recovery action may re-enter the registry (stopping the process
+    // unregisters its deadline; a partition restart clears everything).
+    registry_->remove_earliest();
+    if (on_deadline_violation) {
+      on_deadline_violation(pid, missed, now);  // line 6: HM_DEADLINEVIOLATED
+    }
+  }
+}
+
+void Pal::register_deadline(ProcessId pid, Ticks absolute_deadline) {
+  if (absolute_deadline == kInfiniteTime) {
+    // D = infinity: the notion of deadline violation does not apply (eq. 24).
+    registry_->unregister(pid);
+    return;
+  }
+  registry_->register_deadline(pid, absolute_deadline);
+}
+
+void Pal::unregister_deadline(ProcessId pid) { registry_->unregister(pid); }
+
+void Pal::reset() {
+  registry_->clear();
+  kernel_->reset_all();
+}
+
+}  // namespace air::pal

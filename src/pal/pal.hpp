@@ -1,0 +1,79 @@
+// AIR POS Adaptation Layer (PAL) -- Sect. 2.2 and Sect. 5.
+//
+// The PAL wraps a partition's operating system, hiding its particularities
+// from the rest of the AIR architecture. It owns:
+//  * the POS kernel instance (RtKernel, GenericKernel, ...);
+//  * the per-partition process deadline registry, plus the private
+//    register/unregister interfaces the APEX uses (Fig. 6);
+//  * the surrogate clock-tick announcement routine (Fig. 7 / Algorithm 3):
+//    forward the elapsed ticks to the native POS announce, then verify the
+//    earliest deadline(s) and report violations to Health Monitoring.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "pal/deadline_registry.hpp"
+#include "pos/kernel.hpp"
+#include "util/types.hpp"
+
+namespace air::pal {
+
+enum class RegistryKind { kLinkedList, kTree, kHeap };
+
+class Pal {
+ public:
+  /// Wrap `kernel`; `registry_kind` selects the deadline structure
+  /// (kLinkedList is the paper's implementation).
+  explicit Pal(std::unique_ptr<pos::IKernel> kernel,
+               RegistryKind registry_kind = RegistryKind::kLinkedList);
+
+  [[nodiscard]] pos::IKernel& kernel() { return *kernel_; }
+  [[nodiscard]] const pos::IKernel& kernel() const { return *kernel_; }
+
+  /// Surrogate clock tick announcement (Algorithm 3). Invoked by the
+  /// partition dispatch path with the module time `now` and the number of
+  /// ticks elapsed since this partition last saw the clock. Announces the
+  /// ticks to the POS, then checks deadlines: only the earliest is examined
+  /// unless it is violated, in which case successive deadlines are checked
+  /// (each retrieval O(1)) until one still holds.
+  void announce_ticks(Ticks now, Ticks elapsed);
+
+  /// PAL private interface used by APEX services to register/update a
+  /// process's absolute deadline time (Fig. 6).
+  void register_deadline(ProcessId pid, Ticks absolute_deadline);
+
+  /// PAL private interface used by APEX services that stop a process or
+  /// cancel its deadline.
+  void unregister_deadline(ProcessId pid);
+
+  [[nodiscard]] Ticks current_time() const { return kernel_->now(); }
+
+  [[nodiscard]] IDeadlineRegistry& registry() { return *registry_; }
+
+  /// Partition restart support: clear deadlines, reset every process.
+  void reset();
+
+  /// Number of deadline checks performed inside announce_ticks (earliest
+  /// retrievals), and of violations found -- E3/E7 instrumentation.
+  [[nodiscard]] std::uint64_t deadline_checks() const {
+    return deadline_checks_;
+  }
+  [[nodiscard]] std::uint64_t violations_detected() const {
+    return violations_;
+  }
+
+  /// HM_DEADLINEVIOLATED hook: wired to the AIR Health Monitor by the
+  /// system layer. Arguments: process id, the deadline that was missed,
+  /// and the detection time.
+  std::function<void(ProcessId, Ticks deadline, Ticks detected_at)>
+      on_deadline_violation;
+
+ private:
+  std::unique_ptr<pos::IKernel> kernel_;
+  std::unique_ptr<IDeadlineRegistry> registry_;
+  std::uint64_t deadline_checks_{0};
+  std::uint64_t violations_{0};
+};
+
+}  // namespace air::pal

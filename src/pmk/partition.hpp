@@ -1,0 +1,72 @@
+// PMK-level partition control block.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hal/mmu.hpp"
+#include "util/types.hpp"
+
+namespace air::pmk {
+
+/// Partition operating mode M_m(t), eq. (3).
+enum class OperatingMode : std::uint8_t {
+  kNormal = 0,     // operational, process scheduler active
+  kIdle = 1,       // shut down, no process execution
+  kColdStart = 2,  // initialising, process scheduling disabled
+  kWarmStart = 3,  // initialising with preserved context
+};
+
+[[nodiscard]] constexpr const char* to_string(OperatingMode mode) {
+  switch (mode) {
+    case OperatingMode::kNormal: return "normal";
+    case OperatingMode::kIdle: return "idle";
+    case OperatingMode::kColdStart: return "coldStart";
+    case OperatingMode::kWarmStart: return "warmStart";
+  }
+  return "?";
+}
+
+/// Restart behaviour applied to a partition when the module switches to a
+/// schedule (per-partition, per-schedule; Sect. 4, ScheduleChangeAction).
+enum class ScheduleChangeAction : std::uint8_t {
+  kNone = 0,         // no restart
+  kWarmRestart = 1,
+  kColdRestart = 2,
+};
+
+/// The PMK's view of one partition: identity, mode, dispatch bookkeeping
+/// (Algorithm 2's lastTick and saved context) and the MMU context that
+/// realises its spatial separation.
+struct PartitionControlBlock {
+  PartitionId id;
+  std::string name;
+  bool system_partition{false};  // authorised to call SET_MODULE_SCHEDULE
+
+  OperatingMode mode{OperatingMode::kColdStart};
+
+  /// Algorithm 2: last tick this partition saw the clock; elapsedTicks on
+  /// re-dispatch is ticks - lastTick.
+  Ticks last_tick{0};
+
+  /// Simulated execution context. A real PMK saves/restores CPU registers;
+  /// here the context is the MMU address space plus an opaque save counter
+  /// the dispatcher bumps so context churn is observable in benches.
+  hal::MmuContextId mmu_context{-1};
+  std::uint64_t context_saves{0};
+  std::uint64_t context_restores{0};
+
+  /// A schedule switch happened and this partition has not been dispatched
+  /// yet: the dispatcher must apply `pending_action` on first dispatch
+  /// (Algorithm 2 line 9).
+  bool schedule_change_pending{false};
+  ScheduleChangeAction pending_action{ScheduleChangeAction::kNone};
+
+  /// Window-usage accounting (integrator diagnostics): ticks this partition
+  /// held the processor, split into ticks where some process executed and
+  /// ticks where no process was schedulable (window slack).
+  std::uint64_t busy_ticks{0};
+  std::uint64_t slack_ticks{0};
+};
+
+}  // namespace air::pmk

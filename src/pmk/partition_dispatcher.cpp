@@ -1,0 +1,62 @@
+#include "pmk/partition_dispatcher.hpp"
+
+namespace air::pmk {
+
+PartitionControlBlock* PartitionDispatcher::pcb(PartitionId id) {
+  if (!id.valid() ||
+      static_cast<std::size_t>(id.value()) >= partitions_.size()) {
+    return nullptr;
+  }
+  return &partitions_[static_cast<std::size_t>(id.value())];
+}
+
+PartitionDispatcher::DispatchResult PartitionDispatcher::dispatch(
+    PartitionId heir, Ticks ticks) {
+  ++dispatches_;
+
+  // Line 1-2: same partition keeps the processor; one tick elapsed.
+  if (heir == active_) {
+    return {active_, active_.valid() ? Ticks{1} : Ticks{0}, false};
+  }
+
+  // Lines 4-5: save the outgoing partition's context and stamp the last
+  // tick it observed (the current tick already belongs to the heir).
+  if (PartitionControlBlock* prev = pcb(active_)) {
+    ++prev->context_saves;
+    prev->last_tick = ticks - 1;
+  }
+
+  // Line 6: every tick since the heir last saw the clock is announced.
+  Ticks elapsed = 0;
+  PartitionControlBlock* next = pcb(heir);
+  if (next != nullptr) {
+    elapsed = ticks - next->last_tick;
+  }
+
+  // Line 7.
+  const PartitionId previous = active_;
+  active_ = heir;
+  ++switches_;
+
+  // Line 8: restore the heir's execution context -- in this simulation the
+  // address space (MMU context); spatial separation switches with it.
+  if (next != nullptr) {
+    ++next->context_restores;
+    if (mmu_ != nullptr && next->mmu_context >= 0) {
+      mmu_->set_active_context(next->mmu_context);
+    }
+  }
+  if (on_context_switch) on_context_switch(heir, previous);
+
+  // Line 9: apply a pending schedule change action on first dispatch after
+  // the switch (Sect. 4.3: acting here confines the restart's cost to the
+  // partition's own execution time window).
+  if (next != nullptr && next->schedule_change_pending &&
+      on_pending_schedule_change_action) {
+    on_pending_schedule_change_action(heir);
+  }
+
+  return {active_, elapsed, true};
+}
+
+}  // namespace air::pmk

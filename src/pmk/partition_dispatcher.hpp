@@ -1,0 +1,69 @@
+// AIR Partition Dispatcher featuring mode-based schedules -- Algorithm 2:
+//
+//   1: if heirPartition = activePartition then
+//   2:   elapsedTicks <- 1
+//   3: else
+//   4:   SAVECONTEXT(activePartition.context)
+//   5:   activePartition.lastTick <- ticks - 1
+//   6:   elapsedTicks <- ticks - heirPartition.lastTick
+//   7:   activePartition <- heirPartition
+//   8:   RESTORECONTEXT(heirPartition.context)
+//   9:   PENDINGSCHEDULECHANGEACTION(heirPartition)
+//
+// The dispatcher is executed after the Partition Scheduler on every tick.
+// elapsedTicks feeds the PAL surrogate clock-tick announcement (Fig. 7): a
+// partition that regains the processor is announced every tick it missed,
+// in one batch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hal/mmu.hpp"
+#include "pmk/partition.hpp"
+#include "util/types.hpp"
+
+namespace air::pmk {
+
+class PartitionDispatcher {
+ public:
+  /// `partitions` is the PMK partition table (indexed by PartitionId value);
+  /// `mmu` may be null in unit tests -- context switches then skip the
+  /// address-space switch.
+  PartitionDispatcher(std::vector<PartitionControlBlock>& partitions,
+                      hal::Mmu* mmu)
+      : partitions_(partitions), mmu_(mmu) {}
+
+  struct DispatchResult {
+    PartitionId active;        // invalid() = idle slot, nothing to run
+    Ticks elapsed_ticks{0};    // ticks to announce to the active partition
+    bool context_switched{false};
+  };
+
+  /// Algorithm 2. `ticks` is the scheduler's global tick counter value.
+  DispatchResult dispatch(PartitionId heir, Ticks ticks);
+
+  [[nodiscard]] PartitionId active_partition() const { return active_; }
+
+  // --- instrumentation (E6) ---
+  [[nodiscard]] std::uint64_t dispatch_count() const { return dispatches_; }
+  [[nodiscard]] std::uint64_t context_switches() const { return switches_; }
+
+  /// Algorithm 2 line 9: wired by the module to apply the heir partition's
+  /// pending ScheduleChangeAction on its first dispatch after a switch.
+  std::function<void(PartitionId)> on_pending_schedule_change_action;
+  /// Observation hook on every context switch: (heir, previous).
+  std::function<void(PartitionId, PartitionId)> on_context_switch;
+
+ private:
+  [[nodiscard]] PartitionControlBlock* pcb(PartitionId id);
+
+  std::vector<PartitionControlBlock>& partitions_;
+  hal::Mmu* mmu_;
+  PartitionId active_{PartitionId::invalid()};
+  std::uint64_t dispatches_{0};
+  std::uint64_t switches_{0};
+};
+
+}  // namespace air::pmk

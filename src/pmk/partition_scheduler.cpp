@@ -1,0 +1,73 @@
+#include "pmk/partition_scheduler.hpp"
+
+#include "util/assert.hpp"
+
+namespace air::pmk {
+
+void PartitionScheduler::add_schedule(RuntimeSchedule schedule) {
+  AIR_ASSERT_MSG(!schedule.table.empty(), "schedule has no preemption points");
+  AIR_ASSERT_MSG(schedule.table.front().tick == 0,
+                 "schedule table must start at tick 0");
+  const ScheduleId id = schedule.id;
+  AIR_ASSERT_MSG(schedules_.find(id) == schedules_.end(),
+                 "duplicate schedule id");
+  schedules_.emplace(id, std::move(schedule));
+}
+
+void PartitionScheduler::set_initial_schedule(ScheduleId id) {
+  AIR_ASSERT_MSG(schedules_.find(id) != schedules_.end(),
+                 "unknown initial schedule");
+  AIR_ASSERT_MSG(!started_, "initial schedule already set");
+  current_ = id;
+  next_ = id;
+  started_ = true;
+}
+
+const RuntimeSchedule& PartitionScheduler::current_schedule() const {
+  AIR_ASSERT(started_);
+  return schedules_.at(current_);
+}
+
+const RuntimeSchedule* PartitionScheduler::schedule(ScheduleId id) const {
+  auto it = schedules_.find(id);
+  return it != schedules_.end() ? &it->second : nullptr;
+}
+
+bool PartitionScheduler::request_schedule(ScheduleId id) {
+  if (schedules_.find(id) == schedules_.end()) return false;
+  next_ = id;  // stored only; effective at the top of the next MTF
+  return true;
+}
+
+bool PartitionScheduler::tick() {
+  AIR_ASSERT_MSG(started_, "set_initial_schedule() not called");
+  ++ticks_;  // line 1
+  ++tick_calls_;
+
+  const RuntimeSchedule* sched = &schedules_.at(current_);
+  const Ticks phase = (ticks_ - last_schedule_switch_) % sched->mtf;
+
+  // Line 2: has a partition preemption point been reached? In the best and
+  // most frequent case this comparison is false and we are done.
+  if (sched->table[table_iterator_].tick != phase) return false;
+  ++points_hit_;
+
+  // Lines 3-7: make a pending schedule switch effective at the MTF boundary.
+  if (current_ != next_ && phase == 0) {
+    const ScheduleId old = current_;
+    current_ = next_;                 // line 4
+    last_schedule_switch_ = ticks_;   // line 5
+    last_schedule_switch_was_set_ = true;
+    table_iterator_ = 0;              // line 6
+    sched = &schedules_.at(current_);
+    if (on_schedule_switch) on_schedule_switch(current_, old);
+  }
+
+  // Line 8: select the heir partition.
+  heir_ = sched->table[table_iterator_].partition;
+  // Line 9: advance the iterator, wrapping at the number of points.
+  table_iterator_ = (table_iterator_ + 1) % sched->table.size();
+  return true;
+}
+
+}  // namespace air::pmk

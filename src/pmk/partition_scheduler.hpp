@@ -1,0 +1,91 @@
+// AIR Partition Scheduler featuring mode-based schedules -- Algorithm 1,
+// implemented with the same structure and variable roles as the paper:
+//
+//   1: ticks <- ticks + 1
+//   2: if schedules[currentSchedule].table[tableIterator].tick =
+//          (ticks - lastScheduleSwitch) mod schedules[currentSchedule].mtf
+//   3:   if currentSchedule != nextSchedule and
+//            (ticks - lastScheduleSwitch) mod mtf = 0
+//   4:     currentSchedule <- nextSchedule
+//   5:     lastScheduleSwitch <- ticks
+//   6:     tableIterator <- 0
+//   8:   heirPartition <- schedules[currentSchedule].table[tableIterator]
+//   9:   tableIterator <- (tableIterator + 1) mod #points
+//
+// This code runs (conceptually) inside the clock-tick ISR, so the best and
+// most frequent case performs exactly two computations: the tick increment
+// and the (false) preemption-point comparison (Sect. 4.3) -- the property
+// bench E5 measures.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "pmk/schedule.hpp"
+#include "util/types.hpp"
+
+namespace air::pmk {
+
+struct ScheduleStatus {
+  Ticks last_switch_time{0};  // 0 when no switch ever occurred (Sect. 4.2)
+  ScheduleId current;
+  ScheduleId next;  // == current when no change is pending
+};
+
+class PartitionScheduler {
+ public:
+  /// Register a compiled schedule (integration time).
+  void add_schedule(RuntimeSchedule schedule);
+
+  /// Select the initial schedule; must be called once before ticking.
+  void set_initial_schedule(ScheduleId id);
+
+  /// Algorithm 1; invoked at every system clock tick. Returns true when a
+  /// partition preemption point was reached (heir may have changed).
+  bool tick();
+
+  /// The partition that should hold the processor now; invalid() = idle.
+  [[nodiscard]] PartitionId heir_partition() const { return heir_; }
+
+  /// SET_MODULE_SCHEDULE backing: stores the identifier only; the switch
+  /// becomes effective at the top of the next MTF (Sect. 4.2). Returns
+  /// false for an unknown schedule id.
+  [[nodiscard]] bool request_schedule(ScheduleId id);
+
+  [[nodiscard]] ScheduleStatus status() const {
+    return {last_schedule_switch_was_set_ ? last_schedule_switch_ : 0,
+            current_, next_};
+  }
+
+  [[nodiscard]] Ticks ticks() const { return ticks_; }
+  [[nodiscard]] const RuntimeSchedule& current_schedule() const;
+  [[nodiscard]] const RuntimeSchedule* schedule(ScheduleId id) const;
+
+  // --- instrumentation (E5) ---
+  [[nodiscard]] std::uint64_t tick_count() const { return tick_calls_; }
+  [[nodiscard]] std::uint64_t preemption_points_hit() const {
+    return points_hit_;
+  }
+
+  /// Invoked right after a schedule switch becomes effective (line 4-6),
+  /// with (new, old); the module uses it to arm per-partition
+  /// ScheduleChangeActions and to trace the switch.
+  std::function<void(ScheduleId new_schedule, ScheduleId old_schedule)>
+      on_schedule_switch;
+
+ private:
+  std::map<ScheduleId, RuntimeSchedule> schedules_;
+  ScheduleId current_;
+  ScheduleId next_;
+  Ticks ticks_{-1};  // so the first tick() lands on time 0 == table point 0
+  Ticks last_schedule_switch_{0};
+  bool last_schedule_switch_was_set_{false};
+  std::size_t table_iterator_{0};
+  PartitionId heir_{PartitionId::invalid()};
+  bool started_{false};
+
+  std::uint64_t tick_calls_{0};
+  std::uint64_t points_hit_{0};
+};
+
+}  // namespace air::pmk

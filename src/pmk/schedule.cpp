@@ -1,0 +1,48 @@
+#include "pmk/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace air::pmk {
+
+RuntimeSchedule compile_schedule(
+    const model::Schedule& schedule,
+    std::map<PartitionId, ScheduleChangeAction> change_actions) {
+  AIR_ASSERT_MSG(schedule.mtf > 0, "schedule MTF must be positive");
+
+  std::vector<model::Window> windows = schedule.windows;
+  std::sort(windows.begin(), windows.end(),
+            [](const model::Window& a, const model::Window& b) {
+              return a.offset < b.offset;
+            });
+
+  RuntimeSchedule runtime;
+  runtime.id = schedule.id;
+  runtime.mtf = schedule.mtf;
+  runtime.change_actions = std::move(change_actions);
+  runtime.source = schedule;
+
+  Ticks cursor = 0;
+  for (const model::Window& w : windows) {
+    AIR_ASSERT_MSG(w.offset >= cursor, "windows overlap");
+    if (w.offset > cursor) {
+      // Idle gap before this window.
+      runtime.table.push_back({cursor, PartitionId::invalid()});
+    }
+    runtime.table.push_back({w.offset, w.partition});
+    cursor = w.offset + w.duration;
+  }
+  AIR_ASSERT_MSG(cursor <= schedule.mtf, "window exceeds MTF");
+  if (cursor < schedule.mtf) {
+    runtime.table.push_back({cursor, PartitionId::invalid()});
+  }
+
+  // Invariant: a point at tick 0 so that MTF boundaries are always points.
+  if (runtime.table.empty() || runtime.table.front().tick != 0) {
+    runtime.table.insert(runtime.table.begin(), {0, PartitionId::invalid()});
+  }
+  return runtime;
+}
+
+}  // namespace air::pmk

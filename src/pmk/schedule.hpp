@@ -1,0 +1,42 @@
+// Runtime partition scheduling tables.
+//
+// The offline model (model::Schedule, eq. 18) is compiled into the exact
+// form Algorithm 1 consults at every clock tick: an ordered list of
+// partition preemption points (tick offset within the MTF -> heir
+// partition). Idle gaps compile to points whose heir is no partition.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "model/model.hpp"
+#include "pmk/partition.hpp"
+#include "util/types.hpp"
+
+namespace air::pmk {
+
+struct PreemptionPoint {
+  Ticks tick{0};          // offset within the MTF
+  PartitionId partition;  // invalid() = idle slot
+};
+
+struct RuntimeSchedule {
+  ScheduleId id;
+  Ticks mtf{0};
+  std::vector<PreemptionPoint> table;
+  /// Restart action for each partition when the module switches *to* this
+  /// schedule (absent partitions: kNone).
+  std::map<PartitionId, ScheduleChangeAction> change_actions;
+  /// The source model, kept for status services and verification.
+  model::Schedule source;
+};
+
+/// Compile a validated model schedule into its runtime form. The resulting
+/// table always contains a preemption point at tick 0 (idle when no window
+/// starts there), so MTF boundaries always coincide with a point -- the
+/// invariant Algorithm 1's schedule-switch check relies on.
+[[nodiscard]] RuntimeSchedule compile_schedule(
+    const model::Schedule& schedule,
+    std::map<PartitionId, ScheduleChangeAction> change_actions = {});
+
+}  // namespace air::pmk

@@ -1,0 +1,71 @@
+// Partition Operating System (POS) kernel interface.
+//
+// AIR foresees a different operating system per partition (Sect. 2 / 2.2);
+// the PAL wraps each of them behind one interface. IKernel is that
+// interface: mechanical process-table, blocking and scheduling primitives.
+// ARINC 653 *semantics* (what START/SUSPEND/... mean) live in src/apex,
+// layered on these primitives, which is what keeps the kernels swappable.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "pos/process.hpp"
+#include "util/types.hpp"
+
+namespace air::pos {
+
+class IKernel {
+ public:
+  virtual ~IKernel() = default;
+
+  /// Kernel flavour: "rt" (priority preemptive RTOS) or "generic"
+  /// (round-robin, non-real-time -- Sect. 2.5).
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+
+  // --- process table ---
+  virtual ProcessId create_process(ProcessAttributes attrs) = 0;
+  [[nodiscard]] virtual ProcessControlBlock* pcb(ProcessId id) = 0;
+  [[nodiscard]] virtual const ProcessControlBlock* pcb(
+      ProcessId id) const = 0;
+  [[nodiscard]] virtual std::size_t process_count() const = 0;
+  [[nodiscard]] virtual ProcessId find_process(
+      std::string_view name) const = 0;
+
+  // --- state transitions (mechanical; APEX validates modes/rights) ---
+  virtual void make_ready(ProcessId id) = 0;
+  virtual void make_dormant(ProcessId id) = 0;
+  virtual void block(ProcessId id, WaitReason reason, Ticks wake_time) = 0;
+  virtual void wake(ProcessId id, WakeResult result) = 0;
+  virtual void set_priority(ProcessId id, Priority priority) = 0;
+  virtual void suspend(ProcessId id, Ticks wake_time) = 0;
+  virtual void resume(ProcessId id) = 0;
+
+  // --- time (driven by the PAL surrogate clock announce, Fig. 7) ---
+  /// Announce that the partition-local view of time is `now`; `elapsed`
+  /// ticks passed since the previous announce (> 1 right after the
+  /// partition regains the processor). Wakes every expired timed wait.
+  virtual void tick_announce(Ticks now, Ticks elapsed) = 0;
+  [[nodiscard]] virtual Ticks now() const = 0;
+
+  // --- scheduling ---
+  /// Select the heir process (eq. 14 for the RT kernel), mark it running,
+  /// and return it; ProcessId::invalid() when no process is schedulable.
+  virtual ProcessId schedule() = 0;
+  [[nodiscard]] virtual ProcessId current() const = 0;
+
+  virtual void lock_preemption() = 0;
+  virtual void unlock_preemption() = 0;
+  [[nodiscard]] virtual bool preemption_locked() const = 0;
+
+  /// Partition restart: every process back to dormant, script pointers
+  /// rewound, queues cleared. Process table itself is preserved (ARINC 653
+  /// processes are re-started, not re-created, on partition restart).
+  virtual void reset_all() = 0;
+
+  // --- observation hooks (wired by the system layer) ---
+  /// Invoked on every process state change (for the trace).
+  std::function<void(ProcessId, ProcessState)> on_state_change;
+};
+
+}  // namespace air::pos

@@ -1,0 +1,184 @@
+#include "pos/kernel_base.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace air::pos {
+
+ProcessId KernelBase::create_process(ProcessAttributes attrs) {
+  ProcessControlBlock pcb;
+  pcb.id = ProcessId{static_cast<std::int32_t>(table_.size())};
+  pcb.current_priority = attrs.priority;
+  pcb.attrs = std::move(attrs);
+  table_.push_back(std::move(pcb));
+  return table_.back().id;
+}
+
+ProcessControlBlock* KernelBase::pcb(ProcessId id) {
+  if (!id.valid() || static_cast<std::size_t>(id.value()) >= table_.size()) {
+    return nullptr;
+  }
+  return &table_[static_cast<std::size_t>(id.value())];
+}
+
+const ProcessControlBlock* KernelBase::pcb(ProcessId id) const {
+  if (!id.valid() || static_cast<std::size_t>(id.value()) >= table_.size()) {
+    return nullptr;
+  }
+  return &table_[static_cast<std::size_t>(id.value())];
+}
+
+ProcessId KernelBase::find_process(std::string_view name) const {
+  for (const auto& pcb : table_) {
+    if (pcb.attrs.name == name) return pcb.id;
+  }
+  return ProcessId::invalid();
+}
+
+ProcessControlBlock& KernelBase::pcb_ref(ProcessId id) {
+  ProcessControlBlock* p = pcb(id);
+  AIR_ASSERT_MSG(p != nullptr, "invalid process id");
+  return *p;
+}
+
+void KernelBase::set_state(ProcessControlBlock& pcb, ProcessState state) {
+  if (pcb.state == state) return;
+  pcb.state = state;
+  if (on_state_change) on_state_change(pcb.id, state);
+}
+
+void KernelBase::make_ready(ProcessId id) {
+  ProcessControlBlock& p = pcb_ref(id);
+  if (p.schedulable()) return;
+  p.wait_reason = WaitReason::kNone;
+  p.wake_time = kInfiniteTime;
+  p.ready_seq = ++ready_counter_;
+  set_state(p, ProcessState::kReady);
+  enqueue_ready(p);
+}
+
+void KernelBase::make_dormant(ProcessId id) {
+  ProcessControlBlock& p = pcb_ref(id);
+  if (p.schedulable()) dequeue_ready(p);
+  if (current_ == id) current_ = ProcessId::invalid();
+  p.wait_reason = WaitReason::kNone;
+  p.wake_time = kInfiniteTime;
+  p.suspended = false;
+  p.wake_result = WakeResult::kStopped;
+  set_state(p, ProcessState::kDormant);
+}
+
+void KernelBase::block(ProcessId id, WaitReason reason, Ticks wake_time) {
+  ProcessControlBlock& p = pcb_ref(id);
+  AIR_ASSERT_MSG(p.schedulable(), "only a schedulable process can block");
+  dequeue_ready(p);
+  if (current_ == id) current_ = ProcessId::invalid();
+  p.wait_reason = reason;
+  p.wake_time = wake_time;
+  p.wake_result = WakeResult::kNone;
+  set_state(p, ProcessState::kWaiting);
+}
+
+void KernelBase::wake(ProcessId id, WakeResult result) {
+  ProcessControlBlock& p = pcb_ref(id);
+  if (p.state != ProcessState::kWaiting) return;
+  p.wake_result = result;
+  if (p.suspended) {
+    // ARINC 653: a suspended process stays ineligible until RESUME; remember
+    // that its underlying wait has concluded.
+    p.wait_reason = WaitReason::kSuspended;
+    p.wake_time = kInfiniteTime;
+    return;
+  }
+  p.wait_reason = WaitReason::kNone;
+  p.wake_time = kInfiniteTime;
+  p.ready_seq = ++ready_counter_;
+  set_state(p, ProcessState::kReady);
+  enqueue_ready(p);
+}
+
+void KernelBase::suspend(ProcessId id, Ticks wake_time) {
+  ProcessControlBlock& p = pcb_ref(id);
+  if (p.state == ProcessState::kDormant) return;
+  p.suspended = true;
+  if (p.schedulable()) {
+    block(id, WaitReason::kSuspended, wake_time);
+  }
+  // A waiting process keeps its wait; the suspended flag defers eligibility.
+}
+
+void KernelBase::resume(ProcessId id) {
+  ProcessControlBlock& p = pcb_ref(id);
+  if (!p.suspended) return;
+  p.suspended = false;
+  if (p.state == ProcessState::kWaiting &&
+      p.wait_reason == WaitReason::kSuspended) {
+    // Either the suspension itself, or an underlying wait that has already
+    // concluded (wake_result set by wake() while suspended).
+    wake(id, p.wake_result == WakeResult::kNone ? WakeResult::kOk
+                                                : p.wake_result);
+  }
+}
+
+void KernelBase::tick_announce(Ticks now, Ticks elapsed) {
+  AIR_ASSERT(elapsed >= 0);
+  now_ = now;
+
+  // Wake expired timed waits in deterministic (wake_time, id) order.
+  struct Due {
+    Ticks when;
+    ProcessId id;
+  };
+  std::vector<Due> due;
+  for (const auto& p : table_) {
+    if (p.state == ProcessState::kWaiting && !p.suspended &&
+        p.wake_time != kInfiniteTime && p.wake_time <= now_) {
+      due.push_back({p.wake_time, p.id});
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const Due& a, const Due& b) {
+    return a.when != b.when ? a.when < b.when : a.id < b.id;
+  });
+  for (const Due& d : due) {
+    ProcessControlBlock& p = pcb_ref(d.id);
+    const bool timeoutish = p.wait_reason == WaitReason::kDelay ||
+                            p.wait_reason == WaitReason::kNextRelease ||
+                            p.wait_reason == WaitReason::kDelayedStart;
+    wake(d.id, timeoutish ? WakeResult::kOk : WakeResult::kTimeout);
+  }
+
+  // Suspended-with-timeout processes whose timeout expired.
+  for (auto& p : table_) {
+    if (p.state == ProcessState::kWaiting && p.suspended &&
+        p.wake_time != kInfiniteTime && p.wake_time <= now_) {
+      p.suspended = false;
+      p.wake_time = kInfiniteTime;
+      wake(p.id, WakeResult::kTimeout);
+    }
+  }
+}
+
+void KernelBase::reset_all() {
+  for (auto& p : table_) {
+    if (p.schedulable()) dequeue_ready(p);
+    p.state = ProcessState::kDormant;
+    p.wait_reason = WaitReason::kNone;
+    p.wake_time = kInfiniteTime;
+    p.wake_result = WakeResult::kNone;
+    p.suspended = false;
+    p.release_pending = false;
+    p.sporadic_active = false;
+    p.pc = 0;
+    p.op_progress = 0;
+    p.inbox.clear();
+    p.current_priority = p.attrs.priority;
+    p.absolute_deadline = kInfiniteTime;
+    p.next_release = 0;
+    if (on_state_change) on_state_change(p.id, ProcessState::kDormant);
+  }
+  current_ = ProcessId::invalid();
+  preemption_lock_ = 0;
+}
+
+}  // namespace air::pos

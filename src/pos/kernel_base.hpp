@@ -1,0 +1,63 @@
+// Shared POS kernel machinery: process table, wait/wake bookkeeping, timed
+// wake-ups. Scheduling policy is delegated to subclasses through the
+// ready-queue hooks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pos/kernel.hpp"
+
+namespace air::pos {
+
+class KernelBase : public IKernel {
+ public:
+  ProcessId create_process(ProcessAttributes attrs) override;
+  [[nodiscard]] ProcessControlBlock* pcb(ProcessId id) override;
+  [[nodiscard]] const ProcessControlBlock* pcb(ProcessId id) const override;
+  [[nodiscard]] std::size_t process_count() const override {
+    return table_.size();
+  }
+  [[nodiscard]] ProcessId find_process(std::string_view name) const override;
+
+  void make_ready(ProcessId id) override;
+  void make_dormant(ProcessId id) override;
+  void block(ProcessId id, WaitReason reason, Ticks wake_time) override;
+  void wake(ProcessId id, WakeResult result) override;
+  void suspend(ProcessId id, Ticks wake_time) override;
+  void resume(ProcessId id) override;
+
+  void tick_announce(Ticks now, Ticks elapsed) override;
+  [[nodiscard]] Ticks now() const override { return now_; }
+
+  [[nodiscard]] ProcessId current() const override { return current_; }
+
+  void lock_preemption() override { ++preemption_lock_; }
+  void unlock_preemption() override {
+    if (preemption_lock_ > 0) --preemption_lock_;
+  }
+  [[nodiscard]] bool preemption_locked() const override {
+    return preemption_lock_ > 0;
+  }
+
+  void reset_all() override;
+
+ protected:
+  // --- scheduling-policy hooks ---
+  virtual void enqueue_ready(ProcessControlBlock& pcb) = 0;
+  virtual void dequeue_ready(ProcessControlBlock& pcb) = 0;
+  /// Next process to run given the policy; invalid() when none ready.
+  [[nodiscard]] virtual ProcessId pick_heir() = 0;
+
+  void set_state(ProcessControlBlock& pcb, ProcessState state);
+
+  [[nodiscard]] ProcessControlBlock& pcb_ref(ProcessId id);
+
+  std::vector<ProcessControlBlock> table_;
+  ProcessId current_{ProcessId::invalid()};
+  Ticks now_{0};
+  std::uint64_t ready_counter_{0};
+  int preemption_lock_{0};
+};
+
+}  // namespace air::pos

@@ -1,0 +1,143 @@
+// Process control block and attributes, shared by every partition operating
+// system (POS) kernel.
+//
+// Maps the paper's process model: attributes are tau_{m,q} = <T, D, p, C>
+// (eq. 11); the dynamic part mirrors the status S(t) = <D', p', St> of
+// eq. (12) with states per eq. (13).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pos/workload.hpp"
+#include "util/types.hpp"
+
+namespace air::pos {
+
+/// eq. (13): St in {dormant, ready, running, waiting}.
+enum class ProcessState : std::uint8_t {
+  kDormant = 0,
+  kReady = 1,
+  kRunning = 2,
+  kWaiting = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(ProcessState s) {
+  switch (s) {
+    case ProcessState::kDormant: return "dormant";
+    case ProcessState::kReady: return "ready";
+    case ProcessState::kRunning: return "running";
+    case ProcessState::kWaiting: return "waiting";
+  }
+  return "?";
+}
+
+/// Why a waiting process waits (delay, semaphore, period, ... -- Sect. 3.3).
+enum class WaitReason : std::uint8_t {
+  kNone = 0,
+  kDelay,        // TIMED_WAIT
+  kNextRelease,  // PERIODIC_WAIT
+  kSporadic,     // sporadic activation wait (release + min inter-arrival)
+  kSuspended,    // SUSPEND / SUSPEND_SELF
+  kDelayedStart, // DELAYED_START
+  kSemaphore,
+  kEvent,
+  kQueuingPort,
+  kBuffer,
+  kBlackboard,
+};
+
+/// Static attributes fixed at CREATE_PROCESS time (ARINC 653 forbids
+/// changing them afterwards).
+struct ProcessAttributes {
+  std::string name;
+  Script script;               // the process body (interpreted workload)
+  Ticks period{kInfiniteTime}; // T; kInfiniteTime marks an aperiodic process
+  Ticks time_capacity{kInfiniteTime};  // D (relative deadline / budget)
+  Priority priority{0};        // p (lower value = greater priority)
+  std::size_t stack_bytes{4096};
+  /// Sporadic process: `period` is the enforced *minimum inter-arrival*
+  /// between activations (eq. 11's reading of T for sporadic processes),
+  /// not a release period; activations are triggered by release_process.
+  bool sporadic{false};
+
+  [[nodiscard]] bool periodic() const {
+    return period != kInfiniteTime && !sporadic;
+  }
+};
+
+/// How a blocking wait concluded; the executor turns this into the APEX
+/// return code of the service that blocked.
+enum class WakeResult : std::uint8_t {
+  kNone = 0,
+  kOk,        // event arrived / resource granted
+  kTimeout,   // wait timed out
+  kStopped,   // process was stopped while waiting
+};
+
+struct ProcessControlBlock {
+  ProcessId id;
+  ProcessAttributes attrs;
+
+  // --- dynamic status S(t), eq. (12) ---
+  ProcessState state{ProcessState::kDormant};
+  Priority current_priority{0};          // p'(t)
+  Ticks absolute_deadline{kInfiniteTime};  // D'(t)
+
+  WaitReason wait_reason{WaitReason::kNone};
+  Ticks wake_time{kInfiniteTime};  // for timed waits; kInfiniteTime = forever
+  WakeResult wake_result{WakeResult::kNone};
+
+  /// Absolute expiry of the timeout of the blocking APEX call in progress.
+  /// Preserved across spurious wake/retry cycles so a retried call re-blocks
+  /// with the original deadline, not a fresh one.
+  Ticks wait_deadline{kInfiniteTime};
+
+  /// Next release point of a periodic process, or the release instant of
+  /// the current/most recent activation of a sporadic process.
+  Ticks next_release{0};
+
+  /// Sporadic activation control: a release arrived while the process was
+  /// still busy with the previous activation (at most one is buffered;
+  /// further releases are counted as lost -- event overload, eq. 11's
+  /// inter-arrival bound at work).
+  bool release_pending{false};
+  std::uint64_t lost_releases{0};
+  /// A sporadic activation is in progress (set on release, cleared when the
+  /// process calls sporadic_wait again) -- gates response-time accounting.
+  bool sporadic_active{false};
+
+  /// FIFO-within-priority ordering key: strictly increasing sequence number
+  /// stamped each time the process enters the ready state (eq. 14's "oldest
+  /// ready first" tie-break).
+  std::uint64_t ready_seq{0};
+
+  // --- workload interpreter state ---
+  std::size_t pc{0};             // index into attrs.script
+  Ticks op_progress{0};          // ticks spent in the current OpCompute
+  bool op_blocked{false};        // the op at pc blocked; re-issue on resume
+  /// Incremented on every (re)start. The executor compares it around a
+  /// service call: a change means the process was restarted from its entry
+  /// address by the call itself (or by HM recovery it triggered), so the
+  /// program counter must not be advanced past the fresh entry.
+  std::uint64_t start_epoch{0};
+  std::string inbox;             // last message received by a port/buffer op
+  std::int32_t last_status{0};   // last APEX return code observed (debug)
+
+  /// Set while the process is suspended *in addition* to another wait
+  /// (ARINC 653: SUSPEND on a waiting process defers its eligibility).
+  bool suspended{false};
+
+  // --- per-activation statistics (periodic processes; Sect. 5 diagnostics
+  // support: "almost immediate insight on possible underdimensioning") ---
+  std::uint64_t completions{0};      // activations that reached PERIODIC_WAIT
+  Ticks total_response{0};           // sum of (completion - release)
+  Ticks max_response{0};             // worst observed response time
+  std::uint64_t deadline_misses{0};  // violations reported by the PAL
+
+  [[nodiscard]] bool schedulable() const {
+    return state == ProcessState::kReady || state == ProcessState::kRunning;
+  }
+};
+
+}  // namespace air::pos

@@ -1,0 +1,67 @@
+#include "pos/rt_kernel.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace air::pos {
+
+void RtKernel::enqueue_ready(ProcessControlBlock& pcb) {
+  AIR_ASSERT(pcb.current_priority >= 0 &&
+             pcb.current_priority < kPriorityLevels);
+  ready_[static_cast<std::size_t>(pcb.current_priority)].push_back(pcb.id);
+}
+
+void RtKernel::dequeue_ready(ProcessControlBlock& pcb) {
+  auto& queue = ready_[static_cast<std::size_t>(pcb.current_priority)];
+  auto it = std::find(queue.begin(), queue.end(), pcb.id);
+  if (it != queue.end()) queue.erase(it);
+}
+
+ProcessId RtKernel::pick_heir() {
+  for (const auto& queue : ready_) {
+    if (!queue.empty()) return queue.front();
+  }
+  return ProcessId::invalid();
+}
+
+ProcessId RtKernel::schedule() {
+  // With preemption locked, the current process runs on while schedulable.
+  if (preemption_locked() && current_.valid()) {
+    const ProcessControlBlock* cur = pcb(current_);
+    if (cur != nullptr && cur->schedulable()) return current_;
+  }
+
+  const ProcessId heir = pick_heir();
+  if (!heir.valid()) {
+    current_ = ProcessId::invalid();
+    return heir;
+  }
+  if (heir != current_) {
+    if (current_.valid()) {
+      ProcessControlBlock* prev = pcb(current_);
+      if (prev != nullptr && prev->state == ProcessState::kRunning) {
+        set_state(*prev, ProcessState::kReady);
+      }
+    }
+    current_ = heir;
+  }
+  set_state(pcb_ref(heir), ProcessState::kRunning);
+  return heir;
+}
+
+void RtKernel::set_priority(ProcessId id, Priority priority) {
+  AIR_ASSERT(priority >= 0 && priority < kPriorityLevels);
+  ProcessControlBlock& p = pcb_ref(id);
+  if (p.current_priority == priority) return;
+  const bool queued = p.schedulable();
+  if (queued) dequeue_ready(p);
+  p.current_priority = priority;
+  if (queued) {
+    // ARINC 653: the process becomes the *newest* at its new priority.
+    p.ready_seq = ++ready_counter_;
+    enqueue_ready(p);
+  }
+}
+
+}  // namespace air::pos

@@ -1,0 +1,39 @@
+// Real-time POS kernel: preemptive, priority-driven scheduling with
+// FIFO-within-priority, i.e. exactly the heir rule of eq. (14):
+//
+//   heir(t) = the ready/running process with the greatest priority (lowest
+//   numeric value); ties resolved to the oldest in the ready state.
+//
+// This stands in for RTEMS in the paper's prototype (Sect. 6).
+#pragma once
+
+#include <array>
+#include <deque>
+
+#include "pos/kernel_base.hpp"
+
+namespace air::pos {
+
+class RtKernel : public KernelBase {
+ public:
+  /// Valid priority range [0, kPriorityLevels).
+  static constexpr Priority kPriorityLevels = 256;
+
+  [[nodiscard]] std::string_view kind() const override { return "rt"; }
+
+  ProcessId schedule() override;
+  void set_priority(ProcessId id, Priority priority) override;
+
+ protected:
+  void enqueue_ready(ProcessControlBlock& pcb) override;
+  void dequeue_ready(ProcessControlBlock& pcb) override;
+  [[nodiscard]] ProcessId pick_heir() override;
+
+ private:
+  // One FIFO per priority level. The running process stays at the front of
+  // its queue: it entered the ready state before every process behind it,
+  // so eq. (14)'s age tie-break is the queue order itself.
+  std::array<std::deque<ProcessId>, kPriorityLevels> ready_;
+};
+
+}  // namespace air::pos

@@ -1,0 +1,268 @@
+// Deterministic process workloads.
+//
+// The paper's prototype runs "RTEMS-based mockup applications representative
+// of typical functions present in a satellite system" (Sect. 6). We model a
+// process body as a small interpreted program (a Script of Ops) so that
+// every experiment replays bit-for-bit. Ops are plain data: the executor in
+// src/system interprets them against the APEX interface, exactly as mockup
+// application code would call APEX services.
+//
+// A script wraps to its first op after the last one, which models the usual
+// infinite loop of a (periodic) avionics process body.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace air::pos {
+
+/// Burn CPU for `ticks` ticks (the only time-consuming op).
+struct OpCompute {
+  Ticks ticks{1};
+};
+
+/// APEX PERIODIC_WAIT: block until the next release point.
+struct OpPeriodicWait {};
+
+/// Sporadic activation wait: block until another process releases this one
+/// *and* the minimum inter-arrival time (the process period, per the system
+/// model: "T represents the lower bound for the time between consecutive
+/// activations") has elapsed since the previous activation.
+struct OpSporadicWait {};
+
+/// Release a named sporadic process of the same partition (the activation
+/// still honours the target's minimum inter-arrival).
+struct OpReleaseProcess {
+  std::string process;
+};
+
+/// APEX TIMED_WAIT: block for `delay` ticks.
+struct OpTimedWait {
+  Ticks delay{1};
+};
+
+/// APEX SUSPEND_SELF with timeout (kInfiniteTime = until resumed).
+struct OpSuspendSelf {
+  Ticks timeout{kInfiniteTime};
+};
+
+/// APEX STOP_SELF: back to dormant.
+struct OpStopSelf {};
+
+/// APEX REPLENISH: push the absolute deadline to now + budget.
+struct OpReplenish {
+  Ticks budget{0};
+};
+
+struct OpLockPreemption {};
+struct OpUnlockPreemption {};
+
+/// Intrapartition semaphore ops (index into the partition's semaphore table).
+struct OpSemWait {
+  std::int32_t semaphore{0};
+  Ticks timeout{kInfiniteTime};
+};
+struct OpSemSignal {
+  std::int32_t semaphore{0};
+};
+
+/// Intrapartition event ops.
+struct OpEventSet {
+  std::int32_t event{0};
+};
+struct OpEventReset {
+  std::int32_t event{0};
+};
+struct OpEventWait {
+  std::int32_t event{0};
+  Ticks timeout{kInfiniteTime};
+};
+
+/// Intrapartition buffer (message queue) ops.
+struct OpBufferSend {
+  std::int32_t buffer{0};
+  std::string message;
+  Ticks timeout{kInfiniteTime};
+};
+struct OpBufferReceive {
+  std::int32_t buffer{0};
+  Ticks timeout{kInfiniteTime};
+};
+
+/// Intrapartition blackboard ops.
+struct OpBlackboardDisplay {
+  std::int32_t blackboard{0};
+  std::string message;
+};
+struct OpBlackboardRead {
+  std::int32_t blackboard{0};
+  Ticks timeout{kInfiniteTime};
+};
+
+/// Interpartition port ops (index into the partition's port table).
+struct OpSamplingWrite {
+  std::int32_t port{0};
+  std::string message;
+};
+struct OpSamplingRead {
+  std::int32_t port{0};
+};
+struct OpQueuingSend {
+  std::int32_t port{0};
+  std::string message;
+  Ticks timeout{kInfiniteTime};
+};
+struct OpQueuingReceive {
+  std::int32_t port{0};
+  Ticks timeout{kInfiniteTime};
+};
+
+/// APEX SET_MODULE_SCHEDULE (mode-based schedules, Sect. 4.2); only system
+/// partitions are authorised.
+struct OpSetModuleSchedule {
+  std::int32_t schedule{0};
+};
+
+/// APEX RAISE_APPLICATION_ERROR.
+struct OpRaiseError {
+  std::int32_t code{0};
+  std::string message;
+};
+
+/// Attempt to disable the timer interrupt -- what a non-paravirtualised
+/// guest kernel might do; the PMK gate refuses and traps (Sect. 2.5).
+struct OpTryDisableClockIrq {};
+
+/// Touch simulated memory at a virtual address (spatial partitioning demo;
+/// an out-of-partition address faults into the Health Monitor).
+struct OpMemoryAccess {
+  std::uint32_t vaddr{0};
+  bool write{false};
+};
+
+/// APEX STOP on a named process of the same partition (used, e.g., by error
+/// handler processes to stop a faulty process -- a Sect. 5 recovery action).
+struct OpStopProcess {
+  std::string process;
+};
+
+/// APEX START on a named process of the same partition.
+struct OpStartProcess {
+  std::string process;
+};
+
+/// Emit a line on the partition's console (VITRAL window).
+struct OpLog {
+  std::string text;
+};
+
+/// Jump to script index `target` (loops; default wrap already loops to 0).
+struct OpGoto {
+  std::size_t target{0};
+};
+
+using Op = std::variant<
+    OpCompute, OpPeriodicWait, OpSporadicWait, OpReleaseProcess, OpTimedWait,
+    OpSuspendSelf, OpStopSelf, OpReplenish, OpLockPreemption,
+    OpUnlockPreemption, OpSemWait, OpSemSignal, OpEventSet, OpEventReset,
+    OpEventWait, OpBufferSend, OpBufferReceive, OpBlackboardDisplay,
+    OpBlackboardRead, OpSamplingWrite, OpSamplingRead, OpQueuingSend,
+    OpQueuingReceive, OpSetModuleSchedule, OpRaiseError,
+    OpTryDisableClockIrq, OpMemoryAccess, OpStopProcess, OpStartProcess,
+    OpLog, OpGoto>;
+
+using Script = std::vector<Op>;
+
+/// Fluent helper for building scripts in examples/tests:
+///   auto s = ScriptBuilder{}.compute(30).log("done").periodic_wait().build();
+class ScriptBuilder {
+ public:
+  ScriptBuilder& compute(Ticks ticks) { return add(OpCompute{ticks}); }
+  ScriptBuilder& periodic_wait() { return add(OpPeriodicWait{}); }
+  ScriptBuilder& sporadic_wait() { return add(OpSporadicWait{}); }
+  ScriptBuilder& release_process(std::string name) {
+    return add(OpReleaseProcess{std::move(name)});
+  }
+  ScriptBuilder& timed_wait(Ticks d) { return add(OpTimedWait{d}); }
+  ScriptBuilder& suspend_self(Ticks timeout = kInfiniteTime) {
+    return add(OpSuspendSelf{timeout});
+  }
+  ScriptBuilder& stop_self() { return add(OpStopSelf{}); }
+  ScriptBuilder& replenish(Ticks budget) { return add(OpReplenish{budget}); }
+  ScriptBuilder& sem_wait(std::int32_t sem, Ticks timeout = kInfiniteTime) {
+    return add(OpSemWait{sem, timeout});
+  }
+  ScriptBuilder& sem_signal(std::int32_t sem) { return add(OpSemSignal{sem}); }
+  ScriptBuilder& event_set(std::int32_t ev) { return add(OpEventSet{ev}); }
+  ScriptBuilder& event_reset(std::int32_t ev) { return add(OpEventReset{ev}); }
+  ScriptBuilder& event_wait(std::int32_t ev, Ticks timeout = kInfiniteTime) {
+    return add(OpEventWait{ev, timeout});
+  }
+  ScriptBuilder& buffer_send(std::int32_t buf, std::string msg,
+                             Ticks timeout = kInfiniteTime) {
+    return add(OpBufferSend{buf, std::move(msg), timeout});
+  }
+  ScriptBuilder& buffer_receive(std::int32_t buf,
+                                Ticks timeout = kInfiniteTime) {
+    return add(OpBufferReceive{buf, timeout});
+  }
+  ScriptBuilder& blackboard_display(std::int32_t bb, std::string msg) {
+    return add(OpBlackboardDisplay{bb, std::move(msg)});
+  }
+  ScriptBuilder& blackboard_read(std::int32_t bb,
+                                 Ticks timeout = kInfiniteTime) {
+    return add(OpBlackboardRead{bb, timeout});
+  }
+  ScriptBuilder& sampling_write(std::int32_t port, std::string msg) {
+    return add(OpSamplingWrite{port, std::move(msg)});
+  }
+  ScriptBuilder& sampling_read(std::int32_t port) {
+    return add(OpSamplingRead{port});
+  }
+  ScriptBuilder& queuing_send(std::int32_t port, std::string msg,
+                              Ticks timeout = kInfiniteTime) {
+    return add(OpQueuingSend{port, std::move(msg), timeout});
+  }
+  ScriptBuilder& queuing_receive(std::int32_t port,
+                                 Ticks timeout = kInfiniteTime) {
+    return add(OpQueuingReceive{port, timeout});
+  }
+  ScriptBuilder& set_module_schedule(std::int32_t schedule) {
+    return add(OpSetModuleSchedule{schedule});
+  }
+  ScriptBuilder& raise_error(std::int32_t code, std::string msg = {}) {
+    return add(OpRaiseError{code, std::move(msg)});
+  }
+  ScriptBuilder& try_disable_clock_irq() {
+    return add(OpTryDisableClockIrq{});
+  }
+  ScriptBuilder& memory_access(std::uint32_t vaddr, bool write = false) {
+    return add(OpMemoryAccess{vaddr, write});
+  }
+  ScriptBuilder& stop_process(std::string name) {
+    return add(OpStopProcess{std::move(name)});
+  }
+  ScriptBuilder& start_process(std::string name) {
+    return add(OpStartProcess{std::move(name)});
+  }
+  ScriptBuilder& log(std::string text) { return add(OpLog{std::move(text)}); }
+  ScriptBuilder& jump(std::size_t target) { return add(OpGoto{target}); }
+  ScriptBuilder& lock_preemption() { return add(OpLockPreemption{}); }
+  ScriptBuilder& unlock_preemption() { return add(OpUnlockPreemption{}); }
+
+  [[nodiscard]] Script build() { return std::move(ops_); }
+
+ private:
+  ScriptBuilder& add(Op op) {
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  Script ops_;
+};
+
+}  // namespace air::pos

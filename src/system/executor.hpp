@@ -1,0 +1,31 @@
+// Workload executor: interprets the running process's script against the
+// APEX interface, one tick at a time.
+//
+// This plays the role of the application code in the paper's prototype: a
+// process body is a loop of computation and APEX service calls. Only
+// OpCompute consumes processor time; service calls are instantaneous (a
+// bounded number per tick models syscall overhead). A blocking service
+// leaves the program counter in place and the op is re-issued with
+// resumed = true when the process wakes.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace air::system {
+
+class Module;
+
+class Executor {
+ public:
+  /// Run partition `id`'s heir process for (up to) one tick of execution.
+  /// Returns true when any process executed (compute or service calls);
+  /// false when no process was schedulable -- window slack, which the
+  /// module accounts per partition for integrator diagnostics.
+  static bool step(Module& module, PartitionId id, Ticks now);
+
+  /// Upper bound of zero-time service calls interpreted per tick before the
+  /// tick is charged to syscall overhead.
+  static constexpr int kMaxServicesPerTick = 64;
+};
+
+}  // namespace air::system

@@ -1,0 +1,521 @@
+#include "system/module.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "model/validation.hpp"
+#include "pos/generic_kernel.hpp"
+#include "pos/rt_kernel.hpp"
+#include "system/executor.hpp"
+#include "util/assert.hpp"
+
+namespace air::system {
+
+using util::EventKind;
+
+namespace {
+
+std::unique_ptr<pos::IKernel> make_kernel(const std::string& kind) {
+  if (kind == "generic") return std::make_unique<pos::GenericKernel>();
+  AIR_ASSERT_MSG(kind == "rt", "unknown POS kind (use \"rt\" or \"generic\")");
+  return std::make_unique<pos::RtKernel>();
+}
+
+}  // namespace
+
+Module::Module(ModuleConfig config)
+    : config_(std::move(config)),
+      machine_(config_.memory_bytes),
+      spatial_(machine_) {
+  trace_.enable(config_.trace_enabled);
+  AIR_ASSERT_MSG(!config_.partitions.empty(), "module has no partitions");
+
+  // Normalise to the multicore representation: a single-core module is a
+  // one-entry core list built from the legacy fields.
+  if (config_.cores.empty()) {
+    AIR_ASSERT_MSG(!config_.schedules.empty(), "module has no schedules");
+    config_.cores.push_back({config_.schedules, config_.initial_schedule});
+  }
+
+  // Offline verification of the integrator-defined parameters (Sect. 3),
+  // plus the multicore affinity rule: a partition is scheduled by exactly
+  // one core (parallel windows of *different* partitions only).
+  std::map<PartitionId, std::size_t> affinity;
+  for (std::size_t core = 0; core < config_.cores.size(); ++core) {
+    for (const auto& schedule : config_.cores[core].schedules) {
+      if (config_.validate) {
+        const model::ValidationReport report =
+            model::validate_schedule(schedule);
+        if (!report.ok()) {
+          throw std::invalid_argument("invalid schedule " + schedule.name +
+                                      ":\n" + report.to_text());
+        }
+      }
+      for (const auto& req : schedule.requirements) {
+        auto [it, inserted] = affinity.emplace(req.partition, core);
+        if (!inserted && it->second != core) {
+          throw std::invalid_argument(
+              "partition " + std::to_string(req.partition.value()) +
+              " is scheduled on two cores");
+        }
+      }
+    }
+  }
+
+  // PMK partition table + spatial separation setup.
+  pcbs_.reserve(config_.partitions.size());
+  core_affinity_.resize(config_.partitions.size(), 0);
+  for (std::size_t i = 0; i < config_.partitions.size(); ++i) {
+    const PartitionConfig& pc = config_.partitions[i];
+    pmk::PartitionControlBlock pcb;
+    pcb.id = PartitionId{static_cast<std::int32_t>(i)};
+    pcb.name = pc.name;
+    pcb.system_partition = pc.system_partition;
+    pcb.last_tick = -1;
+    pcb.mmu_context = spatial_.setup_partition(pcb.id, pc.memory).context;
+    auto it = affinity.find(pcb.id);
+    if (it != affinity.end()) core_affinity_[i] = it->second;
+    pcbs_.push_back(std::move(pcb));
+  }
+
+  // One scheduler + dispatcher pair per core, with the core's PSTs
+  // compiled and installed.
+  cores_.reserve(config_.cores.size());
+  for (const CoreConfig& core_config : config_.cores) {
+    Core& core = cores_.emplace_back();
+    for (const auto& schedule : core_config.schedules) {
+      std::map<PartitionId, pmk::ScheduleChangeAction> actions;
+      for (const auto& [key, action] : config_.change_actions) {
+        if (key.first == schedule.id) actions[key.second] = action;
+      }
+      core.scheduler.add_schedule(pmk::compile_schedule(schedule, actions));
+    }
+    core.scheduler.set_initial_schedule(core_config.initial_schedule);
+    core.dispatcher =
+        std::make_unique<pmk::PartitionDispatcher>(pcbs_, &machine_.mmu());
+  }
+
+  // Per-partition runtime: PAL (wrapping the POS kernel) + APEX. A
+  // partition's APEX is bound to the scheduler of its core, which scopes
+  // SET_MODULE_SCHEDULE to that core's PSTs.
+  partitions_.resize(config_.partitions.size());
+  for (std::size_t i = 0; i < config_.partitions.size(); ++i) {
+    const PartitionConfig& pc = config_.partitions[i];
+    const PartitionId id{static_cast<std::int32_t>(i)};
+    PartitionRuntime& rt = partitions_[i];
+    rt.pal = std::make_unique<pal::Pal>(make_kernel(pc.pos_kind),
+                                        pc.deadline_registry);
+    rt.apex = std::make_unique<apex::Apex>(
+        id, pcbs_[i], *rt.pal, router_, health_,
+        cores_[core_affinity_[i]].scheduler, [this] { return now(); });
+    wire_partition(id);
+  }
+
+  // Channels.
+  for (const auto& channel : config_.channels) {
+    router_.add_channel(channel);
+  }
+  router_.on_delivery = [this](const ipc::PortRef& dest) {
+    if (dest.partition.valid() &&
+        static_cast<std::size_t>(dest.partition.value()) <
+            partitions_.size()) {
+      apex(dest.partition).notify_queuing_delivery(dest.port);
+    }
+  };
+  router_.on_source_space = [this](const ipc::PortRef& source) {
+    if (source.partition.valid() &&
+        static_cast<std::size_t>(source.partition.value()) <
+            partitions_.size()) {
+      apex(source.partition).notify_queuing_space(source.port);
+    }
+  };
+  router_.remote_send = [this](const ipc::RemotePortRef& dest,
+                               const ipc::Message& message,
+                               ipc::ChannelKind kind) {
+    if (remote_send) remote_send(dest, message, kind);
+  };
+
+  // Health Monitor policy tables and mechanisms.
+  health_.set_module_table(config_.module_hm_table);
+  for (std::size_t i = 0; i < config_.partitions.size(); ++i) {
+    health_.set_partition_table(PartitionId{static_cast<std::int32_t>(i)},
+                                config_.partitions[i].hm_table);
+  }
+  health_.invoke_error_handler = [this](PartitionId id,
+                                        const hm::ErrorReport& report) {
+    return apex(id).activate_error_handler(report);
+  };
+  health_.stop_process = [this](PartitionId id, ProcessId pid) {
+    (void)apex(id).stop(pid);
+  };
+  health_.restart_process = [this](PartitionId id, ProcessId pid) {
+    (void)apex(id).stop(pid);
+    (void)apex(id).start(pid);
+  };
+  health_.stop_partition = [this](PartitionId id) {
+    (void)apex(id).set_partition_mode(pmk::OperatingMode::kIdle);
+    trace_.record(now(), EventKind::kPartitionModeChange, id.value(),
+                  static_cast<std::int64_t>(pmk::OperatingMode::kIdle));
+  };
+  health_.restart_partition = [this](PartitionId id, bool cold) {
+    init_partition(id, cold);
+  };
+  health_.stop_module = [this](bool reset) {
+    stopped_ = true;
+    trace_.record(now(), EventKind::kHmAction, -1, reset ? 1 : 0,
+                  -1, "module_stop");
+  };
+  health_.on_report = [this](const hm::ErrorReport& report) {
+    trace_.record(report.time, EventKind::kHmError, report.partition.value(),
+                  report.process.value(),
+                  static_cast<std::int64_t>(report.code),
+                  to_string(report.action_taken));
+  };
+
+  // Scheduler/dispatcher observation + mode-based schedule actions, per
+  // core.
+  for (Core& core : cores_) {
+    pmk::PartitionScheduler* scheduler = &core.scheduler;
+    core.scheduler.on_schedule_switch = [this, scheduler](ScheduleId next,
+                                                          ScheduleId old) {
+      trace_.record(now(), EventKind::kScheduleSwitch, next.value(),
+                    old.value());
+      const pmk::RuntimeSchedule* schedule = scheduler->schedule(next);
+      AIR_ASSERT(schedule != nullptr);
+      for (auto& pcb : pcbs_) {
+        auto it = schedule->change_actions.find(pcb.id);
+        if (it != schedule->change_actions.end() &&
+            it->second != pmk::ScheduleChangeAction::kNone &&
+            pcb.mode == pmk::OperatingMode::kNormal) {
+          pcb.schedule_change_pending = true;
+          pcb.pending_action = it->second;
+        }
+      }
+    };
+    core.dispatcher->on_context_switch = [this](PartitionId heir,
+                                                PartitionId previous) {
+      trace_.record(now(), EventKind::kPartitionDispatch, heir.value(),
+                    previous.value());
+    };
+    core.dispatcher->on_pending_schedule_change_action =
+        [this](PartitionId id) { apply_pending_change_action(id); };
+  }
+
+  // Boot: initialise every partition (cold start -> NORMAL).
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    init_partition(PartitionId{static_cast<std::int32_t>(i)}, true);
+  }
+}
+
+Module::~Module() = default;
+
+void Module::wire_partition(PartitionId id) {
+  PartitionRuntime& rt = partitions_[static_cast<std::size_t>(id.value())];
+  const PartitionConfig& pc =
+      config_.partitions[static_cast<std::size_t>(id.value())];
+
+  // PAL deadline violations feed the Health Monitor (Algorithm 3 line 6).
+  rt.pal->on_deadline_violation = [this, id](ProcessId pid, Ticks deadline,
+                                             Ticks detected_at) {
+    trace_.record(detected_at, EventKind::kDeadlineMiss, id.value(),
+                  pid.value(), deadline);
+    if (pos::ProcessControlBlock* pcb = kernel(id).pcb(pid)) {
+      ++pcb->deadline_misses;
+    }
+    health_.report(detected_at, hm::ErrorCode::kDeadlineMissed,
+                   hm::ErrorLevel::kProcess, id, pid, "deadline missed");
+  };
+
+  // Process state changes are traced (partition id in `a`).
+  rt.pal->kernel().on_state_change = [this, id](ProcessId pid,
+                                                pos::ProcessState state) {
+    trace_.record(now(), EventKind::kProcessStateChange, id.value(),
+                  pid.value(), static_cast<std::int64_t>(state));
+  };
+
+  if (auto* generic = dynamic_cast<pos::GenericKernel*>(&rt.pal->kernel())) {
+    generic->on_paravirt_trap = [this, id] {
+      trace_.record(now(), EventKind::kClockParavirtTrap, id.value());
+    };
+  }
+
+  rt.apex->console = [this, id](std::string_view line) {
+    partitions_[static_cast<std::size_t>(id.value())].console_lines.emplace_back(
+        line);
+    trace_.record(now(), EventKind::kUser, id.value(), -1, -1,
+                  std::string{line});
+  };
+  rt.apex->on_mode_transition = [this, id](pmk::OperatingMode mode) {
+    trace_.record(now(), EventKind::kPartitionModeChange, id.value(),
+                  static_cast<std::int64_t>(mode));
+    if (mode == pmk::OperatingMode::kColdStart ||
+        mode == pmk::OperatingMode::kWarmStart) {
+      init_partition(id, mode == pmk::OperatingMode::kColdStart);
+    }
+  };
+
+  // Integration-time port definition.
+  for (const auto& port : pc.sampling_ports) {
+    rt.apex->define_sampling_port(port.name, port.direction,
+                                  port.max_message_bytes,
+                                  port.refresh_period);
+  }
+  for (const auto& port : pc.queuing_ports) {
+    rt.apex->define_queuing_port(port.name, port.direction,
+                                 port.max_message_bytes, port.capacity,
+                                 port.discipline);
+  }
+}
+
+void Module::init_partition(PartitionId id, bool cold) {
+  PartitionRuntime& rt = partitions_[static_cast<std::size_t>(id.value())];
+  const PartitionConfig& pc =
+      config_.partitions[static_cast<std::size_t>(id.value())];
+  pmk::PartitionControlBlock& pcb =
+      pcbs_[static_cast<std::size_t>(id.value())];
+
+  pcb.mode = cold ? pmk::OperatingMode::kColdStart
+                  : pmk::OperatingMode::kWarmStart;
+  trace_.record(now(), EventKind::kPartitionModeChange, id.value(),
+                static_cast<std::int64_t>(pcb.mode));
+
+  rt.pal->reset();
+  rt.apex->reset_runtime_state();
+  health_.reset_occurrences(id);
+
+  // --- partition init code (modelled as zero-time) ---
+  apex::Apex& apex = *rt.apex;
+  for (const auto& buffer : pc.buffers) {
+    BufferId out;
+    (void)apex.create_buffer(buffer.name, buffer.max_message_bytes,
+                             buffer.capacity, out, buffer.discipline);
+  }
+  for (const auto& blackboard : pc.blackboards) {
+    BlackboardId out;
+    (void)apex.create_blackboard(blackboard.name,
+                                 blackboard.max_message_bytes, out);
+  }
+  for (const auto& semaphore : pc.semaphores) {
+    SemaphoreId out;
+    (void)apex.create_semaphore(semaphore.name, semaphore.initial,
+                                semaphore.maximum, out,
+                                semaphore.discipline);
+  }
+  for (const auto& event : pc.events) {
+    EventId out;
+    (void)apex.create_event(event.name, out);
+  }
+  if (!pc.error_handler.empty()) {
+    (void)apex.create_error_handler(pc.error_handler, 4096);
+  }
+  for (const auto& process : pc.processes) {
+    ProcessId pid;
+    if (apex.create_process(process.attrs, pid) !=
+        apex::ReturnCode::kNoError) {
+      // Already exists (partition restart): the kernel kept the process.
+      (void)apex.get_process_id(process.attrs.name, pid);
+    }
+    if (process.auto_start && pid.valid()) {
+      (void)apex.start(pid);
+    }
+  }
+
+  const apex::ReturnCode rc =
+      apex.set_partition_mode(pmk::OperatingMode::kNormal);
+  AIR_ASSERT(rc == apex::ReturnCode::kNoError);
+  trace_.record(now(), EventKind::kPartitionModeChange, id.value(),
+                static_cast<std::int64_t>(pmk::OperatingMode::kNormal));
+}
+
+void Module::apply_pending_change_action(PartitionId id) {
+  pmk::PartitionControlBlock& pcb =
+      pcbs_[static_cast<std::size_t>(id.value())];
+  if (!pcb.schedule_change_pending) return;
+  const pmk::ScheduleChangeAction action = pcb.pending_action;
+  pcb.schedule_change_pending = false;
+  pcb.pending_action = pmk::ScheduleChangeAction::kNone;
+  trace_.record(now(), EventKind::kScheduleChangeAction, id.value(),
+                static_cast<std::int64_t>(action));
+  switch (action) {
+    case pmk::ScheduleChangeAction::kNone:
+      break;
+    case pmk::ScheduleChangeAction::kWarmRestart:
+      init_partition(id, false);
+      break;
+    case pmk::ScheduleChangeAction::kColdRestart:
+      init_partition(id, true);
+      break;
+  }
+}
+
+void Module::tick_once() {
+  if (stopped_) return;
+
+  // Timer interrupt.
+  machine_.tick();
+  (void)machine_.interrupts().take(hal::IrqLine::kTimer);
+
+  // Algorithms 1 + 2 on every core (parallel partition windows; the
+  // simulation serialises cores within the tick, which is sound because
+  // core affinity keeps their partition sets disjoint).
+  struct Dispatched {
+    PartitionId active;
+    Ticks elapsed;
+  };
+  util::FixedVector<Dispatched, 16> dispatched;
+  for (Core& core : cores_) {
+    (void)core.scheduler.tick();
+    const auto result = core.dispatcher->dispatch(
+        core.scheduler.heir_partition(), core.scheduler.ticks());
+    if (result.active.valid()) {
+      dispatched.push_back({result.active, result.elapsed_ticks});
+    }
+  }
+
+  // PMK channel service: queuing channels progress regardless of which
+  // partitions are active.
+  router_.pump_all();
+
+  for (const Dispatched& d : dispatched) {
+    if (stopped_) return;
+    pmk::PartitionControlBlock& pcb =
+        pcbs_[static_cast<std::size_t>(d.active.value())];
+    if (pcb.mode != pmk::OperatingMode::kNormal) continue;
+
+    // Algorithm 3: surrogate clock-tick announce + deadline verification,
+    // then run the partition's heir process for this tick.
+    step_active_partition(d.active, d.elapsed);
+  }
+}
+
+void Module::step_active_partition(PartitionId id, Ticks elapsed) {
+  PartitionRuntime& rt = partitions_[static_cast<std::size_t>(id.value())];
+  pmk::PartitionControlBlock& pcb =
+      pcbs_[static_cast<std::size_t>(id.value())];
+  // With several cores, another core's dispatch may have moved the MMU off
+  // this partition's context within the same tick; re-select it (a no-op
+  // on the single-core fast path).
+  if (pcb.mmu_context >= 0) {
+    machine_.mmu().set_active_context(pcb.mmu_context);
+  }
+  rt.pal->announce_ticks(now(), elapsed);
+  if (stopped_) return;
+  if (pcb.mode != pmk::OperatingMode::kNormal) return;  // HM intervened
+  if (Executor::step(*this, id, now())) {
+    ++pcb.busy_ticks;
+  } else {
+    ++pcb.slack_ticks;
+  }
+}
+
+std::size_t Module::core_of(PartitionId partition) const {
+  AIR_ASSERT(partition.valid() &&
+             static_cast<std::size_t>(partition.value()) <
+                 core_affinity_.size());
+  return core_affinity_[static_cast<std::size_t>(partition.value())];
+}
+
+void Module::run(Ticks ticks) {
+  for (Ticks i = 0; i < ticks && !stopped_; ++i) tick_once();
+}
+
+void Module::run_until(Ticks time) {
+  while (now() < time && !stopped_) tick_once();
+}
+
+PartitionId Module::partition_id(std::string_view name) const {
+  for (const auto& pcb : pcbs_) {
+    if (pcb.name == name) return pcb.id;
+  }
+  return PartitionId::invalid();
+}
+
+apex::Apex& Module::apex(PartitionId id) {
+  AIR_ASSERT(id.valid() &&
+             static_cast<std::size_t>(id.value()) < partitions_.size());
+  return *partitions_[static_cast<std::size_t>(id.value())].apex;
+}
+
+pal::Pal& Module::pal(PartitionId id) {
+  AIR_ASSERT(id.valid() &&
+             static_cast<std::size_t>(id.value()) < partitions_.size());
+  return *partitions_[static_cast<std::size_t>(id.value())].pal;
+}
+
+pos::IKernel& Module::kernel(PartitionId id) { return pal(id).kernel(); }
+
+pmk::PartitionControlBlock& Module::partition_pcb(PartitionId id) {
+  AIR_ASSERT(id.valid() &&
+             static_cast<std::size_t>(id.value()) < pcbs_.size());
+  return pcbs_[static_cast<std::size_t>(id.value())];
+}
+
+const std::vector<std::string>& Module::console(PartitionId id) const {
+  AIR_ASSERT(id.valid() &&
+             static_cast<std::size_t>(id.value()) < partitions_.size());
+  return partitions_[static_cast<std::size_t>(id.value())].console_lines;
+}
+
+bool Module::start_process_by_name(PartitionId id, std::string_view name) {
+  apex::Apex& a = apex(id);
+  ProcessId pid;
+  if (a.get_process_id(name, pid) != apex::ReturnCode::kNoError) return false;
+  return a.start(pid) == apex::ReturnCode::kNoError;
+}
+
+std::string Module::status_report() {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "module %s  t=%lld%s  cores=%zu\n",
+                config_.name.c_str(), static_cast<long long>(now()),
+                stopped_ ? "  [STOPPED]" : "", cores_.size());
+  out += line;
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    const auto status = cores_[c].scheduler.status();
+    std::snprintf(line, sizeof line,
+                  "  core %zu: schedule %d (next %d, last switch %lld)\n", c,
+                  status.current.value(), status.next.value(),
+                  static_cast<long long>(status.last_switch_time));
+    out += line;
+  }
+  for (const auto& pcb : pcbs_) {
+    std::snprintf(line, sizeof line,
+                  "  partition %-12s mode=%-9s busy=%llu slack=%llu "
+                  "switches=%llu\n",
+                  pcb.name.c_str(), to_string(pcb.mode),
+                  static_cast<unsigned long long>(pcb.busy_ticks),
+                  static_cast<unsigned long long>(pcb.slack_ticks),
+                  static_cast<unsigned long long>(pcb.context_restores));
+    out += line;
+    auto& k = kernel(pcb.id);
+    for (std::size_t q = 0; q < k.process_count(); ++q) {
+      apex::ProcessStatus st;
+      if (apex(pcb.id).get_process_status(
+              ProcessId{static_cast<std::int32_t>(q)}, st) !=
+          apex::ReturnCode::kNoError) {
+        continue;
+      }
+      std::snprintf(line, sizeof line,
+                    "    %-20s %-8s prio=%-3d completions=%llu "
+                    "max_resp=%lld misses=%llu\n",
+                    st.name.c_str(), to_string(st.state),
+                    st.current_priority,
+                    static_cast<unsigned long long>(st.completions),
+                    static_cast<long long>(st.max_response),
+                    static_cast<unsigned long long>(st.deadline_misses));
+      out += line;
+    }
+  }
+  std::snprintf(line, sizeof line, "  hm log entries: %zu\n",
+                health_.log().size());
+  out += line;
+  return out;
+}
+
+void Module::deliver_remote(PartitionId partition, const std::string& port,
+                            const ipc::Message& message,
+                            ipc::ChannelKind kind) {
+  router_.deliver_remote({partition, port}, message, kind);
+}
+
+}  // namespace air::system

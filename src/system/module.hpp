@@ -1,0 +1,146 @@
+// The integrated module: one onboard computer running the full AIR stack.
+//
+// Composes the simulated machine (HAL), the PMK (partition scheduler Alg. 1,
+// dispatcher Alg. 2, spatial manager, channel router), one PAL + POS kernel +
+// APEX instance per partition, the Health Monitor and the event trace, and
+// drives them tick by tick:
+//
+//   per tick:  machine.tick()                      (timer interrupt)
+//              scheduler.tick()                    (Algorithm 1)
+//              dispatcher.dispatch(heir, ticks)    (Algorithm 2)
+//              router.pump_all()                   (PMK channel service)
+//              pal.announce_ticks(now, elapsed)    (Algorithm 3, active
+//                                                   partition only)
+//              executor.step()                     (run the heir process)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apex/apex.hpp"
+#include "hal/machine.hpp"
+#include "hm/health_monitor.hpp"
+#include "ipc/router.hpp"
+#include "pal/pal.hpp"
+#include "pmk/partition.hpp"
+#include "pmk/partition_dispatcher.hpp"
+#include "pmk/partition_scheduler.hpp"
+#include "pmk/spatial.hpp"
+#include "system/module_config.hpp"
+#include "util/fixed_vector.hpp"
+#include "util/trace.hpp"
+
+namespace air::system {
+
+class Module {
+ public:
+  explicit Module(ModuleConfig config);
+  ~Module();
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Advance the module by `ticks` clock ticks (no-op once stopped).
+  void run(Ticks ticks);
+
+  /// Advance until the module clock reaches `time`.
+  void run_until(Ticks time);
+
+  /// Execute exactly one clock tick.
+  void tick_once();
+
+  /// Module time. The scheduler's counter sits at -1 before the first tick
+  /// (so that tick 0 is the first preemption point); boot-time actions are
+  /// stamped at time 0.
+  [[nodiscard]] Ticks now() const {
+    const Ticks t = cores_.front().scheduler.ticks();
+    return t < 0 ? 0 : t;
+  }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  // --- component access ---
+  [[nodiscard]] util::Trace& trace() { return trace_; }
+  [[nodiscard]] const util::Trace& trace() const { return trace_; }
+  [[nodiscard]] hal::Machine& machine() { return machine_; }
+  [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
+  /// Scheduler / dispatcher of one core (core 0 by default, which is the
+  /// whole machine for single-core configurations).
+  [[nodiscard]] pmk::PartitionScheduler& scheduler(std::size_t core = 0) {
+    return cores_[core].scheduler;
+  }
+  [[nodiscard]] pmk::PartitionDispatcher& dispatcher(std::size_t core = 0) {
+    return *cores_[core].dispatcher;
+  }
+  /// The core whose schedules host `partition`.
+  [[nodiscard]] std::size_t core_of(PartitionId partition) const;
+  [[nodiscard]] hm::HealthMonitor& health() { return health_; }
+  [[nodiscard]] ipc::Router& router() { return router_; }
+  [[nodiscard]] pmk::SpatialManager& spatial() { return spatial_; }
+  [[nodiscard]] const ModuleConfig& config() const { return config_; }
+
+  [[nodiscard]] std::size_t partition_count() const {
+    return partitions_.size();
+  }
+  [[nodiscard]] PartitionId partition_id(std::string_view name) const;
+  [[nodiscard]] apex::Apex& apex(PartitionId id);
+  [[nodiscard]] pal::Pal& pal(PartitionId id);
+  [[nodiscard]] pos::IKernel& kernel(PartitionId id);
+  [[nodiscard]] pmk::PartitionControlBlock& partition_pcb(PartitionId id);
+
+  /// Lines written by the partition (REPORT_APPLICATION_MESSAGE / OpLog).
+  [[nodiscard]] const std::vector<std::string>& console(PartitionId id) const;
+
+  /// Human-readable module status: per-partition mode, window usage and
+  /// per-process statistics, plus HM and scheduler summaries. Integrator
+  /// observability; used by the examples.
+  [[nodiscard]] std::string status_report();
+
+  /// (Re)initialise a partition: cold/warm start, run its init code
+  /// (create objects + processes, start them) and enter NORMAL mode.
+  void init_partition(PartitionId id, bool cold);
+
+  /// Start a (dormant) process by name -- how examples/tests "inject" the
+  /// faulty process of the paper's prototype (Sect. 6). Returns false when
+  /// the process does not exist or is not dormant.
+  bool start_process_by_name(PartitionId id, std::string_view name);
+
+  // --- remote communication wiring (used by World) ---
+  /// Deliver a message arriving from the bus to a destination port.
+  void deliver_remote(PartitionId partition, const std::string& port,
+                      const ipc::Message& message, ipc::ChannelKind kind);
+  /// Hook invoked when a local channel has a remote destination.
+  std::function<void(const ipc::RemotePortRef&, const ipc::Message&,
+                     ipc::ChannelKind)>
+      remote_send;
+
+ private:
+  friend class Executor;
+  struct PartitionRuntime {
+    std::unique_ptr<pal::Pal> pal;
+    std::unique_ptr<apex::Apex> apex;
+    std::vector<std::string> console_lines;
+  };
+  struct Core {
+    pmk::PartitionScheduler scheduler;
+    std::unique_ptr<pmk::PartitionDispatcher> dispatcher;
+  };
+
+  void wire_partition(PartitionId id);
+  void apply_pending_change_action(PartitionId id);
+  void step_active_partition(PartitionId id, Ticks elapsed);
+
+  ModuleConfig config_;
+  util::Trace trace_;
+  hal::Machine machine_;
+  pmk::SpatialManager spatial_;
+  ipc::Router router_;
+  hm::HealthMonitor health_;
+  std::vector<pmk::PartitionControlBlock> pcbs_;
+  std::vector<Core> cores_;
+  std::vector<std::size_t> core_affinity_;  // partition value -> core index
+  std::vector<PartitionRuntime> partitions_;
+  bool stopped_{false};
+};
+
+}  // namespace air::system

@@ -1,0 +1,31 @@
+#include "system/world.hpp"
+
+namespace air::system {
+
+Module& World::add_module(ModuleConfig config) {
+  const ModuleId id = config.id;
+  modules_.push_back(std::make_unique<Module>(std::move(config)));
+  Module& module = *modules_.back();
+
+  module.remote_send = [this, id](const ipc::RemotePortRef& dest,
+                                  const ipc::Message& message,
+                                  ipc::ChannelKind kind) {
+    bus_.send(id, dest, message, kind, now_);
+  };
+  bus_.attach(id, [&module](PartitionId partition, const std::string& port,
+                            const ipc::Message& message,
+                            ipc::ChannelKind kind) {
+    module.deliver_remote(partition, port, message, kind);
+  });
+  return module;
+}
+
+void World::run(Ticks ticks) {
+  for (Ticks i = 0; i < ticks; ++i) {
+    for (auto& module : modules_) module->tick_once();
+    bus_.tick(now_);
+    ++now_;
+  }
+}
+
+}  // namespace air::system

@@ -1,0 +1,34 @@
+// Multi-module world: several AIR modules in lockstep on a shared TDMA bus,
+// for experiments with physically separated (remote) partitions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/bus.hpp"
+#include "system/module.hpp"
+
+namespace air::system {
+
+class World {
+ public:
+  explicit World(net::BusConfig bus_config = {}) : bus_(bus_config) {}
+
+  /// Construct and attach a module. The module's id must be unique.
+  Module& add_module(ModuleConfig config);
+
+  /// Advance every module and the bus by `ticks` (lockstep).
+  void run(Ticks ticks);
+
+  [[nodiscard]] Ticks now() const { return now_; }
+  [[nodiscard]] net::Bus& bus() { return bus_; }
+  [[nodiscard]] Module& module(std::size_t index) { return *modules_[index]; }
+  [[nodiscard]] std::size_t module_count() const { return modules_.size(); }
+
+ private:
+  net::Bus bus_;
+  std::vector<std::unique_ptr<Module>> modules_;
+  Ticks now_{0};
+};
+
+}  // namespace air::system

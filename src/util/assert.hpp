@@ -1,0 +1,31 @@
+// Always-on assertion macro for internal invariants.
+//
+// Avionics-grade code does not continue past a broken invariant; AIR_ASSERT
+// aborts with a located message in every build type (unlike <cassert>).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace air::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "AIR_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " -- " : "", msg);
+  std::abort();
+}
+
+}  // namespace air::detail
+
+#define AIR_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) [[unlikely]]                                         \
+      ::air::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define AIR_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) [[unlikely]]                                         \
+      ::air::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)

@@ -1,0 +1,100 @@
+// Fixed-capacity vector: contiguous storage, no heap after construction.
+//
+// Hot kernel paths (scheduling tables, ready queues, port tables) are sized
+// at integration time, as in real ARINC 653 systems where dynamic memory
+// allocation is forbidden after initialisation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace air::util {
+
+template <class T, std::size_t Capacity>
+class FixedVector {
+ public:
+  FixedVector() = default;
+
+  FixedVector(const FixedVector& other) { *this = other; }
+  FixedVector& operator=(const FixedVector& other) {
+    if (this == &other) return *this;
+    clear();
+    for (const T& v : other) push_back(v);
+    return *this;
+  }
+
+  FixedVector(FixedVector&& other) noexcept { *this = std::move(other); }
+  FixedVector& operator=(FixedVector&& other) noexcept {
+    if (this == &other) return *this;
+    clear();
+    for (T& v : other) push_back(std::move(v));
+    other.clear();
+    return *this;
+  }
+
+  ~FixedVector() { clear(); }
+
+  [[nodiscard]] static constexpr std::size_t capacity() { return Capacity; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == Capacity; }
+
+  T& push_back(const T& value) { return emplace_back(value); }
+  T& push_back(T&& value) { return emplace_back(std::move(value)); }
+
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    AIR_ASSERT_MSG(!full(), "FixedVector capacity exceeded");
+    T* slot = new (address(size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    AIR_ASSERT(!empty());
+    --size_;
+    address(size_)->~T();
+  }
+
+  void clear() {
+    while (!empty()) pop_back();
+  }
+
+  T& operator[](std::size_t i) {
+    AIR_ASSERT(i < size_);
+    return *address(i);
+  }
+  const T& operator[](std::size_t i) const {
+    AIR_ASSERT(i < size_);
+    return *address(i);
+  }
+
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+
+  T* begin() { return address(0); }
+  T* end() { return address(size_); }
+  const T* begin() const { return address(0); }
+  const T* end() const { return address(size_); }
+
+ private:
+  T* address(std::size_t i) {
+    return std::launder(reinterpret_cast<T*>(storage_.data() + i * sizeof(T)));
+  }
+  const T* address(std::size_t i) const {
+    return std::launder(
+        reinterpret_cast<const T*>(storage_.data() + i * sizeof(T)));
+  }
+
+  alignas(T) std::array<std::byte, Capacity * sizeof(T)> storage_;
+  std::size_t size_{0};
+};
+
+}  // namespace air::util

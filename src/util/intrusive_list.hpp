@@ -1,0 +1,168 @@
+// Intrusive doubly-linked list.
+//
+// Used by the PAL deadline registry (Sect. 5.3 of the paper keeps process
+// deadlines in a linked list so that earliest-deadline retrieval and
+// pointer-based removal are O(1)) and by POS ready queues. Being intrusive,
+// insertion/removal never allocates -- a hard requirement for code that runs
+// inside the (simulated) clock-tick ISR.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+
+#include "util/assert.hpp"
+
+namespace air::util {
+
+/// Hook to embed in every listed object. An object may live in at most one
+/// list per hook. Hooks unlink themselves on destruction.
+class ListHook {
+ public:
+  ListHook() = default;
+  ~ListHook() { unlink(); }
+
+  ListHook(const ListHook&) = delete;
+  ListHook& operator=(const ListHook&) = delete;
+
+  [[nodiscard]] bool linked() const { return next_ != nullptr; }
+
+  /// Remove this hook from whatever list holds it. No-op when unlinked.
+  void unlink() {
+    if (!linked()) return;
+    prev_->next_ = next_;
+    next_->prev_ = prev_;
+    next_ = nullptr;
+    prev_ = nullptr;
+  }
+
+ private:
+  template <class T, ListHook T::*>
+  friend class IntrusiveList;
+
+  ListHook* next_{nullptr};
+  ListHook* prev_{nullptr};
+};
+
+/// Doubly-linked list of T, threaded through `Hook` (a ListHook member).
+///
+///   struct Node { int key; util::ListHook hook; };
+///   util::IntrusiveList<Node, &Node::hook> list;
+template <class T, ListHook T::*Hook>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    sentinel_.next_ = &sentinel_;
+    sentinel_.prev_ = &sentinel_;
+  }
+
+  ~IntrusiveList() { clear(); }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  [[nodiscard]] bool empty() const { return sentinel_.next_ == &sentinel_; }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const ListHook* h = sentinel_.next_; h != &sentinel_; h = h->next_) ++n;
+    return n;
+  }
+
+  void push_front(T& item) { insert_hook_before(sentinel_.next_, hook_of(item)); }
+  void push_back(T& item) { insert_hook_before(&sentinel_, hook_of(item)); }
+
+  [[nodiscard]] T& front() {
+    AIR_ASSERT(!empty());
+    return *object_of(sentinel_.next_);
+  }
+  [[nodiscard]] const T& front() const {
+    AIR_ASSERT(!empty());
+    return *object_of(sentinel_.next_);
+  }
+  [[nodiscard]] T& back() {
+    AIR_ASSERT(!empty());
+    return *object_of(sentinel_.prev_);
+  }
+
+  void pop_front() {
+    AIR_ASSERT(!empty());
+    sentinel_.next_->unlink();
+  }
+
+  /// Insert `item` immediately before `pos` (end() inserts at the back).
+  void insert_before(T* pos, T& item) {
+    ListHook* at = pos != nullptr ? &(pos->*Hook) : &sentinel_;
+    insert_hook_before(at, hook_of(item));
+  }
+
+  static void remove(T& item) { (item.*Hook).unlink(); }
+
+  void clear() {
+    while (!empty()) pop_front();
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T*;
+    using reference = T&;
+
+    iterator() = default;
+    explicit iterator(ListHook* hook) : hook_(hook) {}
+
+    reference operator*() const { return *object_of(hook_); }
+    pointer operator->() const { return object_of(hook_); }
+
+    iterator& operator++() {
+      hook_ = hook_->next_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator old = *this;
+      ++*this;
+      return old;
+    }
+    iterator& operator--() {
+      hook_ = hook_->prev_;
+      return *this;
+    }
+
+    friend bool operator==(iterator, iterator) = default;
+
+   private:
+    ListHook* hook_{nullptr};
+  };
+
+  iterator begin() { return iterator{sentinel_.next_}; }
+  iterator end() { return iterator{&sentinel_}; }
+
+ private:
+  static ListHook& hook_of(T& item) { return item.*Hook; }
+
+  static T* object_of(ListHook* hook) {
+    // Recover the owning object from its embedded hook.
+    auto offset = reinterpret_cast<std::ptrdiff_t>(
+        &(static_cast<T*>(nullptr)->*Hook));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(hook) - offset);
+  }
+  static const T* object_of(const ListHook* hook) {
+    auto offset = reinterpret_cast<std::ptrdiff_t>(
+        &(static_cast<T*>(nullptr)->*Hook));
+    return reinterpret_cast<const T*>(reinterpret_cast<const char*>(hook) -
+                                      offset);
+  }
+
+  static void insert_hook_before(ListHook* pos, ListHook& hook) {
+    AIR_ASSERT_MSG(!hook.linked(), "hook already in a list");
+    hook.prev_ = pos->prev_;
+    hook.next_ = pos;
+    pos->prev_->next_ = &hook;
+    pos->prev_ = &hook;
+  }
+
+  ListHook sentinel_;
+};
+
+}  // namespace air::util

@@ -1,0 +1,60 @@
+// Bounded FIFO ring buffer (queuing ports, buffers, bus slots).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace air::util {
+
+/// FIFO of `T` with capacity fixed at construction. Overwrites are explicit:
+/// push on a full ring fails instead of silently dropping, because ARINC 653
+/// queuing-port semantics require the sender to observe overflow.
+template <class T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    AIR_ASSERT(capacity > 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool full() const { return count_ == slots_.size(); }
+
+  /// Append `value`; returns false (and leaves the ring untouched) when full.
+  [[nodiscard]] bool push(T value) {
+    if (full()) return false;
+    slots_[(head_ + count_) % slots_.size()] = std::move(value);
+    ++count_;
+    return true;
+  }
+
+  /// Pop the oldest element into `out`; returns false when empty.
+  [[nodiscard]] bool pop(T& out) {
+    if (empty()) return false;
+    out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    return true;
+  }
+
+  [[nodiscard]] const T& peek() const {
+    AIR_ASSERT(!empty());
+    return slots_[head_];
+  }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_{0};
+  std::size_t count_{0};
+};
+
+}  // namespace air::util

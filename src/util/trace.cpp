@@ -1,0 +1,67 @@
+#include "util/trace.hpp"
+
+#include <sstream>
+
+namespace air::util {
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPartitionDispatch: return "partition_dispatch";
+    case EventKind::kPartitionPreempt: return "partition_preempt";
+    case EventKind::kScheduleSwitchReq: return "schedule_switch_req";
+    case EventKind::kScheduleSwitch: return "schedule_switch";
+    case EventKind::kScheduleChangeAction: return "schedule_change_action";
+    case EventKind::kProcessDispatch: return "process_dispatch";
+    case EventKind::kProcessStateChange: return "process_state_change";
+    case EventKind::kDeadlineRegistered: return "deadline_registered";
+    case EventKind::kDeadlineRemoved: return "deadline_removed";
+    case EventKind::kDeadlineMiss: return "deadline_miss";
+    case EventKind::kHmError: return "hm_error";
+    case EventKind::kHmAction: return "hm_action";
+    case EventKind::kPortSend: return "port_send";
+    case EventKind::kPortReceive: return "port_receive";
+    case EventKind::kSpatialViolation: return "spatial_violation";
+    case EventKind::kClockParavirtTrap: return "clock_paravirt_trap";
+    case EventKind::kPartitionModeChange: return "partition_mode_change";
+    case EventKind::kUser: return "user";
+  }
+  return "unknown";
+}
+
+std::vector<TraceEvent> Trace::filtered(EventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Trace::filtered(
+    EventKind kind, const std::function<bool(const TraceEvent&)>& pred) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind && pred(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t Trace::count(EventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string Trace::to_text() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << e.time << ' ' << to_string(e.kind) << " a=" << e.a << " b=" << e.b
+       << " c=" << e.c;
+    if (!e.label.empty()) os << ' ' << e.label;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace air::util

@@ -1,0 +1,90 @@
+// Structured event trace.
+//
+// Every observable action in the simulated module (partition dispatches,
+// schedule switches, deadline misses, HM reports, port traffic, spatial
+// violations) is recorded here. Tests and benches assert on the trace, which
+// is how we reproduce the paper's behavioural claims ("the deadline
+// violation is detected every time, except the first, that P1 is scheduled
+// and dispatched").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace air::util {
+
+enum class EventKind : std::uint8_t {
+  kPartitionDispatch,   // a = heir partition, b = previous partition
+  kPartitionPreempt,    // a = preempted partition
+  kScheduleSwitchReq,   // a = requested schedule
+  kScheduleSwitch,      // a = new schedule, b = old schedule
+  kScheduleChangeAction,// a = partition, b = action
+  kProcessDispatch,     // a = partition, b = process
+  kProcessStateChange,  // a = partition, b = process, c = new state
+  kDeadlineRegistered,  // a = partition, b = process, c = absolute deadline
+  kDeadlineRemoved,     // a = partition, b = process
+  kDeadlineMiss,        // a = partition, b = process, c = missed deadline time
+  kHmError,             // a = partition, b = process, c = error code
+  kHmAction,            // a = partition, b = action taken
+  kPortSend,            // a = partition, b = port, c = bytes
+  kPortReceive,         // a = partition, b = port, c = bytes
+  kSpatialViolation,    // a = partition, b = exec level, c = address
+  kClockParavirtTrap,   // a = partition (generic POS tried to disable clock)
+  kPartitionModeChange, // a = partition, b = new mode
+  kUser,                // free-form, used by example applications
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind);
+
+struct TraceEvent {
+  Ticks time{0};
+  EventKind kind{};
+  std::int64_t a{-1};
+  std::int64_t b{-1};
+  std::int64_t c{-1};
+  std::string label;
+};
+
+/// Append-only event recorder. Recording can be disabled for benches that
+/// measure hot-path cost without trace overhead.
+class Trace {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Ticks time, EventKind kind, std::int64_t a = -1,
+              std::int64_t b = -1, std::int64_t c = -1,
+              std::string label = {}) {
+    if (!enabled_) return;
+    events_.push_back({time, kind, a, b, c, std::move(label)});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  [[nodiscard]] std::vector<TraceEvent> filtered(EventKind kind) const;
+
+  /// Events of `kind` satisfying `pred`.
+  [[nodiscard]] std::vector<TraceEvent> filtered(
+      EventKind kind,
+      const std::function<bool(const TraceEvent&)>& pred) const;
+
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+
+  void clear() { events_.clear(); }
+
+  /// Human-readable dump (one event per line), for debugging and examples.
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  bool enabled_{true};
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace air::util

@@ -1,0 +1,111 @@
+#include "util/trace_export.hpp"
+
+#include "util/json.hpp"
+
+// GCC 12's -Wmaybe-uninitialized fires false positives inside the inlined
+// std::variant move machinery of json::Value when Objects are moved into
+// vector::push_back at -O2 (GCC PR 105562 family). The code is well-formed;
+// silence the noise for this translation unit only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace air::util {
+
+namespace {
+
+json::Value instant(const char* name, double ts, std::int64_t track,
+                    std::string args_label) {
+  json::Object event;
+  event["name"] = json::Value{std::string{name}};
+  event["ph"] = json::Value{"i"};
+  event["ts"] = json::Value{ts};
+  event["pid"] = json::Value{std::int64_t{0}};
+  event["tid"] = json::Value{track};
+  event["s"] = json::Value{"t"};
+  if (!args_label.empty()) {
+    json::Object args;
+    args["detail"] = json::Value{std::move(args_label)};
+    event["args"] = json::Value{std::move(args)};
+  }
+  return json::Value{std::move(event)};
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Trace& trace, double tick_us) {
+  json::Array events;
+
+  // Partition occupancy: open a duration on dispatch, close it when another
+  // partition (or idle) takes over.
+  std::int64_t active = -1;
+  double active_since = 0;
+  auto close_active = [&](double ts) {
+    if (active < 0) return;
+    json::Object begin;
+    begin["name"] =
+        json::Value{"P" + std::to_string(active + 1) + " window"};
+    begin["ph"] = json::Value{"X"};
+    begin["ts"] = json::Value{active_since};
+    begin["dur"] = json::Value{ts - active_since};
+    begin["pid"] = json::Value{std::int64_t{0}};
+    begin["tid"] = json::Value{active};
+    events.push_back(json::Value{std::move(begin)});
+  };
+
+  double last_ts = 0;
+  for (const TraceEvent& e : trace.events()) {
+    const double ts = static_cast<double>(e.time) * tick_us;
+    last_ts = ts;
+    switch (e.kind) {
+      case EventKind::kPartitionDispatch:
+        close_active(ts);
+        active = e.a;
+        active_since = ts;
+        break;
+      case EventKind::kDeadlineMiss:
+        events.push_back(instant("deadline miss", ts, e.a,
+                                 "process " + std::to_string(e.b) +
+                                     " missed t=" + std::to_string(e.c)));
+        break;
+      case EventKind::kScheduleSwitch:
+        events.push_back(instant(
+            "schedule switch", ts, -1,
+            "chi_" + std::to_string(e.b + 1) + " -> chi_" +
+                std::to_string(e.a + 1)));
+        break;
+      case EventKind::kHmError:
+        events.push_back(instant("HM report", ts, e.a, e.label));
+        break;
+      case EventKind::kSpatialViolation:
+        events.push_back(instant("spatial violation", ts, e.a,
+                                 "vaddr " + std::to_string(e.c)));
+        break;
+      default:
+        break;
+    }
+  }
+  close_active(last_ts + tick_us);
+
+  json::Object root;
+  root["traceEvents"] = json::Value{std::move(events)};
+  root["displayTimeUnit"] = json::Value{"ms"};
+  return json::Value{std::move(root)}.dump(2);
+}
+
+std::string to_json(const Trace& trace) {
+  json::Array events;
+  for (const TraceEvent& e : trace.events()) {
+    json::Object event;
+    event["t"] = json::Value{e.time};
+    event["kind"] = json::Value{std::string{to_string(e.kind)}};
+    event["a"] = json::Value{e.a};
+    event["b"] = json::Value{e.b};
+    event["c"] = json::Value{e.c};
+    if (!e.label.empty()) event["label"] = json::Value{e.label};
+    events.push_back(json::Value{std::move(event)});
+  }
+  return json::Value{events}.dump(2);
+}
+
+}  // namespace air::util

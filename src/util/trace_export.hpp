@@ -1,0 +1,24 @@
+// Trace exporters.
+//
+// to_chrome_trace() converts a module trace into the Chrome Trace Event
+// JSON format (load in chrome://tracing or Perfetto): partition occupancy
+// becomes duration events on a per-partition track, while deadline misses,
+// schedule switches and HM reports become instant events. Useful for
+// eyeballing exactly the Gantt charts the paper draws (Fig. 8).
+#pragma once
+
+#include <string>
+
+#include "util/trace.hpp"
+
+namespace air::util {
+
+/// Chrome Trace Event JSON. `tick_us` scales ticks to microseconds on the
+/// timeline (default: 1 tick = 1 us).
+[[nodiscard]] std::string to_chrome_trace(const Trace& trace,
+                                          double tick_us = 1.0);
+
+/// Flat JSON array of every event (machine-readable dump of the trace).
+[[nodiscard]] std::string to_json(const Trace& trace);
+
+}  // namespace air::util

@@ -1,0 +1,78 @@
+// Fundamental value types shared across the AIR TSP stack.
+//
+// All time in the system is expressed in clock ticks of the (simulated)
+// system clock; there is deliberately no wall-clock anywhere in the core so
+// that every run is deterministic and replayable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace air {
+
+/// Discrete system time, in clock ticks since module start.
+using Ticks = std::int64_t;
+
+/// Sentinel meaning "no deadline" / "infinite time" (the paper's D = inf).
+inline constexpr Ticks kInfiniteTime = std::numeric_limits<Ticks>::max();
+
+/// Strongly-typed integral identifier. `Tag` distinguishes id spaces at
+/// compile time so a ProcessId cannot be passed where a PartitionId is due.
+template <class Tag, class Rep = std::int32_t>
+class Id {
+ public:
+  using rep_type = Rep;
+
+  constexpr Id() = default;
+  constexpr explicit Id(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  /// Invalid/unset id (negative sentinel).
+  static constexpr Id invalid() { return Id{Rep{-1}}; }
+
+ private:
+  Rep value_{-1};
+};
+
+struct PartitionTag {};
+struct ProcessTag {};
+struct ScheduleTag {};
+struct WindowTag {};
+struct PortTag {};
+struct ChannelTag {};
+struct SemaphoreTag {};
+struct EventTag {};
+struct BufferTag {};
+struct BlackboardTag {};
+struct ModuleTag {};
+
+using PartitionId = Id<PartitionTag>;
+using ProcessId = Id<ProcessTag>;
+using ScheduleId = Id<ScheduleTag>;
+using WindowId = Id<WindowTag>;
+using PortId = Id<PortTag>;
+using ChannelId = Id<ChannelTag>;
+using SemaphoreId = Id<SemaphoreTag>;
+using EventId = Id<EventTag>;
+using BufferId = Id<BufferTag>;
+using BlackboardId = Id<BlackboardTag>;
+using ModuleId = Id<ModuleTag>;
+
+/// Process priority. Following the paper's convention (Sect. 3.3), *lower*
+/// numeric values denote *greater* priority.
+using Priority = std::int32_t;
+
+}  // namespace air
+
+template <class Tag, class Rep>
+struct std::hash<air::Id<Tag, Rep>> {
+  std::size_t operator()(const air::Id<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

@@ -1,0 +1,99 @@
+#include "vitral/vitral.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace air::vitral {
+
+void Window::write_line(std::string_view line) {
+  lines_.emplace_back(line);
+  while (lines_.size() > kMaxScrollback) lines_.pop_front();
+}
+
+std::size_t Screen::add_window(std::string title, Rect rect) {
+  AIR_ASSERT(rect.width >= 4 && rect.height >= 3);
+  windows_.emplace_back(std::move(title), rect);
+  return windows_.size() - 1;
+}
+
+std::string Screen::render() const {
+  std::vector<std::string> grid(static_cast<std::size_t>(rows_),
+                                std::string(static_cast<std::size_t>(columns_),
+                                            ' '));
+  auto put = [&](int x, int y, char c) {
+    if (x >= 0 && x < columns_ && y >= 0 && y < rows_) {
+      grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = c;
+    }
+  };
+
+  for (const Window& w : windows_) {
+    const Rect& r = w.rect();
+    // Borders.
+    for (int x = r.x; x < r.x + r.width; ++x) {
+      put(x, r.y, '-');
+      put(x, r.y + r.height - 1, '-');
+    }
+    for (int y = r.y; y < r.y + r.height; ++y) {
+      put(r.x, y, '|');
+      put(r.x + r.width - 1, y, '|');
+    }
+    put(r.x, r.y, '+');
+    put(r.x + r.width - 1, r.y, '+');
+    put(r.x, r.y + r.height - 1, '+');
+    put(r.x + r.width - 1, r.y + r.height - 1, '+');
+
+    // Title centred in the top border.
+    const int interior = r.width - 2;
+    std::string title = " " + w.title() + " ";
+    if (static_cast<int>(title.size()) > interior) {
+      title.resize(static_cast<std::size_t>(interior));
+    }
+    const int start = r.x + 1 + (interior - static_cast<int>(title.size())) / 2;
+    for (std::size_t i = 0; i < title.size(); ++i) {
+      put(start + static_cast<int>(i), r.y, title[i]);
+    }
+
+    // Content: the most recent lines that fit.
+    const int content_rows = r.height - 2;
+    const auto& lines = w.lines();
+    const std::size_t first =
+        lines.size() > static_cast<std::size_t>(content_rows)
+            ? lines.size() - static_cast<std::size_t>(content_rows)
+            : 0;
+    for (std::size_t i = first; i < lines.size(); ++i) {
+      const int y = r.y + 1 + static_cast<int>(i - first);
+      const std::string& line = lines[i];
+      for (int x = 0; x < interior && x < static_cast<int>(line.size()); ++x) {
+        put(r.x + 1 + x, y, line[static_cast<std::size_t>(x)]);
+      }
+    }
+  }
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows_) *
+              (static_cast<std::size_t>(columns_) + 1));
+  for (const auto& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Rect> tile_layout(int columns, int rows, int count) {
+  AIR_ASSERT(count > 0);
+  const int per_row = count <= 2 ? count : (count + 1) / 2;
+  const int grid_rows = (count + per_row - 1) / per_row;
+  const int cell_w = columns / per_row;
+  const int cell_h = rows / grid_rows;
+  std::vector<Rect> rects;
+  for (int i = 0; i < count; ++i) {
+    const int cx = i % per_row;
+    const int cy = i / per_row;
+    rects.push_back({cx * cell_w, cy * cell_h, std::max(cell_w, 4),
+                     std::max(cell_h, 3)});
+  }
+  return rects;
+}
+
+}  // namespace air::vitral

@@ -1,0 +1,78 @@
+// VITRAL -- a text-mode window manager (Fig. 9).
+//
+// The paper's prototype uses VITRAL, a text-mode windows manager for RTEMS,
+// to visualise the demonstration: one window per partition showing its
+// output, plus windows observing AIR components. This is a from-scratch
+// character-grid re-implementation: windows own a scrollback of lines and
+// the screen renders them (borders, titles, clipped content) into a string
+// suitable for a terminal.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace air::vitral {
+
+struct Rect {
+  int x{0};
+  int y{0};
+  int width{20};
+  int height{6};
+};
+
+class Window {
+ public:
+  Window(std::string title, Rect rect) : title_(std::move(title)), rect_(rect) {}
+
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const Rect& rect() const { return rect_; }
+
+  /// Append a line to the scrollback (the view shows the most recent lines
+  /// that fit the window's interior).
+  void write_line(std::string_view line);
+
+  [[nodiscard]] const std::deque<std::string>& lines() const { return lines_; }
+  void clear() { lines_.clear(); }
+
+  /// Scrollback retention (older lines are dropped beyond this).
+  static constexpr std::size_t kMaxScrollback = 256;
+
+ private:
+  std::string title_;
+  Rect rect_;
+  std::deque<std::string> lines_;
+};
+
+class Screen {
+ public:
+  Screen(int columns, int rows) : columns_(columns), rows_(rows) {}
+
+  [[nodiscard]] int columns() const { return columns_; }
+  [[nodiscard]] int rows() const { return rows_; }
+
+  /// Create a window; returns its index. Windows render in creation order
+  /// (later windows draw over earlier ones when overlapping).
+  std::size_t add_window(std::string title, Rect rect);
+
+  [[nodiscard]] Window& window(std::size_t index) { return windows_[index]; }
+  [[nodiscard]] const Window& window(std::size_t index) const {
+    return windows_[index];
+  }
+  [[nodiscard]] std::size_t window_count() const { return windows_.size(); }
+
+  /// Render the whole screen: borders, titles and the tail of each window's
+  /// scrollback, newline-separated.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  int columns_;
+  int rows_;
+  std::vector<Window> windows_;
+};
+
+/// Tile `count` windows over a screen in a grid, VITRAL-demo style.
+[[nodiscard]] std::vector<Rect> tile_layout(int columns, int rows, int count);
+
+}  // namespace air::vitral

@@ -1,0 +1,141 @@
+// Cross-validation property: the offline schedulability analysis (E12)
+// against the actual kernel.
+//
+// For randomly generated systems of periodic compute-only processes over
+// generator-produced PSTs: whenever the MTF-aligned response-time analysis
+// declares the system schedulable (with WCET = compute + 1 tick for the
+// completing service call), the runtime must produce zero deadline misses
+// over several hyperperiods -- i.e. the analysis is sound for the workloads
+// it models.
+#include <gtest/gtest.h>
+
+#include "model/generator.hpp"
+#include "model/schedulability.hpp"
+#include "system/module.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace air {
+namespace {
+
+using pos::ScriptBuilder;
+
+struct Generated {
+  system::ModuleConfig config;
+  model::SystemModel model;
+  ScheduleId schedule_id{0};
+};
+
+Generated generate(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Generated out;
+
+  const int partitions = static_cast<int>(rng.uniform(2, 4));
+  static constexpr Ticks kPeriods[] = {80, 160, 320};
+
+  std::vector<model::ScheduleRequirement> reqs;
+  double budget = 0.9;
+  for (int p = 0; p < partitions; ++p) {
+    const Ticks period =
+        kPeriods[static_cast<std::size_t>(rng.uniform(0, 2))];
+    const double share = budget / static_cast<double>(partitions - p) *
+                         (0.5 + rng.uniform01() * 0.5);
+    const Ticks duration = std::max<Ticks>(
+        6, static_cast<Ticks>(share * static_cast<double>(period)));
+    budget -= static_cast<double>(duration) / static_cast<double>(period);
+    reqs.push_back({PartitionId{p}, period, duration});
+  }
+  model::GeneratorInput input;
+  input.requirements = reqs;
+  auto schedule = model::generate_schedule(input);
+  AIR_ASSERT(schedule.has_value());
+  out.config.schedules = {*schedule};
+  out.model.schedules = {*schedule};
+
+  for (int p = 0; p < partitions; ++p) {
+    system::PartitionConfig partition;
+    partition.name = "P" + std::to_string(p);
+    model::PartitionModel pm;
+    pm.id = PartitionId{p};
+    pm.name = partition.name;
+
+    const int processes = static_cast<int>(rng.uniform(1, 3));
+    for (int q = 0; q < processes; ++q) {
+      // Keep total demand loosely within the partition's supply so that a
+      // fair share of seeds comes out schedulable.
+      const Ticks period = reqs[static_cast<std::size_t>(p)].period *
+                           rng.uniform(1, 2);
+      const Ticks compute = std::max<Ticks>(
+          1, reqs[static_cast<std::size_t>(p)].duration /
+                 (2 * processes) +
+                 rng.uniform(-2, 2));
+      const Ticks capacity = period;  // implicit deadlines
+
+      system::ProcessConfig process;
+      process.attrs.name = "q" + std::to_string(q);
+      process.attrs.period = period;
+      process.attrs.time_capacity = capacity;
+      process.attrs.priority = static_cast<Priority>(10 + q);
+      process.attrs.script =
+          ScriptBuilder{}.compute(compute).periodic_wait().build();
+      partition.processes.push_back(std::move(process));
+
+      // Model WCET: compute + 1 tick for the completing PERIODIC_WAIT.
+      pm.processes.push_back({process.attrs.name, period, capacity,
+                              static_cast<Priority>(10 + q), compute + 1,
+                              true});
+    }
+    out.config.partitions.push_back(std::move(partition));
+    out.model.partitions.push_back(std::move(pm));
+  }
+  hm::HmTable table;
+  table.set(hm::ErrorCode::kDeadlineMissed, hm::ErrorLevel::kProcess,
+            hm::RecoveryAction::kIgnore);
+  out.config.module_hm_table = table;
+  for (auto& p : out.config.partitions) p.hm_table = table;
+  out.config.trace_enabled = true;
+  return out;
+}
+
+class AnalysisVsRuntime : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalysisVsRuntime, SchedulableVerdictImpliesNoRuntimeMisses) {
+  Generated generated = generate(GetParam());
+  const auto analysis = model::analyze_system(
+      generated.model, generated.schedule_id, model::Phasing::kMtfAligned);
+
+  system::Module module(generated.config);
+  module.run(20 * generated.config.schedules[0].mtf);
+  const std::size_t misses =
+      module.trace().count(util::EventKind::kDeadlineMiss);
+
+  if (analysis.schedulable) {
+    EXPECT_EQ(misses, 0u)
+        << "seed " << GetParam()
+        << ": analysis said schedulable but the runtime missed\n"
+        << analysis.to_text();
+  }
+  // (The converse is not asserted: the analysis is allowed to be
+  // conservative.)
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisVsRuntime,
+                         ::testing::Range<std::uint64_t>(100, 140));
+
+TEST(AnalysisVsRuntimeMeta, ThePropertyIsNotVacuous) {
+  // A meaningful share of the generated seeds must actually come out
+  // schedulable, otherwise the soundness property above tests nothing.
+  int schedulable = 0;
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    Generated generated = generate(seed);
+    if (model::analyze_system(generated.model, generated.schedule_id,
+                              model::Phasing::kMtfAligned)
+            .schedulable) {
+      ++schedulable;
+    }
+  }
+  EXPECT_GE(schedulable, 10) << "generator tuning drifted";
+}
+
+}  // namespace
+}  // namespace air

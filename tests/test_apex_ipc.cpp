@@ -1,0 +1,352 @@
+// APEX communication services: intrapartition buffers, blackboards,
+// semaphores and events (blocking with timeouts), and interpartition
+// sampling/queuing ports end to end through workload scripts.
+#include <gtest/gtest.h>
+
+#include "system/module.hpp"
+
+namespace air {
+namespace {
+
+using pos::ScriptBuilder;
+
+system::ModuleConfig one_partition() {
+  system::ModuleConfig config;
+  system::PartitionConfig p;
+  p.name = "MAIN";
+  config.partitions.push_back(std::move(p));
+  model::Schedule s;
+  s.id = ScheduleId{0};
+  s.mtf = 10;
+  s.requirements = {{PartitionId{0}, 10, 10}};
+  s.windows = {{PartitionId{0}, 0, 10}};
+  config.schedules = {s};
+  return config;
+}
+
+system::ProcessConfig proc(std::string name, pos::Script script,
+                           Priority priority = 10) {
+  system::ProcessConfig pc;
+  pc.attrs.name = std::move(name);
+  pc.attrs.script = std::move(script);
+  pc.attrs.priority = priority;
+  return pc;
+}
+
+// ---------- buffers ----------
+
+TEST(ApexBuffers, ProducerConsumerThroughABuffer) {
+  auto config = one_partition();
+  config.partitions[0].buffers.push_back({"queue", 32, 2});
+  config.partitions[0].processes.push_back(proc(
+      "consumer",
+      ScriptBuilder{}.buffer_receive(0).log("got one").build(), 10));
+  config.partitions[0].processes.push_back(proc(
+      "producer",
+      ScriptBuilder{}.buffer_send(0, "item").timed_wait(3).build(), 20));
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(10);
+  // Producer sends at t=0,3,6,9 (the send is instantaneous, the wait is 3
+  // ticks); the consumer drains each one.
+  EXPECT_EQ(module.console(main).size(), 4u);
+}
+
+TEST(ApexBuffers, ReceiveTimesOutOnEmptyBuffer) {
+  auto config = one_partition();
+  config.partitions[0].buffers.push_back({"queue", 32, 2});
+  config.partitions[0].processes.push_back(proc(
+      "consumer", ScriptBuilder{}
+                      .buffer_receive(0, /*timeout=*/4)
+                      .log("woken")
+                      .stop_self()
+                      .build()));
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(3);
+  EXPECT_TRUE(module.console(main).empty()) << "still waiting";
+  module.run(4);
+  // Woken exactly when the 4-tick timeout expired -- the TIMED_OUT path let
+  // the script continue.
+  ASSERT_EQ(module.console(main).size(), 1u);
+}
+
+TEST(ApexBuffers, SendBlocksOnFullBufferUntilDrained) {
+  auto config = one_partition();
+  config.partitions[0].buffers.push_back({"queue", 32, 1});
+  // The producer fills the 1-slot buffer and blocks on the second send; the
+  // slow consumer frees the slot at t=5.
+  config.partitions[0].processes.push_back(proc(
+      "producer", ScriptBuilder{}
+                      .buffer_send(0, "m1")
+                      .buffer_send(0, "m2")
+                      .log("both sent")
+                      .stop_self()
+                      .build(),
+      10));
+  config.partitions[0].processes.push_back(proc(
+      "consumer", ScriptBuilder{}
+                      .timed_wait(5)
+                      .buffer_receive(0)
+                      .stop_self()
+                      .build(),
+      20));
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(4);
+  EXPECT_TRUE(module.console(main).empty()) << "still blocked";
+  module.run(4);
+  EXPECT_EQ(module.console(main).size(), 1u);
+}
+
+// ---------- blackboards ----------
+
+TEST(ApexBlackboards, ReadersBlockUntilDisplay) {
+  auto config = one_partition();
+  config.partitions[0].blackboards.push_back({"status", 32});
+  config.partitions[0].processes.push_back(proc(
+      "reader1",
+      ScriptBuilder{}.blackboard_read(0).log("r1").stop_self().build(), 10));
+  config.partitions[0].processes.push_back(proc(
+      "reader2",
+      ScriptBuilder{}.blackboard_read(0).log("r2").stop_self().build(), 11));
+  config.partitions[0].processes.push_back(proc(
+      "writer", ScriptBuilder{}
+                    .timed_wait(3)
+                    .blackboard_display(0, "ready")
+                    .stop_self()
+                    .build(),
+      20));
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(2);
+  EXPECT_TRUE(module.console(main).empty());
+  module.run(4);
+  // DISPLAY wakes *all* readers.
+  EXPECT_EQ(module.console(main).size(), 2u);
+}
+
+// ---------- semaphores ----------
+
+TEST(ApexSemaphores, MutualExclusionSerialisesCriticalSections) {
+  auto config = one_partition();
+  config.partitions[0].semaphores.push_back({"mutex", 1, 1});
+  for (int i = 0; i < 2; ++i) {
+    config.partitions[0].processes.push_back(proc(
+        "worker" + std::to_string(i),
+        ScriptBuilder{}
+            .sem_wait(0)
+            .log("enter " + std::to_string(i))
+            .compute(3)
+            .log("exit " + std::to_string(i))
+            .sem_signal(0)
+            .stop_self()
+            .build(),
+        10 + i));
+  }
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(10);
+  const auto& console = module.console(main);
+  ASSERT_EQ(console.size(), 4u);
+  // Never interleaved: enter i is immediately followed by exit i.
+  EXPECT_EQ(console[0].substr(0, 5), "enter");
+  EXPECT_EQ(console[1].substr(0, 4), "exit");
+  EXPECT_EQ(console[0].back(), console[1].back());
+  EXPECT_EQ(console[2].back(), console[3].back());
+}
+
+TEST(ApexSemaphores, WaitTimesOutWhenNeverSignalled) {
+  auto config = one_partition();
+  config.partitions[0].semaphores.push_back({"empty", 0, 1});
+  config.partitions[0].processes.push_back(proc(
+      "waiter",
+      ScriptBuilder{}.sem_wait(0, 5).log("timed out").stop_self().build()));
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(8);
+  ASSERT_EQ(module.console(main).size(), 1u);
+}
+
+// ---------- events ----------
+
+TEST(ApexEvents, SetWakesAllWaiters) {
+  auto config = one_partition();
+  config.partitions[0].events.push_back({"go"});
+  for (int i = 0; i < 3; ++i) {
+    config.partitions[0].processes.push_back(proc(
+        "w" + std::to_string(i),
+        ScriptBuilder{}.event_wait(0).log("woke").stop_self().build(),
+        10 + i));
+  }
+  config.partitions[0].processes.push_back(proc(
+      "setter",
+      ScriptBuilder{}.timed_wait(2).event_set(0).stop_self().build(), 30));
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(6);
+  EXPECT_EQ(module.console(main).size(), 3u);
+}
+
+TEST(ApexEvents, WaitOnAnUpEventReturnsImmediately) {
+  auto config = one_partition();
+  config.partitions[0].events.push_back({"go"});
+  config.partitions[0].processes.push_back(proc(
+      "p", ScriptBuilder{}
+               .event_set(0)
+               .event_wait(0)
+               .log("instant")
+               .stop_self()
+               .build()));
+  system::Module module(std::move(config));
+  module.run(2);
+  EXPECT_EQ(module.console(module.partition_id("MAIN")).size(), 1u);
+}
+
+// ---------- interpartition queuing, blocking both ways ----------
+
+system::ModuleConfig two_partitions_with_channel(std::size_t dest_capacity) {
+  system::ModuleConfig config;
+  system::PartitionConfig a;
+  a.name = "A";
+  a.queuing_ports.push_back(
+      {"OUT", ipc::PortDirection::kSource, 32, 2});
+  system::PartitionConfig b;
+  b.name = "B";
+  b.queuing_ports.push_back(
+      {"IN", ipc::PortDirection::kDestination, 32, dest_capacity});
+  config.partitions.push_back(std::move(a));
+  config.partitions.push_back(std::move(b));
+  model::Schedule s;
+  s.id = ScheduleId{0};
+  s.mtf = 20;
+  s.requirements = {{PartitionId{0}, 20, 10}, {PartitionId{1}, 20, 10}};
+  s.windows = {{PartitionId{0}, 0, 10}, {PartitionId{1}, 10, 10}};
+  config.schedules = {s};
+  ipc::ChannelConfig channel;
+  channel.id = ChannelId{0};
+  channel.kind = ipc::ChannelKind::kQueuing;
+  channel.source = {PartitionId{0}, "OUT"};
+  channel.local_destinations = {{PartitionId{1}, "IN"}};
+  config.channels.push_back(channel);
+  return config;
+}
+
+TEST(ApexQueuing, ReceiverBlocksUntilMessageCrossesPartitions) {
+  auto config = two_partitions_with_channel(4);
+  config.partitions[0].processes.push_back(proc(
+      "sender", ScriptBuilder{}
+                    .timed_wait(22)
+                    .queuing_send(0, "ping")
+                    .stop_self()
+                    .build()));
+  config.partitions[1].processes.push_back(proc(
+      "receiver",
+      ScriptBuilder{}.queuing_receive(0).log("pong").stop_self().build()));
+  system::Module module(std::move(config));
+  const PartitionId b = module.partition_id("B");
+  module.run(20);
+  EXPECT_TRUE(module.console(b).empty());
+  module.run(30);
+  ASSERT_EQ(module.console(b).size(), 1u);
+}
+
+TEST(ApexQueuing, SenderBlocksWhenDestinationIsSaturated) {
+  // Destination holds 1 message; the receiver never drains. The sender's
+  // source queue holds 2; sends 1..3 succeed (1 delivered, 2 queued at the
+  // source), the 4th blocks forever.
+  auto config = two_partitions_with_channel(1);
+  config.partitions[0].processes.push_back(proc(
+      "sender", ScriptBuilder{}
+                    .queuing_send(0, "m1")
+                    .queuing_send(0, "m2")
+                    .queuing_send(0, "m3")
+                    .log("three sent")
+                    .queuing_send(0, "m4")
+                    .log("four sent")
+                    .stop_self()
+                    .build()));
+  config.partitions[1].processes.push_back(
+      proc("idle", ScriptBuilder{}.compute(1000).build()));
+  system::Module module(std::move(config));
+  const PartitionId a = module.partition_id("A");
+  module.run(100);
+  const auto& console = module.console(a);
+  ASSERT_EQ(console.size(), 1u);
+  EXPECT_EQ(console[0], "three sent");
+  ProcessId sender;
+  ASSERT_EQ(module.apex(a).get_process_id("sender", sender),
+            apex::ReturnCode::kNoError);
+  EXPECT_EQ(module.kernel(a).pcb(sender)->state,
+            pos::ProcessState::kWaiting);
+}
+
+TEST(ApexQueuing, SendWithZeroTimeoutReturnsNotAvailable) {
+  auto config = two_partitions_with_channel(1);
+  config.partitions[0].processes.push_back(proc(
+      "sender", ScriptBuilder{}
+                    .queuing_send(0, "m1", 0)
+                    .queuing_send(0, "m2", 0)
+                    .queuing_send(0, "m3", 0)
+                    .queuing_send(0, "m4", 0)
+                    .log("done")
+                    .stop_self()
+                    .build()));
+  system::Module module(std::move(config));
+  const PartitionId a = module.partition_id("A");
+  module.run(30);
+  ASSERT_EQ(module.console(a).size(), 1u);
+  ProcessId sender;
+  ASSERT_EQ(module.apex(a).get_process_id("sender", sender),
+            apex::ReturnCode::kNoError);
+  EXPECT_EQ(module.kernel(a).pcb(sender)->last_status,
+            static_cast<std::int32_t>(apex::ReturnCode::kNoError))
+      << "stop_self was the last service";
+}
+
+// ---------- sampling freshness ----------
+
+TEST(ApexSampling, StaleDataIsFlaggedInvalid) {
+  system::ModuleConfig config;
+  system::PartitionConfig a;
+  a.name = "A";
+  a.sampling_ports.push_back(
+      {"OUT", ipc::PortDirection::kSource, 32, kInfiniteTime});
+  system::PartitionConfig b;
+  b.name = "B";
+  b.sampling_ports.push_back(
+      {"IN", ipc::PortDirection::kDestination, 32, /*refresh=*/15});
+  config.partitions.push_back(std::move(a));
+  config.partitions.push_back(std::move(b));
+  model::Schedule s;
+  s.id = ScheduleId{0};
+  s.mtf = 20;
+  s.requirements = {{PartitionId{0}, 20, 10}, {PartitionId{1}, 20, 10}};
+  s.windows = {{PartitionId{0}, 0, 10}, {PartitionId{1}, 10, 10}};
+  config.schedules = {s};
+  ipc::ChannelConfig channel;
+  channel.id = ChannelId{0};
+  channel.kind = ipc::ChannelKind::kSampling;
+  channel.source = {PartitionId{0}, "OUT"};
+  channel.local_destinations = {{PartitionId{1}, "IN"}};
+  config.channels.push_back(channel);
+
+  // A writes once at t=0 and then stops; B reads every cycle.
+  config.partitions[0].processes.push_back(proc(
+      "writer",
+      ScriptBuilder{}.sampling_write(0, "fresh").stop_self().build()));
+  config.partitions[1].processes.push_back(proc(
+      "reader", ScriptBuilder{}.sampling_read(0).timed_wait(19).build()));
+  system::Module module(std::move(config));
+  module.run(60);
+
+  // Port-receive trace carries validity in `c`: first read (t=10, age 10)
+  // valid; later reads (age >= 30) stale.
+  const auto reads = module.trace().filtered(util::EventKind::kPortReceive);
+  ASSERT_GE(reads.size(), 2u);
+  EXPECT_EQ(reads[0].c, 1);
+  EXPECT_EQ(reads[1].c, 0);
+}
+
+}  // namespace
+}  // namespace air

@@ -1,0 +1,137 @@
+// APEX GET_*_ID / GET_*_STATUS services.
+#include <gtest/gtest.h>
+
+#include "system/module.hpp"
+
+namespace air {
+namespace {
+
+using pos::ScriptBuilder;
+
+system::ModuleConfig config_with_objects() {
+  system::ModuleConfig config;
+  system::PartitionConfig p;
+  p.name = "MAIN";
+  p.buffers.push_back({"telemetry_queue", 48, 4});
+  p.blackboards.push_back({"mode_board", 16});
+  p.semaphores.push_back({"bus_mutex", 1, 2});
+  p.events.push_back({"go_event"});
+  p.sampling_ports.push_back(
+      {"ATT", ipc::PortDirection::kSource, 32, 100});
+  p.queuing_ports.push_back({"SCI", ipc::PortDirection::kSource, 32, 6});
+  config.partitions.push_back(std::move(p));
+  model::Schedule s;
+  s.id = ScheduleId{0};
+  s.mtf = 10;
+  s.requirements = {{PartitionId{0}, 10, 10}};
+  s.windows = {{PartitionId{0}, 0, 10}};
+  config.schedules = {s};
+  return config;
+}
+
+TEST(ApexStatus, IdLookupByName) {
+  system::Module module(config_with_objects());
+  auto& apex = module.apex(PartitionId{0});
+  BufferId buffer;
+  EXPECT_EQ(apex.get_buffer_id("telemetry_queue", buffer),
+            apex::ReturnCode::kNoError);
+  EXPECT_EQ(buffer.value(), 0);
+  BlackboardId bb;
+  EXPECT_EQ(apex.get_blackboard_id("mode_board", bb),
+            apex::ReturnCode::kNoError);
+  SemaphoreId sem;
+  EXPECT_EQ(apex.get_semaphore_id("bus_mutex", sem),
+            apex::ReturnCode::kNoError);
+  EventId ev;
+  EXPECT_EQ(apex.get_event_id("go_event", ev), apex::ReturnCode::kNoError);
+
+  EXPECT_EQ(apex.get_buffer_id("nope", buffer),
+            apex::ReturnCode::kInvalidConfig);
+  EXPECT_EQ(apex.get_event_id("nope", ev), apex::ReturnCode::kInvalidConfig);
+}
+
+TEST(ApexStatus, BufferStatusTracksDepthAndWaiters) {
+  auto config = config_with_objects();
+  system::ProcessConfig blocked;
+  blocked.attrs.name = "blocked_reader";
+  blocked.attrs.priority = 10;
+  blocked.attrs.script = ScriptBuilder{}.buffer_receive(0).build();
+  config.partitions[0].processes.push_back(std::move(blocked));
+  system::Module module(std::move(config));
+  module.run(2);
+
+  apex::BufferStatus status;
+  ASSERT_EQ(module.apex(PartitionId{0}).get_buffer_status(BufferId{0}, status),
+            apex::ReturnCode::kNoError);
+  EXPECT_EQ(status.nb_message, 0u);
+  EXPECT_EQ(status.max_nb_message, 4u);
+  EXPECT_EQ(status.max_message_size, 48u);
+  EXPECT_EQ(status.waiting_processes, 1u) << "the blocked reader";
+
+  EXPECT_EQ(module.apex(PartitionId{0})
+                .get_buffer_status(BufferId{9}, status),
+            apex::ReturnCode::kInvalidParam);
+}
+
+TEST(ApexStatus, SemaphoreAndEventStatus) {
+  system::Module module(config_with_objects());
+  auto& apex = module.apex(PartitionId{0});
+  apex::SemaphoreStatus sem;
+  ASSERT_EQ(apex.get_semaphore_status(SemaphoreId{0}, sem),
+            apex::ReturnCode::kNoError);
+  EXPECT_EQ(sem.current_value, 1);
+  EXPECT_EQ(sem.maximum_value, 2);
+  EXPECT_EQ(sem.waiting_processes, 0u);
+
+  apex::EventStatus ev;
+  ASSERT_EQ(apex.get_event_status(EventId{0}, ev),
+            apex::ReturnCode::kNoError);
+  EXPECT_FALSE(ev.up);
+  ASSERT_EQ(apex.set_event(EventId{0}), apex::ReturnCode::kNoError);
+  ASSERT_EQ(apex.get_event_status(EventId{0}, ev),
+            apex::ReturnCode::kNoError);
+  EXPECT_TRUE(ev.up);
+}
+
+TEST(ApexStatus, BlackboardStatus) {
+  system::Module module(config_with_objects());
+  auto& apex = module.apex(PartitionId{0});
+  apex::BlackboardStatus status;
+  ASSERT_EQ(apex.get_blackboard_status(BlackboardId{0}, status),
+            apex::ReturnCode::kNoError);
+  EXPECT_TRUE(status.empty);
+  EXPECT_EQ(status.max_message_size, 16u);
+  ASSERT_EQ(apex.display_blackboard(BlackboardId{0}, "SAFE_MODE"),
+            apex::ReturnCode::kNoError);
+  ASSERT_EQ(apex.get_blackboard_status(BlackboardId{0}, status),
+            apex::ReturnCode::kNoError);
+  EXPECT_FALSE(status.empty);
+}
+
+TEST(ApexStatus, PortStatuses) {
+  system::Module module(config_with_objects());
+  auto& apex = module.apex(PartitionId{0});
+
+  apex::SamplingPortStatus sp;
+  ASSERT_EQ(apex.get_sampling_port_status(PortId{0}, sp),
+            apex::ReturnCode::kNoError);
+  EXPECT_EQ(sp.max_message_size, 32u);
+  EXPECT_EQ(sp.refresh_period, 100);
+  EXPECT_FALSE(sp.has_message);
+  ASSERT_EQ(apex.write_sampling_message(PortId{0}, "att"),
+            apex::ReturnCode::kNoError);
+  ASSERT_EQ(apex.get_sampling_port_status(PortId{0}, sp),
+            apex::ReturnCode::kNoError);
+  EXPECT_TRUE(sp.has_message);
+  EXPECT_TRUE(sp.last_valid);
+
+  apex::QueuingPortStatus qp;
+  ASSERT_EQ(apex.get_queuing_port_status(PortId{0}, qp),
+            apex::ReturnCode::kNoError);
+  EXPECT_EQ(qp.max_nb_message, 6u);
+  EXPECT_EQ(qp.nb_message, 0u);
+  EXPECT_EQ(qp.overflows, 0u);
+}
+
+}  // namespace
+}  // namespace air

@@ -1,0 +1,82 @@
+// Config exporter: ModuleConfig -> JSON -> ModuleConfig round trips yield
+// equivalent modules (identical execution traces).
+#include <gtest/gtest.h>
+
+#include "config/export.hpp"
+#include "config/fig8.hpp"
+#include "config/loader.hpp"
+#include "system/module.hpp"
+#include "util/trace_export.hpp"
+
+namespace air {
+namespace {
+
+TEST(ConfigExport, Fig8RoundTripsThroughJson) {
+  const system::ModuleConfig original = scenarios::fig8_config();
+  const std::string json = config::to_json(original);
+  const auto reloaded = config::load_module_config(json);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error;
+
+  // Structural spot checks.
+  ASSERT_EQ(reloaded.config->partitions.size(), original.partitions.size());
+  EXPECT_EQ(reloaded.config->partitions[0].name, "AOCS");
+  EXPECT_TRUE(reloaded.config->partitions[0].system_partition);
+  ASSERT_EQ(reloaded.config->schedules.size(), 2u);
+  EXPECT_EQ(reloaded.config->schedules[1].windows.size(), 7u);
+  ASSERT_EQ(reloaded.config->channels.size(), 2u);
+
+  // Behavioural equivalence: identical traces over a faulty run.
+  auto run = [](system::ModuleConfig config) {
+    system::Module module(std::move(config));
+    module.start_process_by_name(module.partition_id("AOCS"),
+                                 scenarios::kFaultyProcessName);
+    module.run(4 * scenarios::kFig8Mtf);
+    return util::to_json(module.trace());
+  };
+  EXPECT_EQ(run(original), run(*reloaded.config));
+}
+
+TEST(ConfigExport, SecondRoundTripIsAFixpoint) {
+  const system::ModuleConfig original = scenarios::fig8_config();
+  const std::string once = config::to_json(original);
+  const auto reloaded = config::load_module_config(once);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error;
+  const std::string twice = config::to_json(*reloaded.config);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(ConfigExport, MulticoreCoresSurviveTheRoundTrip) {
+  system::ModuleConfig config;
+  for (int i = 0; i < 2; ++i) {
+    system::PartitionConfig p;
+    p.name = "P" + std::to_string(i);
+    system::ProcessConfig process;
+    process.attrs.name = "w";
+    process.attrs.priority = 10;
+    process.attrs.script = pos::ScriptBuilder{}.compute(5).build();
+    p.processes.push_back(std::move(process));
+    config.partitions.push_back(std::move(p));
+  }
+  for (int i = 0; i < 2; ++i) {
+    model::Schedule s;
+    s.id = ScheduleId{i};
+    s.mtf = 50;
+    s.requirements = {{PartitionId{i}, 50, 50}};
+    s.windows = {{PartitionId{i}, 0, 50}};
+    config.cores.push_back({{s}, ScheduleId{i}});
+  }
+
+  const auto reloaded = config::load_module_config(config::to_json(config));
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error;
+  ASSERT_EQ(reloaded.config->cores.size(), 2u);
+  EXPECT_EQ(reloaded.config->cores[1].initial_schedule, ScheduleId{1});
+
+  system::Module module(*reloaded.config);
+  EXPECT_EQ(module.core_count(), 2u);
+  module.run(100);
+  EXPECT_EQ(module.partition_pcb(PartitionId{0}).busy_ticks, 100u);
+  EXPECT_EQ(module.partition_pcb(PartitionId{1}).busy_ticks, 100u);
+}
+
+}  // namespace
+}  // namespace air

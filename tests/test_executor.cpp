@@ -1,0 +1,97 @@
+// Executor edge cases: service budget exhaustion, script wrap-around,
+// goto loops, empty scripts, idle partitions.
+#include <gtest/gtest.h>
+
+#include "system/executor.hpp"
+#include "system/module.hpp"
+
+namespace air {
+namespace {
+
+using pos::ScriptBuilder;
+
+system::ModuleConfig one_partition(pos::Script script,
+                                   bool second_process = false) {
+  system::ModuleConfig config;
+  system::PartitionConfig p;
+  p.name = "MAIN";
+  system::ProcessConfig main_process;
+  main_process.attrs.name = "main";
+  main_process.attrs.priority = 10;
+  main_process.attrs.script = std::move(script);
+  p.processes.push_back(std::move(main_process));
+  if (second_process) {
+    system::ProcessConfig other;
+    other.attrs.name = "other";
+    other.attrs.priority = 20;
+    other.attrs.script = ScriptBuilder{}.log("other ran").compute(5).build();
+    p.processes.push_back(std::move(other));
+  }
+  config.partitions.push_back(std::move(p));
+  model::Schedule s;
+  s.id = ScheduleId{0};
+  s.mtf = 10;
+  s.requirements = {{PartitionId{0}, 10, 10}};
+  s.windows = {{PartitionId{0}, 0, 10}};
+  config.schedules = {s};
+  return config;
+}
+
+TEST(Executor, PureServiceLoopDoesNotHangTheTick) {
+  // A script of only zero-time ops (a goto loop of logs) must consume its
+  // tick at the service budget and let time advance.
+  system::Module module(
+      one_partition(ScriptBuilder{}.log("spin").jump(0).build()));
+  module.run(3);
+  EXPECT_EQ(module.now(), 2);
+  // Exactly kMaxServicesPerTick/2 log+jump pairs per tick.
+  EXPECT_EQ(module.console(PartitionId{0}).size(),
+            3u * system::Executor::kMaxServicesPerTick / 2);
+}
+
+TEST(Executor, ScriptWrapsAroundToTheFirstOp) {
+  system::Module module(
+      one_partition(ScriptBuilder{}.compute(2).log("lap").build()));
+  module.run(9);
+  // compute(2) spends two ticks; the log then shares a tick with the first
+  // compute tick of the next lap (zero-time op + compute in one tick), so
+  // laps land at t = 2, 4, 6, 8.
+  EXPECT_EQ(module.console(PartitionId{0}).size(), 4u);
+}
+
+TEST(Executor, EmptyScriptIdlesWithoutCrashing) {
+  system::Module module(one_partition(pos::Script{}, true));
+  module.run(20);
+  // The empty-script process occupies its priority slot; with priority 10 it
+  // stays "running" forever and the other process starves -- still no crash
+  // and time advances.
+  EXPECT_EQ(module.now(), 19);
+}
+
+TEST(Executor, InfiniteWaitHandsOverImmediately) {
+  auto config = one_partition(
+      ScriptBuilder{}.timed_wait(1000).log("never").build(), true);
+  system::Module module(std::move(config));
+  module.run(1);
+  // "other" ran during tick 0 even though "main" (higher priority) started
+  // the tick: the block is zero-time.
+  ASSERT_EQ(module.console(PartitionId{0}).size(), 1u);
+  EXPECT_EQ(module.console(PartitionId{0})[0], "other ran");
+}
+
+TEST(Executor, ServiceBudgetCountsAsSyscallOverheadNotStall) {
+  // Two processes: a service-spinning high-priority one and a computing
+  // low-priority one. The spinner burns whole ticks at the budget, so the
+  // low one never runs -- priorities are honoured even for pure-service
+  // loops.
+  auto config = one_partition(
+      ScriptBuilder{}.log("spin").jump(0).build(), true);
+  system::Module module(std::move(config));
+  module.run(10);
+  for (const auto& line : module.console(PartitionId{0})) {
+    EXPECT_NE(line, "other ran");
+  }
+}
+
+}  // namespace
+}  // namespace air

@@ -1,0 +1,132 @@
+// E3: process deadline violation monitoring (Sect. 5 / Sect. 6).
+//
+// With the faulty process injected on P1, its deadline violation "is
+// detected and reported every time (except the first) that P1 is scheduled
+// and dispatched to execute": one violation per MTF, detected inside P1's
+// execution window, starting from P1's second window -- and no other process
+// ever misses a deadline.
+#include <gtest/gtest.h>
+
+#include "config/fig8.hpp"
+#include "system/module.hpp"
+
+namespace air {
+namespace {
+
+using scenarios::fig8_config;
+using scenarios::kFaultyProcessName;
+using scenarios::kFig8Mtf;
+
+TEST(FaultInjection, FaultyProcessMissesOncePerMtfInsideP1Window) {
+  system::Module module(fig8_config());
+  const PartitionId p1 = module.partition_id("AOCS");
+
+  ASSERT_TRUE(module.start_process_by_name(p1, kFaultyProcessName));
+  const Ticks mtfs = 10;
+  module.run(mtfs * kFig8Mtf);
+
+  const auto misses = module.trace().filtered(util::EventKind::kDeadlineMiss);
+  ProcessId faulty;
+  ASSERT_EQ(module.apex(p1).get_process_id(kFaultyProcessName, faulty),
+            apex::ReturnCode::kNoError);
+
+  // Every miss belongs to the faulty process on P1.
+  for (const auto& e : misses) {
+    EXPECT_EQ(e.a, p1.value());
+    EXPECT_EQ(e.b, faulty.value());
+  }
+
+  // Exactly one miss per MTF from the second MTF on (none in the first:
+  // the deadline expires while P1 is inactive and detection happens on
+  // P1's next dispatch).
+  ASSERT_EQ(misses.size(), static_cast<std::size_t>(mtfs - 1));
+  for (std::size_t k = 0; k < misses.size(); ++k) {
+    const Ticks t = misses[k].time;
+    const Ticks mtf_index = t / kFig8Mtf;
+    EXPECT_EQ(mtf_index, static_cast<Ticks>(k + 1))
+        << "miss " << k << " at tick " << t;
+    // Detected inside P1's window [mtf_index*MTF, mtf_index*MTF + 200).
+    EXPECT_LT(t % kFig8Mtf, 200) << "miss " << k << " at tick " << t;
+  }
+}
+
+TEST(FaultInjection, FirstDetectionHappensOnP1SecondDispatch) {
+  system::Module module(fig8_config());
+  const PartitionId p1 = module.partition_id("AOCS");
+  ASSERT_TRUE(module.start_process_by_name(p1, kFaultyProcessName));
+
+  module.run(kFig8Mtf);  // first whole MTF: deadline (205) already expired...
+  EXPECT_EQ(module.trace().count(util::EventKind::kDeadlineMiss), 0u)
+      << "violation must not be detected while P1 is inactive";
+
+  module.run(1);  // ...but detection waits for P1's next dispatch
+  EXPECT_EQ(module.trace().count(util::EventKind::kDeadlineMiss), 1u);
+}
+
+TEST(FaultInjection, DetectionLatencyIsTimeToNextWindow) {
+  // The deadline expires at t=205 (P1 inactive); the PAL can only verify
+  // deadlines when its partition is announced the clock, i.e. at the start
+  // of P1's next window (t=1300). Detection latency is therefore 1095
+  // ticks -- optimal under TSP, since P1 had no earlier processor access.
+  system::Module module(fig8_config());
+  const PartitionId p1 = module.partition_id("AOCS");
+  ASSERT_TRUE(module.start_process_by_name(p1, kFaultyProcessName));
+  module.run(2 * kFig8Mtf);
+
+  const auto misses = module.trace().filtered(util::EventKind::kDeadlineMiss);
+  ASSERT_FALSE(misses.empty());
+  EXPECT_EQ(misses[0].time, kFig8Mtf);  // first tick of P1's second window
+  EXPECT_EQ(misses[0].c, 205);          // the missed deadline itself
+}
+
+TEST(FaultInjection, HmLogsTheViolationsWithIgnoreAction) {
+  system::Module module(fig8_config());
+  const PartitionId p1 = module.partition_id("AOCS");
+  ASSERT_TRUE(module.start_process_by_name(p1, kFaultyProcessName));
+  module.run(5 * kFig8Mtf);
+
+  const auto& log = module.health().log();
+  ASSERT_FALSE(log.empty());
+  for (const auto& report : log) {
+    EXPECT_EQ(report.code, hm::ErrorCode::kDeadlineMissed);
+    EXPECT_EQ(report.level, hm::ErrorLevel::kProcess);
+    EXPECT_EQ(report.partition, p1);
+    EXPECT_EQ(report.action_taken, hm::RecoveryAction::kIgnore);
+  }
+}
+
+TEST(FaultInjection, ScheduleSwitchesIntroduceNoExtraViolations) {
+  // Sect. 6: "Successive requests to change schedule are correctly handled
+  // at the end of the current MTF and do not introduce deadline violations
+  // other than the one injected".
+  system::Module module(fig8_config());
+  const PartitionId p1 = module.partition_id("AOCS");
+  ASSERT_TRUE(module.start_process_by_name(p1, kFaultyProcessName));
+
+  ProcessId faulty;
+  ASSERT_EQ(module.apex(p1).get_process_id(kFaultyProcessName, faulty),
+            apex::ReturnCode::kNoError);
+
+  const Ticks mtfs = 12;
+  for (Ticks k = 0; k < mtfs; ++k) {
+    // Alternate schedules every MTF, requesting mid-frame.
+    module.run(kFig8Mtf / 2);
+    ASSERT_EQ(module.apex(p1).set_module_schedule(ScheduleId{k % 2 == 0 ? 1
+                                                                        : 0}),
+              apex::ReturnCode::kNoError);
+    module.run(kFig8Mtf - kFig8Mtf / 2);
+  }
+
+  // The k-th request lands at the end of MTF k; the last one would only
+  // take effect one tick after the run, hence mtfs - 1 switches.
+  EXPECT_EQ(module.trace().count(util::EventKind::kScheduleSwitch),
+            static_cast<std::size_t>(mtfs - 1));
+  const auto misses = module.trace().filtered(util::EventKind::kDeadlineMiss);
+  for (const auto& e : misses) {
+    EXPECT_EQ(e.b, faulty.value()) << "only the injected fault may miss";
+  }
+  EXPECT_EQ(misses.size(), static_cast<std::size_t>(mtfs - 1));
+}
+
+}  // namespace
+}  // namespace air

@@ -1,0 +1,130 @@
+// E1: the Fig. 8 prototype system.
+//
+// Both PSTs validate against eqs. (20)-(23); the runtime execution trace
+// matches the Gantt of Fig. 8 exactly (who holds the processor when); the
+// healthy system runs with zero deadline violations.
+#include <gtest/gtest.h>
+
+#include "config/fig8.hpp"
+#include "model/validation.hpp"
+#include "system/module.hpp"
+
+namespace air {
+namespace {
+
+using scenarios::fig8_chi1;
+using scenarios::fig8_chi2;
+using scenarios::fig8_config;
+using scenarios::kFig8Mtf;
+
+TEST(Fig8, BothSchedulesSatisfyTheModelEquations) {
+  const auto r1 = model::validate_schedule(fig8_chi1());
+  EXPECT_TRUE(r1.ok()) << r1.to_text();
+  const auto r2 = model::validate_schedule(fig8_chi2());
+  EXPECT_TRUE(r2.ok()) << r2.to_text();
+
+  // chi_2's P2 window [400,1000) crosses the 650 cycle boundary -- legal,
+  // flagged as a warning (see DESIGN.md).
+  EXPECT_TRUE(r2.has_warning(model::ViolationKind::kWindowCrossesCycle));
+}
+
+/// The expected processor ownership at a given offset within the MTF, per
+/// the Fig. 8 Gantt chart (partition value, or -1 for the idle gap -- there
+/// is none in Fig. 8: the tables cover the whole MTF).
+int chi1_owner(Ticks offset) {
+  if (offset < 200) return 0;
+  if (offset < 300) return 1;
+  if (offset < 400) return 2;
+  if (offset < 1000) return 3;
+  if (offset < 1100) return 1;
+  if (offset < 1200) return 2;
+  return 3;
+}
+
+int chi2_owner(Ticks offset) {
+  if (offset < 200) return 0;
+  if (offset < 300) return 3;
+  if (offset < 400) return 2;
+  if (offset < 1000) return 1;
+  if (offset < 1100) return 3;
+  if (offset < 1200) return 2;
+  return 1;
+}
+
+TEST(Fig8, ExecutionTraceMatchesTheGanttOfChi1) {
+  system::Module module(fig8_config({.with_faulty_process = false}));
+
+  // Walk three MTFs tick by tick and check the dispatcher's active
+  // partition against the published table.
+  for (Ticks t = 0; t < 3 * kFig8Mtf; ++t) {
+    module.tick_once();
+    const PartitionId active = module.dispatcher().active_partition();
+    ASSERT_EQ(active.value(), chi1_owner(t % kFig8Mtf))
+        << "wrong partition at tick " << t;
+  }
+}
+
+TEST(Fig8, HealthySystemHasNoDeadlineViolations) {
+  system::Module module(fig8_config({.with_faulty_process = false}));
+  module.run(10 * kFig8Mtf);
+  EXPECT_EQ(module.trace().count(util::EventKind::kDeadlineMiss), 0u);
+  EXPECT_EQ(module.trace().count(util::EventKind::kHmError), 0u);
+}
+
+TEST(Fig8, SwitchToChi2TakesEffectAtTheMtfBoundary) {
+  system::Module module(fig8_config({.with_faulty_process = false}));
+  const PartitionId p1 = module.partition_id("AOCS");
+
+  // Run into the middle of the first MTF, then request the switch.
+  module.run(500);
+  ASSERT_EQ(module.apex(p1).set_module_schedule(ScheduleId{1}),
+            apex::ReturnCode::kNoError);
+
+  // Until the MTF boundary the module still follows chi_1.
+  for (Ticks t = 500; t < kFig8Mtf; ++t) {
+    module.tick_once();
+    ASSERT_EQ(module.dispatcher().active_partition().value(),
+              chi1_owner(t % kFig8Mtf))
+        << "tick " << t;
+  }
+  // From the boundary on, chi_2 rules.
+  for (Ticks t = kFig8Mtf; t < 3 * kFig8Mtf; ++t) {
+    module.tick_once();
+    ASSERT_EQ(module.dispatcher().active_partition().value(),
+              chi2_owner(t % kFig8Mtf))
+        << "tick " << t;
+  }
+
+  const auto status = module.apex(p1).get_module_schedule_status();
+  EXPECT_EQ(status.current_schedule, ScheduleId{1});
+  EXPECT_EQ(status.next_schedule, ScheduleId{1});
+  EXPECT_EQ(status.last_switch_time, kFig8Mtf);
+}
+
+TEST(Fig8, OnlyAuthorisedPartitionsMaySwitchSchedules) {
+  system::Module module(fig8_config({.with_faulty_process = false}));
+  const PartitionId p2 = module.partition_id("TTC");
+  EXPECT_EQ(module.apex(p2).set_module_schedule(ScheduleId{1}),
+            apex::ReturnCode::kInvalidConfig);
+}
+
+TEST(Fig8, InterpartitionDataFlows) {
+  system::Module module(fig8_config({.with_faulty_process = false}));
+  module.run(3 * kFig8Mtf);
+
+  // AOCS attitude reaches TTC and PAYLOAD (sampling), science frames reach
+  // TTC (queuing).
+  const auto& trace = module.trace();
+  EXPECT_GT(trace.count(util::EventKind::kPortSend), 0u);
+  const auto receives = trace.filtered(util::EventKind::kPortReceive);
+  bool ttc_got_data = false;
+  for (const auto& e : receives) {
+    if (e.a == module.partition_id("TTC").value() && e.c > 0) {
+      ttc_got_data = true;
+    }
+  }
+  EXPECT_TRUE(ttc_got_data);
+}
+
+}  // namespace
+}  // namespace air

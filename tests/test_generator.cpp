@@ -1,0 +1,127 @@
+// PST generator tests (E12): generated schedules always satisfy the model
+// equations; infeasible inputs are rejected. Includes a parameterised
+// property sweep over randomly drawn requirement sets.
+#include <gtest/gtest.h>
+
+#include "model/generator.hpp"
+#include "model/validation.hpp"
+#include "util/rng.hpp"
+
+namespace air::model {
+namespace {
+
+TEST(Generator, GeneratesAValidScheduleForFig8Requirements) {
+  GeneratorInput input;
+  input.requirements = {
+      {PartitionId{0}, 1300, 200},
+      {PartitionId{1}, 650, 100},
+      {PartitionId{2}, 650, 100},
+      {PartitionId{3}, 1300, 100},
+  };
+  const auto schedule = generate_schedule(input);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->mtf, 1300);
+  const auto report = validate_schedule(*schedule);
+  EXPECT_TRUE(report.ok()) << report.to_text();
+  EXPECT_TRUE(report.warnings.empty())
+      << "EDF construction never crosses cycle boundaries";
+}
+
+TEST(Generator, RejectsOverUtilisedSets) {
+  GeneratorInput input;
+  input.requirements = {{PartitionId{0}, 100, 60}, {PartitionId{1}, 100, 50}};
+  EXPECT_FALSE(generate_schedule(input).has_value());
+}
+
+TEST(Generator, RejectsStructurallyImpossibleRequirements) {
+  GeneratorInput bad_duration;
+  bad_duration.requirements = {{PartitionId{0}, 50, 60}};  // d > eta
+  EXPECT_FALSE(generate_schedule(bad_duration).has_value());
+
+  GeneratorInput bad_period;
+  bad_period.requirements = {{PartitionId{0}, 0, 10}};
+  EXPECT_FALSE(generate_schedule(bad_period).has_value());
+
+  GeneratorInput bad_mtf;
+  bad_mtf.requirements = {{PartitionId{0}, 50, 10}};
+  bad_mtf.mtf = 75;  // not a multiple of 50 -> would break eq. 22
+  EXPECT_FALSE(generate_schedule(bad_mtf).has_value());
+}
+
+TEST(Generator, FullUtilisationIsStillFeasible) {
+  GeneratorInput input;
+  input.requirements = {{PartitionId{0}, 10, 5}, {PartitionId{1}, 20, 10}};
+  const auto schedule = generate_schedule(input);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_DOUBLE_EQ(schedule->utilisation(), 1.0);
+  EXPECT_TRUE(validate_schedule(*schedule).ok());
+}
+
+TEST(Generator, HonoursAnExplicitLargerMtf) {
+  GeneratorInput input;
+  input.requirements = {{PartitionId{0}, 50, 10}};
+  input.mtf = 200;  // 4 cycles
+  const auto schedule = generate_schedule(input);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->mtf, 200);
+  const auto report = validate_schedule(*schedule);
+  EXPECT_TRUE(report.ok()) << report.to_text();
+  for (Ticks k = 0; k < 4; ++k) {
+    EXPECT_GE(cycle_window_time(*schedule, PartitionId{0}, k), 10);
+  }
+}
+
+TEST(Generator, ZeroDurationPartitionsProduceNoWindows) {
+  GeneratorInput input;
+  input.requirements = {{PartitionId{0}, 50, 25}, {PartitionId{1}, 50, 0}};
+  const auto schedule = generate_schedule(input);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->assigned_time(PartitionId{1}), 0);
+  EXPECT_TRUE(validate_schedule(*schedule).ok());
+}
+
+// ---------- property sweep: random requirement sets ----------
+
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorProperty, GeneratedSchedulesAlwaysValidate) {
+  util::Rng rng(GetParam());
+  // Harmonic-ish periods keep the lcm bounded.
+  static constexpr Ticks kPeriods[] = {20, 40, 80, 160};
+
+  const int partitions = static_cast<int>(rng.uniform(2, 6));
+  std::vector<ScheduleRequirement> reqs;
+  double budget = 1.0;
+  for (int p = 0; p < partitions; ++p) {
+    const Ticks period =
+        kPeriods[static_cast<std::size_t>(rng.uniform(0, 3))];
+    const double share = rng.uniform01() * budget * 0.6;
+    const Ticks duration =
+        std::min<Ticks>(period,
+                        static_cast<Ticks>(share * static_cast<double>(period)));
+    budget -= static_cast<double>(duration) / static_cast<double>(period);
+    reqs.push_back({PartitionId{p}, period, duration});
+  }
+
+  GeneratorInput input;
+  input.requirements = reqs;
+  const auto schedule = generate_schedule(input);
+  ASSERT_TRUE(schedule.has_value())
+      << "utilisation " << requirement_utilisation(reqs);
+  const auto report = validate_schedule(*schedule);
+  EXPECT_TRUE(report.ok()) << report.to_text();
+
+  // Every partition got exactly its demand per cycle (EDF never over- nor
+  // under-allocates on an integer timeline with these inputs).
+  for (const auto& req : reqs) {
+    for (Ticks k = 0; k < schedule->mtf / req.period; ++k) {
+      EXPECT_GE(cycle_window_time(*schedule, req.partition, k), req.duration);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace air::model

@@ -1,0 +1,202 @@
+// Health Monitoring end to end: application error handler processes,
+// HM-driven process/partition recovery, log thresholds, and module stop --
+// fault containment per Sect. 2.4/5.
+#include <gtest/gtest.h>
+
+#include "system/module.hpp"
+
+namespace air {
+namespace {
+
+using pos::ScriptBuilder;
+
+system::ModuleConfig base_config() {
+  system::ModuleConfig config;
+  system::PartitionConfig p;
+  p.name = "MAIN";
+  config.partitions.push_back(std::move(p));
+  model::Schedule s;
+  s.id = ScheduleId{0};
+  s.mtf = 10;
+  s.requirements = {{PartitionId{0}, 10, 10}};
+  s.windows = {{PartitionId{0}, 0, 10}};
+  config.schedules = {s};
+  return config;
+}
+
+system::ProcessConfig proc(std::string name, pos::Script script,
+                           Priority priority = 10) {
+  system::ProcessConfig pc;
+  pc.attrs.name = std::move(name);
+  pc.attrs.script = std::move(script);
+  pc.attrs.priority = priority;
+  return pc;
+}
+
+TEST(HmIntegration, ErrorHandlerProcessHandlesApplicationErrors) {
+  auto config = base_config();
+  // The faulty process raises an application error every cycle; the error
+  // handler stops it (a Sect. 5 recovery action executed by application
+  // code).
+  config.partitions[0].processes.push_back(proc(
+      "flaky", ScriptBuilder{}
+                   .compute(2)
+                   .raise_error(42, "sensor glitch")
+                   .timed_wait(5)
+                   .build()));
+  config.partitions[0].error_handler = ScriptBuilder{}
+                                           .log("handler: stopping flaky")
+                                           .stop_process("flaky")
+                                           .stop_self()
+                                           .build();
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(20);
+
+  ASSERT_EQ(module.console(main).size(), 1u);
+  ProcessId flaky;
+  ASSERT_EQ(module.apex(main).get_process_id("flaky", flaky),
+            apex::ReturnCode::kNoError);
+  EXPECT_EQ(module.kernel(main).pcb(flaky)->state,
+            pos::ProcessState::kDormant);
+  // The HM log shows the error as handled by the application handler.
+  ASSERT_FALSE(module.health().log().empty());
+  EXPECT_TRUE(module.health().log()[0].handled_by_error_handler);
+}
+
+TEST(HmIntegration, ErrorHandlerRunsAtHighestPriority) {
+  auto config = base_config();
+  config.partitions[0].processes.push_back(
+      proc("hog", ScriptBuilder{}
+                      .raise_error(1, "x")
+                      .compute(1000)
+                      .build(),
+           /*priority=*/1));  // tries to outrank everyone
+  config.partitions[0].error_handler =
+      ScriptBuilder{}.log("handler ran").stop_self().build();
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(3);
+  EXPECT_EQ(module.console(main).size(), 1u)
+      << "handler (priority 0) preempts the hog (priority 1)";
+}
+
+TEST(HmIntegration, WithoutHandlerTheTableStopsTheProcess) {
+  auto config = base_config();
+  config.partitions[0].processes.push_back(proc(
+      "flaky",
+      ScriptBuilder{}.raise_error(7, "boom").compute(100).build()));
+  // Default process-level action: stop the faulty process.
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(5);
+  ProcessId flaky;
+  ASSERT_EQ(module.apex(main).get_process_id("flaky", flaky),
+            apex::ReturnCode::kNoError);
+  EXPECT_EQ(module.kernel(main).pcb(flaky)->state,
+            pos::ProcessState::kDormant);
+}
+
+TEST(HmIntegration, RestartProcessActionRestartsIt) {
+  auto config = base_config();
+  config.partitions[0].hm_table.set(hm::ErrorCode::kApplicationError,
+                                    hm::ErrorLevel::kProcess,
+                                    hm::RecoveryAction::kRestartProcess);
+  config.partitions[0].processes.push_back(proc(
+      "phoenix", ScriptBuilder{}
+                     .log("alive")
+                     .raise_error(1, "dies")
+                     .compute(100)
+                     .build()));
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(6);
+  // Restarted from the entry address on every error: multiple "alive" logs.
+  EXPECT_GE(module.console(main).size(), 2u);
+}
+
+TEST(HmIntegration, PartitionRestartActionReinitialisesThePartition) {
+  auto config = base_config();
+  config.partitions[0].hm_table.set(hm::ErrorCode::kApplicationError,
+                                    hm::ErrorLevel::kProcess,
+                                    hm::RecoveryAction::kWarmRestartPartition);
+  config.partitions[0].processes.push_back(proc(
+      "boot_logger", ScriptBuilder{}
+                         .log("partition up")
+                         .timed_wait(100)
+                         .build(),
+      5));
+  config.partitions[0].processes.push_back(proc(
+      "suicidal", ScriptBuilder{}
+                      .timed_wait(3)
+                      .raise_error(9, "fatal")
+                      .compute(100)
+                      .build(),
+      10));
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  // The error fires at t=3 and restarts the partition; stop before the
+  // restarted suicidal process errs again at t=6.
+  module.run(5);
+  // Boot log from the initial start and again after the HM-driven restart.
+  EXPECT_EQ(module.console(main).size(), 2u);
+  const auto modes =
+      module.trace().filtered(util::EventKind::kPartitionModeChange);
+  bool warm_restart_seen = false;
+  for (const auto& e : modes) {
+    if (e.b == static_cast<std::int64_t>(pmk::OperatingMode::kWarmStart)) {
+      warm_restart_seen = true;
+    }
+  }
+  EXPECT_TRUE(warm_restart_seen);
+}
+
+TEST(HmIntegration, StopModuleActionHaltsEverything) {
+  auto config = base_config();
+  config.partitions[0].hm_table.set(hm::ErrorCode::kApplicationError,
+                                    hm::ErrorLevel::kProcess,
+                                    hm::RecoveryAction::kStopModule);
+  config.partitions[0].processes.push_back(proc(
+      "killer",
+      ScriptBuilder{}.timed_wait(4).raise_error(1, "halt").build()));
+  system::Module module(std::move(config));
+  module.run(20);
+  EXPECT_TRUE(module.stopped());
+  EXPECT_EQ(module.now(), 4) << "halted at the error instant";
+  const Ticks frozen = module.now();
+  module.run(10);
+  EXPECT_EQ(module.now(), frozen) << "a stopped module does not advance";
+}
+
+TEST(HmIntegration, LogThresholdDefersPartitionRestart) {
+  auto config = base_config();
+  config.partitions[0].hm_table.set(hm::ErrorCode::kApplicationError,
+                                    hm::ErrorLevel::kProcess,
+                                    hm::RecoveryAction::kWarmRestartPartition,
+                                    /*log_threshold=*/3);
+  config.partitions[0].processes.push_back(proc(
+      "flaky", ScriptBuilder{}
+                   .log("boot")
+                   .raise_error(5, "err")
+                   .timed_wait(2)
+                   .jump(1)  // keep erroring without re-logging boot
+                   .build()));
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(6);
+  // Errors at t=0 and t=2 are logged only; the third (t=4) crosses the
+  // threshold and warm-restarts the partition. The restarted process boots
+  // (second console line) and its first error of the new life is deferred
+  // again, because the restart cleared the occurrence history.
+  EXPECT_EQ(module.console(main).size(), 2u);
+  const auto& log = module.health().log();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_TRUE(log[0].deferred_by_threshold);
+  EXPECT_TRUE(log[1].deferred_by_threshold);
+  EXPECT_FALSE(log[2].deferred_by_threshold);
+  EXPECT_EQ(log[2].action_taken, hm::RecoveryAction::kWarmRestartPartition);
+  EXPECT_TRUE(log[3].deferred_by_threshold) << "fresh life, fresh counting";
+}
+
+}  // namespace
+}  // namespace air

@@ -1,0 +1,49 @@
+// End-to-end test of the shipped example integration file
+// (examples/mission.json): it must load, validate, boot and fly.
+#include <gtest/gtest.h>
+
+#include "config/loader.hpp"
+#include "system/module.hpp"
+
+#ifndef AIR_SOURCE_DIR
+#define AIR_SOURCE_DIR "."
+#endif
+
+namespace air {
+namespace {
+
+TEST(MissionJson, LoadsBootsAndRuns) {
+  const auto result = config::load_module_config_file(
+      std::string{AIR_SOURCE_DIR} + "/examples/mission.json");
+  ASSERT_TRUE(result.ok()) << result.error;
+
+  system::Module module(*result.config);
+  module.run(10 * 400);
+
+  // The camera produced frames and the downlink partition consumed them.
+  const PartitionId downlink = module.partition_id("DOWNLINK");
+  ASSERT_TRUE(downlink.valid());
+  EXPECT_GE(module.console(downlink).size(), 8u);
+  EXPECT_EQ(module.trace().count(util::EventKind::kDeadlineMiss), 0u);
+}
+
+TEST(MissionJson, ScheduleSwitchWithChangeActionFlies) {
+  const auto result = config::load_module_config_file(
+      std::string{AIR_SOURCE_DIR} + "/examples/mission.json");
+  ASSERT_TRUE(result.ok()) << result.error;
+  system::Module module(*result.config);
+  const PartitionId aocs = module.partition_id("AOCS");
+
+  module.run(500);
+  ASSERT_EQ(module.apex(aocs).set_module_schedule(ScheduleId{1}),
+            apex::ReturnCode::kNoError);
+  module.run(1200);
+  EXPECT_EQ(module.trace().count(util::EventKind::kScheduleSwitch), 1u);
+  // CAMERA's warm-restart change action fired on its first dispatch under
+  // the downlink-heavy schedule.
+  EXPECT_EQ(module.trace().count(util::EventKind::kScheduleChangeAction), 1u);
+  EXPECT_EQ(module.trace().count(util::EventKind::kDeadlineMiss), 0u);
+}
+
+}  // namespace
+}  // namespace air

@@ -1,0 +1,174 @@
+// E4 extensions: mode-based schedules (Sect. 4) -- ScheduleChangeActions
+// applied on first dispatch after the switch, script-driven switching via
+// the APEX service, and schedule status reporting.
+#include <gtest/gtest.h>
+
+#include "system/module.hpp"
+
+namespace air {
+namespace {
+
+using pos::ScriptBuilder;
+
+/// Two partitions, two schedules with different window orders; P0 is a
+/// system partition.
+system::ModuleConfig two_schedule_config() {
+  system::ModuleConfig config;
+  system::PartitionConfig a;
+  a.name = "CTRL";
+  a.system_partition = true;
+  system::PartitionConfig b;
+  b.name = "WORK";
+  config.partitions.push_back(std::move(a));
+  config.partitions.push_back(std::move(b));
+
+  model::Schedule s0;
+  s0.id = ScheduleId{0};
+  s0.name = "nominal";
+  s0.mtf = 100;
+  s0.requirements = {{PartitionId{0}, 100, 40}, {PartitionId{1}, 100, 60}};
+  s0.windows = {{PartitionId{0}, 0, 40}, {PartitionId{1}, 40, 60}};
+
+  model::Schedule s1;
+  s1.id = ScheduleId{1};
+  s1.name = "degraded";
+  s1.mtf = 100;
+  s1.requirements = {{PartitionId{0}, 100, 70}, {PartitionId{1}, 100, 30}};
+  s1.windows = {{PartitionId{0}, 0, 70}, {PartitionId{1}, 70, 30}};
+
+  config.schedules = {s0, s1};
+  return config;
+}
+
+TEST(ModeBasedSchedules, ChangeActionRestartsThePartitionOnFirstDispatch) {
+  auto config = two_schedule_config();
+  config.change_actions[{ScheduleId{1}, PartitionId{1}}] =
+      pmk::ScheduleChangeAction::kColdRestart;
+  // WORK logs once at start and then just computes; a restart logs again.
+  system::ProcessConfig worker;
+  worker.attrs.name = "w";
+  worker.attrs.priority = 10;
+  worker.attrs.script = ScriptBuilder{}.log("boot").compute(100000).build();
+  config.partitions[1].processes.push_back(std::move(worker));
+
+  system::Module module(std::move(config));
+  const PartitionId ctrl = module.partition_id("CTRL");
+  const PartitionId work = module.partition_id("WORK");
+
+  module.run(50);
+  ASSERT_EQ(module.console(work).size(), 1u);
+
+  ASSERT_EQ(module.apex(ctrl).set_module_schedule(ScheduleId{1}),
+            apex::ReturnCode::kNoError);
+  // Switch lands at t=100; WORK's first window under the new PST opens at
+  // t=170 -- that dispatch applies the pending action (Algorithm 2 line 9).
+  module.run(130);
+  const auto actions =
+      module.trace().filtered(util::EventKind::kScheduleChangeAction);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].a, work.value());
+  EXPECT_EQ(actions[0].time, 170) << "first dispatch under the new PST";
+  // ...and the partition re-booted.
+  EXPECT_EQ(module.console(work).size(), 2u);
+
+  // CTRL had no change action: untouched.
+  for (const auto& e : actions) EXPECT_NE(e.a, ctrl.value());
+}
+
+TEST(ModeBasedSchedules, NoActionMeansNoRestart) {
+  auto config = two_schedule_config();
+  system::ProcessConfig worker;
+  worker.attrs.name = "w";
+  worker.attrs.priority = 10;
+  worker.attrs.script = ScriptBuilder{}.log("boot").compute(100000).build();
+  config.partitions[1].processes.push_back(std::move(worker));
+  system::Module module(std::move(config));
+  const PartitionId ctrl = module.partition_id("CTRL");
+  module.run(10);
+  ASSERT_EQ(module.apex(ctrl).set_module_schedule(ScheduleId{1}),
+            apex::ReturnCode::kNoError);
+  module.run(300);
+  EXPECT_EQ(module.trace().count(util::EventKind::kScheduleChangeAction), 0u);
+  EXPECT_EQ(module.console(module.partition_id("WORK")).size(), 1u);
+}
+
+TEST(ModeBasedSchedules, ScriptDrivenSwitchThroughApex) {
+  auto config = two_schedule_config();
+  // CTRL's process requests the degraded schedule at runtime.
+  system::ProcessConfig commander;
+  commander.attrs.name = "cmd";
+  commander.attrs.priority = 10;
+  commander.attrs.script = ScriptBuilder{}
+                               .timed_wait(120)
+                               .set_module_schedule(1)
+                               .stop_self()
+                               .build();
+  config.partitions[0].processes.push_back(std::move(commander));
+  system::Module module(std::move(config));
+
+  module.run(250);
+  const auto switches =
+      module.trace().filtered(util::EventKind::kScheduleSwitch);
+  ASSERT_EQ(switches.size(), 1u);
+  EXPECT_EQ(switches[0].time, 200) << "end of the MTF containing the request";
+  EXPECT_EQ(switches[0].a, 1);
+  EXPECT_EQ(switches[0].b, 0);
+}
+
+TEST(ModeBasedSchedules, UnauthorisedScriptSwitchIsRefused) {
+  auto config = two_schedule_config();
+  system::ProcessConfig rogue;
+  rogue.attrs.name = "rogue";
+  rogue.attrs.priority = 10;
+  rogue.attrs.script =
+      ScriptBuilder{}.set_module_schedule(1).stop_self().build();
+  config.partitions[1].processes.push_back(std::move(rogue));  // WORK: not system
+  system::Module module(std::move(config));
+  module.run(250);
+  EXPECT_EQ(module.trace().count(util::EventKind::kScheduleSwitch), 0u);
+  ProcessId pid;
+  const PartitionId work = module.partition_id("WORK");
+  ASSERT_EQ(module.apex(work).get_process_id("rogue", pid),
+            apex::ReturnCode::kNoError);
+  EXPECT_EQ(module.kernel(work).pcb(pid)->last_status,
+            static_cast<std::int32_t>(apex::ReturnCode::kNoError))
+      << "stop_self came after";
+  const auto requests =
+      module.trace().filtered(util::EventKind::kScheduleSwitchReq);
+  ASSERT_EQ(requests.size(), 1u) << "the request was made and refused";
+}
+
+TEST(ModeBasedSchedules, StatusReportsPendingAndEffectiveSwitches) {
+  auto config = two_schedule_config();
+  system::Module module(std::move(config));
+  const PartitionId ctrl = module.partition_id("CTRL");
+  auto& apex = module.apex(ctrl);
+
+  auto status = apex.get_module_schedule_status();
+  EXPECT_EQ(status.current_schedule, ScheduleId{0});
+  EXPECT_EQ(status.next_schedule, ScheduleId{0});
+  EXPECT_EQ(status.last_switch_time, 0);
+
+  module.run(30);
+  ASSERT_EQ(apex.set_module_schedule(ScheduleId{1}),
+            apex::ReturnCode::kNoError);
+  status = apex.get_module_schedule_status();
+  EXPECT_EQ(status.current_schedule, ScheduleId{0});
+  EXPECT_EQ(status.next_schedule, ScheduleId{1}) << "pending";
+
+  module.run(100);
+  status = apex.get_module_schedule_status();
+  EXPECT_EQ(status.current_schedule, ScheduleId{1});
+  EXPECT_EQ(status.next_schedule, ScheduleId{1});
+  EXPECT_EQ(status.last_switch_time, 100);
+}
+
+TEST(ModeBasedSchedules, SwitchToUnknownScheduleIsInvalidParam) {
+  system::Module module(two_schedule_config());
+  EXPECT_EQ(module.apex(module.partition_id("CTRL"))
+                .set_module_schedule(ScheduleId{9}),
+            apex::ReturnCode::kInvalidParam);
+}
+
+}  // namespace
+}  // namespace air

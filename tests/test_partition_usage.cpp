@@ -1,0 +1,109 @@
+// Partition window usage accounting (busy vs slack ticks) and partition
+// idle-mode semantics.
+#include <gtest/gtest.h>
+
+#include "config/fig8.hpp"
+#include "system/module.hpp"
+
+namespace air {
+namespace {
+
+using pos::ScriptBuilder;
+
+TEST(PartitionUsage, BusyAndSlackTicksPartitionTheWindows) {
+  scenarios::Fig8Options options;
+  options.with_faulty_process = false;
+  system::Module module(scenarios::fig8_config(options));
+  module.run(10 * scenarios::kFig8Mtf);
+
+  // P1's window is 200/MTF; its processes use 80 ticks (60+20) and the
+  // window idles for the rest (the injectable process is absent).
+  const auto& p1 = module.partition_pcb(module.partition_id("AOCS"));
+  EXPECT_EQ(p1.busy_ticks + p1.slack_ticks, 10u * 200u);
+  EXPECT_NEAR(static_cast<double>(p1.busy_ticks), 10.0 * 82, 30.0);
+
+  // P4 (windows 700/MTF, work ~180+wrapping): mostly slack under chi_1.
+  const auto& p4 = module.partition_pcb(module.partition_id("PAYLOAD"));
+  EXPECT_EQ(p4.busy_ticks + p4.slack_ticks, 10u * 700u);
+  EXPECT_GT(p4.slack_ticks, p4.busy_ticks);
+}
+
+TEST(PartitionUsage, FullyLoadedPartitionHasNoSlack) {
+  system::ModuleConfig config;
+  system::PartitionConfig p;
+  p.name = "BUSY";
+  system::ProcessConfig hog;
+  hog.attrs.name = "hog";
+  hog.attrs.priority = 10;
+  hog.attrs.script = ScriptBuilder{}.compute(1000000).build();
+  p.processes.push_back(std::move(hog));
+  config.partitions.push_back(std::move(p));
+  model::Schedule s;
+  s.id = ScheduleId{0};
+  s.mtf = 10;
+  s.requirements = {{PartitionId{0}, 10, 10}};
+  s.windows = {{PartitionId{0}, 0, 10}};
+  config.schedules = {s};
+  system::Module module(std::move(config));
+  module.run(100);
+  const auto& pcb = module.partition_pcb(PartitionId{0});
+  EXPECT_EQ(pcb.busy_ticks, 100u);
+  EXPECT_EQ(pcb.slack_ticks, 0u);
+}
+
+TEST(PartitionIdleMode, StopPartitionActionIdlesOnlyTheTarget) {
+  scenarios::Fig8Options options;
+  options.with_faulty_process = true;
+  system::ModuleConfig config = scenarios::fig8_config(options);
+  // Escalate P1's deadline misses to a partition stop.
+  config.partitions[0].hm_table.set(hm::ErrorCode::kDeadlineMissed,
+                                    hm::ErrorLevel::kProcess,
+                                    hm::RecoveryAction::kStopPartition);
+  system::Module module(std::move(config));
+  const PartitionId aocs = module.partition_id("AOCS");
+  module.start_process_by_name(aocs, scenarios::kFaultyProcessName);
+
+  module.run(5 * scenarios::kFig8Mtf);
+  // The first detected miss (t=1300) stopped the partition.
+  EXPECT_EQ(module.trace().count(util::EventKind::kDeadlineMiss), 1u);
+  EXPECT_EQ(module.partition_pcb(aocs).mode, pmk::OperatingMode::kIdle);
+
+  // Other partitions keep flying.
+  const auto& ttc = module.partition_pcb(module.partition_id("TTC"));
+  EXPECT_GT(ttc.busy_ticks, 0u);
+  ProcessId tm;
+  ASSERT_EQ(module.apex(module.partition_id("TTC"))
+                .get_process_id("p2_tm", tm),
+            apex::ReturnCode::kNoError);
+  apex::ProcessStatus status;
+  ASSERT_EQ(module.apex(module.partition_id("TTC"))
+                .get_process_status(tm, status),
+            apex::ReturnCode::kNoError);
+  EXPECT_GT(status.completions, 5u);
+
+  // An idle partition can be restarted by the integrator.
+  module.init_partition(aocs, /*cold=*/true);
+  EXPECT_EQ(module.partition_pcb(aocs).mode, pmk::OperatingMode::kNormal);
+  const auto busy_before = module.partition_pcb(aocs).busy_ticks;
+  module.run(2 * scenarios::kFig8Mtf);
+  EXPECT_GT(module.partition_pcb(aocs).busy_ticks, busy_before);
+}
+
+TEST(PartitionIdleMode, IdlePartitionWindowsRunNothing) {
+  scenarios::Fig8Options options;
+  options.with_faulty_process = false;
+  system::Module module(scenarios::fig8_config(options));
+  const PartitionId p3 = module.partition_id("FDIR");
+  module.run(100);
+  ASSERT_EQ(module.apex(p3).set_partition_mode(pmk::OperatingMode::kIdle),
+            apex::ReturnCode::kNoError);
+  const auto busy_before = module.partition_pcb(p3).busy_ticks;
+  module.run(3 * scenarios::kFig8Mtf);
+  EXPECT_EQ(module.partition_pcb(p3).busy_ticks, busy_before)
+      << "idle mode: windows pass, nothing executes";
+  EXPECT_EQ(module.trace().count(util::EventKind::kDeadlineMiss), 0u)
+      << "idle partitions have no registered deadlines";
+}
+
+}  // namespace
+}  // namespace air

@@ -1,0 +1,186 @@
+// E11: spatial partitioning (Sect. 2.1, Fig. 3).
+//
+// Applications in one partition cannot access addressing spaces outside
+// those belonging to that partition; execution levels gate access within a
+// partition; violations surface to the Health Monitor.
+#include <gtest/gtest.h>
+
+#include "config/fig8.hpp"
+#include "pmk/spatial.hpp"
+#include "system/module.hpp"
+
+namespace air {
+namespace {
+
+class SpatialTest : public ::testing::Test {
+ protected:
+  SpatialTest() : spatial_(machine_) {
+    space_a_ = &spatial_.setup_partition(PartitionId{0}, {});
+    space_b_ = &spatial_.setup_partition(PartitionId{1}, {});
+  }
+
+  hal::Machine machine_{4u << 20};
+  pmk::SpatialManager spatial_;
+  const pmk::PartitionSpace* space_a_{nullptr};
+  const pmk::PartitionSpace* space_b_{nullptr};
+};
+
+TEST_F(SpatialTest, PartitionsGetDisjointPhysicalFrames) {
+  EXPECT_NE(space_a_->app_data, space_b_->app_data);
+  EXPECT_NE(space_a_->app_code, space_b_->app_code);
+  EXPECT_NE(space_a_->context, space_b_->context);
+}
+
+TEST_F(SpatialTest, ApplicationCanUseItsOwnSections) {
+  machine_.mmu().set_active_context(space_a_->context);
+  using hal::AccessType;
+  using hal::ExecLevel;
+  EXPECT_TRUE(machine_.mmu()
+                  .translate(pmk::kAppDataBase, AccessType::kWrite,
+                             ExecLevel::kApplication)
+                  .ok());
+  EXPECT_TRUE(machine_.mmu()
+                  .translate(pmk::kAppCodeBase, AccessType::kExecute,
+                             ExecLevel::kApplication)
+                  .ok());
+  EXPECT_TRUE(machine_.mmu()
+                  .translate(pmk::kAppStackBase, AccessType::kWrite,
+                             ExecLevel::kApplication)
+                  .ok());
+}
+
+TEST_F(SpatialTest, SameVirtualAddressMapsToOwnFramePerPartition) {
+  // Write through partition A's context, then read the same virtual address
+  // through B's: B must see its own (zeroed) frame, not A's data.
+  machine_.mmu().set_active_context(space_a_->context);
+  const std::uint32_t value = 0xabcd1234;
+  ASSERT_TRUE(machine_
+                  .checked_write(pmk::kAppDataBase,
+                                 std::as_bytes(std::span{&value, 1}),
+                                 hal::ExecLevel::kApplication)
+                  .ok());
+  machine_.mmu().set_active_context(space_b_->context);
+  std::uint32_t read_back = 0xffffffff;
+  ASSERT_TRUE(machine_
+                  .checked_read(pmk::kAppDataBase,
+                                std::as_writable_bytes(std::span{&read_back, 1}),
+                                hal::ExecLevel::kApplication)
+                  .ok());
+  EXPECT_EQ(read_back, 0u);
+  // And A still sees its value.
+  machine_.mmu().set_active_context(space_a_->context);
+  ASSERT_TRUE(machine_
+                  .checked_read(pmk::kAppDataBase,
+                                std::as_writable_bytes(std::span{&read_back, 1}),
+                                hal::ExecLevel::kApplication)
+                  .ok());
+  EXPECT_EQ(read_back, value);
+}
+
+TEST_F(SpatialTest, ApplicationCannotWriteItsCode) {
+  machine_.mmu().set_active_context(space_a_->context);
+  const auto r = machine_.mmu().translate(
+      pmk::kAppCodeBase, hal::AccessType::kWrite, hal::ExecLevel::kApplication);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.fault.kind, hal::MmuFault::Kind::kProtection);
+}
+
+TEST_F(SpatialTest, ExecutionLevelsGatePosAndPmkSections) {
+  machine_.mmu().set_active_context(space_a_->context);
+  using hal::AccessType;
+  using hal::ExecLevel;
+  // POS data: application blocked, POS and PMK allowed.
+  EXPECT_FALSE(machine_.mmu()
+                   .translate(pmk::kPosDataBase, AccessType::kRead,
+                              ExecLevel::kApplication)
+                   .ok());
+  EXPECT_TRUE(machine_.mmu()
+                  .translate(pmk::kPosDataBase, AccessType::kWrite,
+                             ExecLevel::kPos)
+                  .ok());
+  // PMK region: only the PMK level, in any partition's context.
+  EXPECT_FALSE(machine_.mmu()
+                   .translate(pmk::kPmkBase, AccessType::kRead,
+                              ExecLevel::kPos)
+                   .ok());
+  EXPECT_TRUE(machine_.mmu()
+                  .translate(pmk::kPmkBase, AccessType::kWrite,
+                             ExecLevel::kPmk)
+                  .ok());
+}
+
+TEST_F(SpatialTest, PmkRegionIsSharedAcrossContexts) {
+  machine_.mmu().set_active_context(space_a_->context);
+  const auto in_a = machine_.mmu().translate(
+      pmk::kPmkBase, hal::AccessType::kRead, hal::ExecLevel::kPmk);
+  machine_.mmu().set_active_context(space_b_->context);
+  const auto in_b = machine_.mmu().translate(
+      pmk::kPmkBase, hal::AccessType::kRead, hal::ExecLevel::kPmk);
+  ASSERT_TRUE(in_a.ok());
+  ASSERT_TRUE(in_b.ok());
+  EXPECT_EQ(*in_a.paddr, *in_b.paddr) << "one PMK, mapped everywhere";
+}
+
+// ---------- end-to-end: violation reaches the Health Monitor ----------
+
+TEST(SpatialIntegration, OutOfPartitionAccessTriggersHm) {
+  using pos::ScriptBuilder;
+  system::ModuleConfig config = scenarios::fig8_config(
+      {.with_faulty_process = false});
+  // A snooping process on TTC that pokes an unmapped address.
+  system::ProcessConfig snoop;
+  snoop.attrs.name = "p2_snoop";
+  snoop.attrs.period = 650;
+  snoop.attrs.time_capacity = kInfiniteTime;
+  snoop.attrs.priority = 40;
+  snoop.attrs.script = ScriptBuilder{}
+                           .memory_access(0x2000'0000, /*write=*/true)
+                           .periodic_wait()
+                           .build();
+  config.partitions[1].processes.push_back(std::move(snoop));
+  // Policy: stop the offending process.
+  config.partitions[1].hm_table.set(hm::ErrorCode::kMemoryViolation,
+                                    hm::ErrorLevel::kProcess,
+                                    hm::RecoveryAction::kStopProcess);
+
+  system::Module module(std::move(config));
+  module.run(2 * scenarios::kFig8Mtf);
+
+  const auto violations =
+      module.trace().filtered(util::EventKind::kSpatialViolation);
+  ASSERT_EQ(violations.size(), 1u) << "stopped after the first offence";
+  EXPECT_EQ(violations[0].a, module.partition_id("TTC").value());
+  EXPECT_EQ(violations[0].c, 0x2000'0000);
+
+  // The process was stopped by HM and the rest of the system is unharmed.
+  ProcessId snoop_id;
+  ASSERT_EQ(module.apex(module.partition_id("TTC"))
+                .get_process_id("p2_snoop", snoop_id),
+            apex::ReturnCode::kNoError);
+  EXPECT_EQ(module.kernel(module.partition_id("TTC")).pcb(snoop_id)->state,
+            pos::ProcessState::kDormant);
+  EXPECT_EQ(module.trace().count(util::EventKind::kDeadlineMiss), 0u);
+}
+
+TEST(SpatialIntegration, LegalAccessesDoNotTriggerHm) {
+  using pos::ScriptBuilder;
+  system::ModuleConfig config = scenarios::fig8_config(
+      {.with_faulty_process = false});
+  system::ProcessConfig worker;
+  worker.attrs.name = "p2_worker";
+  worker.attrs.period = 650;
+  worker.attrs.time_capacity = kInfiniteTime;
+  worker.attrs.priority = 40;
+  worker.attrs.script = ScriptBuilder{}
+                            .memory_access(pmk::kAppDataBase, /*write=*/true)
+                            .memory_access(pmk::kAppDataBase, /*write=*/false)
+                            .periodic_wait()
+                            .build();
+  config.partitions[1].processes.push_back(std::move(worker));
+  system::Module module(std::move(config));
+  module.run(2 * scenarios::kFig8Mtf);
+  EXPECT_EQ(module.trace().count(util::EventKind::kSpatialViolation), 0u);
+}
+
+}  // namespace
+}  // namespace air

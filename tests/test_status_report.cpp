@@ -1,0 +1,44 @@
+// Module::status_report() observability output.
+#include <gtest/gtest.h>
+
+#include "config/fig8.hpp"
+#include "system/module.hpp"
+
+namespace air {
+namespace {
+
+TEST(StatusReport, CoversPartitionsProcessesAndHm) {
+  system::Module module(scenarios::fig8_config());
+  module.start_process_by_name(module.partition_id("AOCS"),
+                               scenarios::kFaultyProcessName);
+  module.run(5 * scenarios::kFig8Mtf);
+
+  const std::string report = module.status_report();
+  EXPECT_NE(report.find("module fig8-prototype"), std::string::npos);
+  EXPECT_NE(report.find("core 0: schedule 0"), std::string::npos);
+  for (const char* partition : {"AOCS", "TTC", "FDIR", "PAYLOAD"}) {
+    EXPECT_NE(report.find(partition), std::string::npos) << partition;
+  }
+  EXPECT_NE(report.find("p1_faulty"), std::string::npos);
+  EXPECT_NE(report.find("misses=4"), std::string::npos)
+      << "faulty process misses in 5 MTFs\n"
+      << report;
+  EXPECT_NE(report.find("hm log entries: 4"), std::string::npos);
+  EXPECT_NE(report.find("mode=normal"), std::string::npos);
+}
+
+TEST(StatusReport, MarksAStoppedModule) {
+  auto config = scenarios::fig8_config();
+  config.partitions[0].hm_table.set(hm::ErrorCode::kDeadlineMissed,
+                                    hm::ErrorLevel::kProcess,
+                                    hm::RecoveryAction::kStopModule);
+  system::Module module(std::move(config));
+  module.start_process_by_name(module.partition_id("AOCS"),
+                               scenarios::kFaultyProcessName);
+  module.run(3 * scenarios::kFig8Mtf);
+  EXPECT_TRUE(module.stopped());
+  EXPECT_NE(module.status_report().find("[STOPPED]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace air

@@ -1,0 +1,75 @@
+// VITRAL text-mode window manager tests (Fig. 9 substrate).
+#include <gtest/gtest.h>
+
+#include "vitral/vitral.hpp"
+
+namespace air::vitral {
+namespace {
+
+TEST(Vitral, RendersBordersAndTitle) {
+  Screen screen(20, 6);
+  screen.add_window("P1", {0, 0, 20, 6});
+  const std::string out = screen.render();
+  // Corners present.
+  EXPECT_EQ(out[0], '+');
+  EXPECT_NE(out.find("P1"), std::string::npos);
+  // Six lines of twenty columns.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(Vitral, ShowsTheTailOfTheScrollback) {
+  Screen screen(20, 5);  // interior: 3 content rows
+  const std::size_t w = screen.add_window("LOG", {0, 0, 20, 5});
+  for (int i = 0; i < 10; ++i) {
+    screen.window(w).write_line("line" + std::to_string(i));
+  }
+  const std::string out = screen.render();
+  EXPECT_EQ(out.find("line6"), std::string::npos);
+  EXPECT_NE(out.find("line7"), std::string::npos);
+  EXPECT_NE(out.find("line9"), std::string::npos);
+}
+
+TEST(Vitral, ClipsLongLinesToTheWindowWidth) {
+  Screen screen(12, 4);
+  const std::size_t w = screen.add_window("W", {0, 0, 12, 4});
+  screen.window(w).write_line("abcdefghijklmnopqrstuvwxyz");
+  const std::string out = screen.render();
+  EXPECT_NE(out.find("abcdefghij"), std::string::npos);
+  EXPECT_EQ(out.find("klm"), std::string::npos);
+}
+
+TEST(Vitral, ScrollbackIsBounded) {
+  Screen screen(20, 5);
+  const std::size_t w = screen.add_window("W", {0, 0, 20, 5});
+  for (std::size_t i = 0; i < Window::kMaxScrollback + 50; ++i) {
+    screen.window(w).write_line("x");
+  }
+  EXPECT_EQ(screen.window(w).lines().size(), Window::kMaxScrollback);
+}
+
+TEST(Vitral, TileLayoutCoversRequestedCount) {
+  const auto rects = tile_layout(80, 24, 6);
+  ASSERT_EQ(rects.size(), 6u);
+  for (const auto& r : rects) {
+    EXPECT_GE(r.width, 4);
+    EXPECT_GE(r.height, 3);
+    EXPECT_LE(r.x + r.width, 81);
+    EXPECT_LE(r.y + r.height, 25);
+  }
+}
+
+TEST(Vitral, MultipleWindowsRenderSideBySide) {
+  Screen screen(40, 6);
+  const std::size_t a = screen.add_window("AOCS", {0, 0, 20, 6});
+  const std::size_t b = screen.add_window("TTC", {20, 0, 20, 6});
+  screen.window(a).write_line("left");
+  screen.window(b).write_line("right");
+  const std::string out = screen.render();
+  EXPECT_NE(out.find("AOCS"), std::string::npos);
+  EXPECT_NE(out.find("TTC"), std::string::npos);
+  EXPECT_NE(out.find("left"), std::string::npos);
+  EXPECT_NE(out.find("right"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace air::vitral
