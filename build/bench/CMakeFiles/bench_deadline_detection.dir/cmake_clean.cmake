@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deadline_detection.dir/bench_deadline_detection.cpp.o"
+  "CMakeFiles/bench_deadline_detection.dir/bench_deadline_detection.cpp.o.d"
+  "bench_deadline_detection"
+  "bench_deadline_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadline_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

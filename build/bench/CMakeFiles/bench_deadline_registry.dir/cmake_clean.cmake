@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deadline_registry.dir/bench_deadline_registry.cpp.o"
+  "CMakeFiles/bench_deadline_registry.dir/bench_deadline_registry.cpp.o.d"
+  "bench_deadline_registry"
+  "bench_deadline_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadline_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flat_vs_tsp.dir/bench_flat_vs_tsp.cpp.o"
+  "CMakeFiles/bench_flat_vs_tsp.dir/bench_flat_vs_tsp.cpp.o.d"
+  "bench_flat_vs_tsp"
+  "bench_flat_vs_tsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flat_vs_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mmu.dir/bench_mmu.cpp.o"
+  "CMakeFiles/bench_mmu.dir/bench_mmu.cpp.o.d"
+  "bench_mmu"
+  "bench_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mode_switch.dir/bench_mode_switch.cpp.o"
+  "CMakeFiles/bench_mode_switch.dir/bench_mode_switch.cpp.o.d"
+  "bench_mode_switch"
+  "bench_mode_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mode_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

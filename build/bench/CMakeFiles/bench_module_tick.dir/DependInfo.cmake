@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_module_tick.cpp" "bench/CMakeFiles/bench_module_tick.dir/bench_module_tick.cpp.o" "gcc" "bench/CMakeFiles/bench_module_tick.dir/bench_module_tick.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/air_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/air_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/apex/CMakeFiles/air_apex.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmk/CMakeFiles/air_pmk.dir/DependInfo.cmake"
+  "/root/repo/build/src/pal/CMakeFiles/air_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/pos/CMakeFiles/air_pos.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/air_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hm/CMakeFiles/air_hm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/air_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/air_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/air_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/air_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_module_tick.dir/bench_module_tick.cpp.o"
+  "CMakeFiles/bench_module_tick.dir/bench_module_tick.cpp.o.d"
+  "bench_module_tick"
+  "bench_module_tick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_module_tick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

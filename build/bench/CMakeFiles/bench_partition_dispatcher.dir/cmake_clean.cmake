@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_dispatcher.dir/bench_partition_dispatcher.cpp.o"
+  "CMakeFiles/bench_partition_dispatcher.dir/bench_partition_dispatcher.cpp.o.d"
+  "bench_partition_dispatcher"
+  "bench_partition_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_scheduler.dir/bench_partition_scheduler.cpp.o"
+  "CMakeFiles/bench_partition_scheduler.dir/bench_partition_scheduler.cpp.o.d"
+  "bench_partition_scheduler"
+  "bench_partition_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schedulability.dir/bench_schedulability.cpp.o"
+  "CMakeFiles/bench_schedulability.dir/bench_schedulability.cpp.o.d"
+  "bench_schedulability"
+  "bench_schedulability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schedulability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

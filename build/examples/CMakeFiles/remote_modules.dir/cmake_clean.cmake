@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_modules.dir/remote_modules.cpp.o"
+  "CMakeFiles/remote_modules.dir/remote_modules.cpp.o.d"
+  "remote_modules"
+  "remote_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedulability_tool.dir/schedulability_tool.cpp.o"
+  "CMakeFiles/schedulability_tool.dir/schedulability_tool.cpp.o.d"
+  "schedulability_tool"
+  "schedulability_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedulability_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vitral_demo.dir/vitral_demo.cpp.o"
+  "CMakeFiles/vitral_demo.dir/vitral_demo.cpp.o.d"
+  "vitral_demo"
+  "vitral_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vitral_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

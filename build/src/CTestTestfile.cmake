@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("hal")
+subdirs("model")
+subdirs("pos")
+subdirs("pal")
+subdirs("ipc")
+subdirs("hm")
+subdirs("pmk")
+subdirs("apex")
+subdirs("net")
+subdirs("config")
+subdirs("vitral")
+subdirs("system")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_apex.dir/apex_core.cpp.o"
+  "CMakeFiles/air_apex.dir/apex_core.cpp.o.d"
+  "CMakeFiles/air_apex.dir/apex_inter.cpp.o"
+  "CMakeFiles/air_apex.dir/apex_inter.cpp.o.d"
+  "CMakeFiles/air_apex.dir/apex_intra.cpp.o"
+  "CMakeFiles/air_apex.dir/apex_intra.cpp.o.d"
+  "CMakeFiles/air_apex.dir/apex_status.cpp.o"
+  "CMakeFiles/air_apex.dir/apex_status.cpp.o.d"
+  "libair_apex.a"
+  "libair_apex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_apex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_config.dir/export.cpp.o"
+  "CMakeFiles/air_config.dir/export.cpp.o.d"
+  "CMakeFiles/air_config.dir/fig8.cpp.o"
+  "CMakeFiles/air_config.dir/fig8.cpp.o.d"
+  "CMakeFiles/air_config.dir/loader.cpp.o"
+  "CMakeFiles/air_config.dir/loader.cpp.o.d"
+  "libair_config.a"
+  "libair_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

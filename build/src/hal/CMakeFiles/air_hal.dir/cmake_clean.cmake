@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_hal.dir/machine.cpp.o"
+  "CMakeFiles/air_hal.dir/machine.cpp.o.d"
+  "CMakeFiles/air_hal.dir/memory.cpp.o"
+  "CMakeFiles/air_hal.dir/memory.cpp.o.d"
+  "CMakeFiles/air_hal.dir/mmu.cpp.o"
+  "CMakeFiles/air_hal.dir/mmu.cpp.o.d"
+  "libair_hal.a"
+  "libair_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

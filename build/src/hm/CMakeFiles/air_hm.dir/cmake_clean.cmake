@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_hm.dir/health_monitor.cpp.o"
+  "CMakeFiles/air_hm.dir/health_monitor.cpp.o.d"
+  "libair_hm.a"
+  "libair_hm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_hm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_ipc.dir/ports.cpp.o"
+  "CMakeFiles/air_ipc.dir/ports.cpp.o.d"
+  "CMakeFiles/air_ipc.dir/router.cpp.o"
+  "CMakeFiles/air_ipc.dir/router.cpp.o.d"
+  "libair_ipc.a"
+  "libair_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_model.dir/generator.cpp.o"
+  "CMakeFiles/air_model.dir/generator.cpp.o.d"
+  "CMakeFiles/air_model.dir/model.cpp.o"
+  "CMakeFiles/air_model.dir/model.cpp.o.d"
+  "CMakeFiles/air_model.dir/schedulability.cpp.o"
+  "CMakeFiles/air_model.dir/schedulability.cpp.o.d"
+  "CMakeFiles/air_model.dir/validation.cpp.o"
+  "CMakeFiles/air_model.dir/validation.cpp.o.d"
+  "libair_model.a"
+  "libair_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

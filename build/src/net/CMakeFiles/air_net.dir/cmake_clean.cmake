@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_net.dir/bus.cpp.o"
+  "CMakeFiles/air_net.dir/bus.cpp.o.d"
+  "libair_net.a"
+  "libair_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pal/deadline_registry.cpp" "src/pal/CMakeFiles/air_pal.dir/deadline_registry.cpp.o" "gcc" "src/pal/CMakeFiles/air_pal.dir/deadline_registry.cpp.o.d"
+  "/root/repo/src/pal/pal.cpp" "src/pal/CMakeFiles/air_pal.dir/pal.cpp.o" "gcc" "src/pal/CMakeFiles/air_pal.dir/pal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pos/CMakeFiles/air_pos.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/air_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_pal.dir/deadline_registry.cpp.o"
+  "CMakeFiles/air_pal.dir/deadline_registry.cpp.o.d"
+  "CMakeFiles/air_pal.dir/pal.cpp.o"
+  "CMakeFiles/air_pal.dir/pal.cpp.o.d"
+  "libair_pal.a"
+  "libair_pal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_pal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmk/partition_dispatcher.cpp" "src/pmk/CMakeFiles/air_pmk.dir/partition_dispatcher.cpp.o" "gcc" "src/pmk/CMakeFiles/air_pmk.dir/partition_dispatcher.cpp.o.d"
+  "/root/repo/src/pmk/partition_scheduler.cpp" "src/pmk/CMakeFiles/air_pmk.dir/partition_scheduler.cpp.o" "gcc" "src/pmk/CMakeFiles/air_pmk.dir/partition_scheduler.cpp.o.d"
+  "/root/repo/src/pmk/schedule.cpp" "src/pmk/CMakeFiles/air_pmk.dir/schedule.cpp.o" "gcc" "src/pmk/CMakeFiles/air_pmk.dir/schedule.cpp.o.d"
+  "/root/repo/src/pmk/spatial.cpp" "src/pmk/CMakeFiles/air_pmk.dir/spatial.cpp.o" "gcc" "src/pmk/CMakeFiles/air_pmk.dir/spatial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/air_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/air_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/air_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

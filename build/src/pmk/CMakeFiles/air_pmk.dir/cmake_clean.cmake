@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_pmk.dir/partition_dispatcher.cpp.o"
+  "CMakeFiles/air_pmk.dir/partition_dispatcher.cpp.o.d"
+  "CMakeFiles/air_pmk.dir/partition_scheduler.cpp.o"
+  "CMakeFiles/air_pmk.dir/partition_scheduler.cpp.o.d"
+  "CMakeFiles/air_pmk.dir/schedule.cpp.o"
+  "CMakeFiles/air_pmk.dir/schedule.cpp.o.d"
+  "CMakeFiles/air_pmk.dir/spatial.cpp.o"
+  "CMakeFiles/air_pmk.dir/spatial.cpp.o.d"
+  "libair_pmk.a"
+  "libair_pmk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_pmk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_pos.dir/generic_kernel.cpp.o"
+  "CMakeFiles/air_pos.dir/generic_kernel.cpp.o.d"
+  "CMakeFiles/air_pos.dir/kernel_base.cpp.o"
+  "CMakeFiles/air_pos.dir/kernel_base.cpp.o.d"
+  "CMakeFiles/air_pos.dir/rt_kernel.cpp.o"
+  "CMakeFiles/air_pos.dir/rt_kernel.cpp.o.d"
+  "libair_pos.a"
+  "libair_pos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_pos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

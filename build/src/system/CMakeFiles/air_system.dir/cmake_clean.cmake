@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_system.dir/executor.cpp.o"
+  "CMakeFiles/air_system.dir/executor.cpp.o.d"
+  "CMakeFiles/air_system.dir/module.cpp.o"
+  "CMakeFiles/air_system.dir/module.cpp.o.d"
+  "CMakeFiles/air_system.dir/world.cpp.o"
+  "CMakeFiles/air_system.dir/world.cpp.o.d"
+  "libair_system.a"
+  "libair_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

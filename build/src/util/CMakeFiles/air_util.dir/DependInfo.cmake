@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/air_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/air_util.dir/json.cpp.o.d"
+  "/root/repo/src/util/trace.cpp" "src/util/CMakeFiles/air_util.dir/trace.cpp.o" "gcc" "src/util/CMakeFiles/air_util.dir/trace.cpp.o.d"
+  "/root/repo/src/util/trace_export.cpp" "src/util/CMakeFiles/air_util.dir/trace_export.cpp.o" "gcc" "src/util/CMakeFiles/air_util.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

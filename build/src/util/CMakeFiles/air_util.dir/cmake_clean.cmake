@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_util.dir/json.cpp.o"
+  "CMakeFiles/air_util.dir/json.cpp.o.d"
+  "CMakeFiles/air_util.dir/trace.cpp.o"
+  "CMakeFiles/air_util.dir/trace.cpp.o.d"
+  "CMakeFiles/air_util.dir/trace_export.cpp.o"
+  "CMakeFiles/air_util.dir/trace_export.cpp.o.d"
+  "libair_util.a"
+  "libair_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libair_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_vitral.dir/vitral.cpp.o"
+  "CMakeFiles/air_vitral.dir/vitral.cpp.o.d"
+  "libair_vitral.a"
+  "libair_vitral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_vitral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

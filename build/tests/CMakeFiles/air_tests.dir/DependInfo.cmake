@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis_vs_runtime.cpp" "tests/CMakeFiles/air_tests.dir/test_analysis_vs_runtime.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_analysis_vs_runtime.cpp.o.d"
+  "/root/repo/tests/test_apex_ipc.cpp" "tests/CMakeFiles/air_tests.dir/test_apex_ipc.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_apex_ipc.cpp.o.d"
+  "/root/repo/tests/test_apex_process.cpp" "tests/CMakeFiles/air_tests.dir/test_apex_process.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_apex_process.cpp.o.d"
+  "/root/repo/tests/test_apex_status.cpp" "tests/CMakeFiles/air_tests.dir/test_apex_status.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_apex_status.cpp.o.d"
+  "/root/repo/tests/test_config_export.cpp" "tests/CMakeFiles/air_tests.dir/test_config_export.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_config_export.cpp.o.d"
+  "/root/repo/tests/test_config_loader.cpp" "tests/CMakeFiles/air_tests.dir/test_config_loader.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_config_loader.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/air_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/air_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/air_tests.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/test_fig8.cpp" "tests/CMakeFiles/air_tests.dir/test_fig8.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_fig8.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/air_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/air_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_generic_pos.cpp" "tests/CMakeFiles/air_tests.dir/test_generic_pos.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_generic_pos.cpp.o.d"
+  "/root/repo/tests/test_hal.cpp" "tests/CMakeFiles/air_tests.dir/test_hal.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_hal.cpp.o.d"
+  "/root/repo/tests/test_hm.cpp" "tests/CMakeFiles/air_tests.dir/test_hm.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_hm.cpp.o.d"
+  "/root/repo/tests/test_hm_integration.cpp" "tests/CMakeFiles/air_tests.dir/test_hm_integration.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_hm_integration.cpp.o.d"
+  "/root/repo/tests/test_ipc.cpp" "tests/CMakeFiles/air_tests.dir/test_ipc.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_ipc.cpp.o.d"
+  "/root/repo/tests/test_mission_json.cpp" "tests/CMakeFiles/air_tests.dir/test_mission_json.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_mission_json.cpp.o.d"
+  "/root/repo/tests/test_mode_based_schedules.cpp" "tests/CMakeFiles/air_tests.dir/test_mode_based_schedules.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_mode_based_schedules.cpp.o.d"
+  "/root/repo/tests/test_model_validation.cpp" "tests/CMakeFiles/air_tests.dir/test_model_validation.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_model_validation.cpp.o.d"
+  "/root/repo/tests/test_multicore.cpp" "tests/CMakeFiles/air_tests.dir/test_multicore.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_multicore.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/air_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_pal.cpp" "tests/CMakeFiles/air_tests.dir/test_pal.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_pal.cpp.o.d"
+  "/root/repo/tests/test_partition_usage.cpp" "tests/CMakeFiles/air_tests.dir/test_partition_usage.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_partition_usage.cpp.o.d"
+  "/root/repo/tests/test_pmk.cpp" "tests/CMakeFiles/air_tests.dir/test_pmk.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_pmk.cpp.o.d"
+  "/root/repo/tests/test_pos_edge.cpp" "tests/CMakeFiles/air_tests.dir/test_pos_edge.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_pos_edge.cpp.o.d"
+  "/root/repo/tests/test_pos_kernel.cpp" "tests/CMakeFiles/air_tests.dir/test_pos_kernel.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_pos_kernel.cpp.o.d"
+  "/root/repo/tests/test_process_stats.cpp" "tests/CMakeFiles/air_tests.dir/test_process_stats.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_process_stats.cpp.o.d"
+  "/root/repo/tests/test_queuing_discipline.cpp" "tests/CMakeFiles/air_tests.dir/test_queuing_discipline.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_queuing_discipline.cpp.o.d"
+  "/root/repo/tests/test_schedulability.cpp" "tests/CMakeFiles/air_tests.dir/test_schedulability.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_schedulability.cpp.o.d"
+  "/root/repo/tests/test_spatial.cpp" "tests/CMakeFiles/air_tests.dir/test_spatial.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_spatial.cpp.o.d"
+  "/root/repo/tests/test_sporadic.cpp" "tests/CMakeFiles/air_tests.dir/test_sporadic.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_sporadic.cpp.o.d"
+  "/root/repo/tests/test_status_report.cpp" "tests/CMakeFiles/air_tests.dir/test_status_report.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_status_report.cpp.o.d"
+  "/root/repo/tests/test_trace_export.cpp" "tests/CMakeFiles/air_tests.dir/test_trace_export.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_trace_export.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/air_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vitral.cpp" "tests/CMakeFiles/air_tests.dir/test_vitral.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_vitral.cpp.o.d"
+  "/root/repo/tests/test_world_extra.cpp" "tests/CMakeFiles/air_tests.dir/test_world_extra.cpp.o" "gcc" "tests/CMakeFiles/air_tests.dir/test_world_extra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/air_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/air_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/vitral/CMakeFiles/air_vitral.dir/DependInfo.cmake"
+  "/root/repo/build/src/apex/CMakeFiles/air_apex.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmk/CMakeFiles/air_pmk.dir/DependInfo.cmake"
+  "/root/repo/build/src/pal/CMakeFiles/air_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/pos/CMakeFiles/air_pos.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/air_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hm/CMakeFiles/air_hm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/air_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/air_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/air_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/air_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
