@@ -14,6 +14,7 @@
 
 #include "config/fig8.hpp"
 #include "system/module.hpp"
+#include "telemetry/export.hpp"
 
 using namespace air;
 
@@ -110,6 +111,35 @@ int main() {
       std::printf("  ... (%zu more)\n", module.health().log().size() - 8);
       break;
     }
+  }
+
+  // Quantitative mission summary from the telemetry registry: the same
+  // numbers a ground-segment tool would pull, exported as CSV.
+  const telemetry::MetricsSnapshot snapshot = module.metrics_snapshot();
+  std::printf("\ntelemetry snapshot (t=%lld, %zu series):\n",
+              static_cast<long long>(snapshot.time),
+              snapshot.samples.size());
+  for (std::size_t p = 0; p < module.partition_count(); ++p) {
+    const auto index = static_cast<std::int32_t>(p);
+    const std::uint64_t busy = snapshot.counter(
+        telemetry::Metric::kPartitionBusyTicks, index);
+    const std::uint64_t slack = snapshot.counter(
+        telemetry::Metric::kPartitionSlackTicks, index);
+    std::printf("  %-10s busy=%-7llu slack=%-6llu misses=%llu\n",
+                module.partition_pcb(PartitionId{index}).name.c_str(),
+                static_cast<unsigned long long>(busy),
+                static_cast<unsigned long long>(slack),
+                static_cast<unsigned long long>(snapshot.counter(
+                    telemetry::Metric::kDeadlineMisses, index)));
+  }
+  const std::string csv = telemetry::to_csv(snapshot);
+  std::printf("\nmetrics CSV (first rows):\n");
+  std::size_t printed = 0, pos = 0;
+  while (printed < 6 && pos < csv.size()) {
+    const std::size_t end = csv.find('\n', pos);
+    std::printf("  %s\n", csv.substr(pos, end - pos).c_str());
+    pos = end + 1;
+    ++printed;
   }
   return 0;
 }

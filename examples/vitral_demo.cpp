@@ -6,54 +6,24 @@
 
 #include "config/fig8.hpp"
 #include "system/module.hpp"
+#include "vitral/trace_window.hpp"
 #include "vitral/vitral.hpp"
 
 using namespace air;
 
 namespace {
 
+// The AIR component windows are fed live by a TraceWindowSink; only the
+// partition consoles are re-read here (they are per-partition line logs,
+// not trace events).
 void refresh(vitral::Screen& screen, system::Module& module,
-             const std::vector<std::size_t>& partition_windows,
-             std::size_t air_window, std::size_t hm_window,
-             std::size_t& trace_cursor) {
-  // Partition consoles.
+             const std::vector<std::size_t>& partition_windows) {
   for (std::size_t p = 0; p < partition_windows.size(); ++p) {
     auto& window = screen.window(partition_windows[p]);
     window.clear();
     const auto& lines =
         module.console(PartitionId{static_cast<std::int32_t>(p)});
     for (const auto& line : lines) window.write_line(line);
-  }
-  // AIR component windows are fed from the trace.
-  const auto& events = module.trace().events();
-  for (; trace_cursor < events.size(); ++trace_cursor) {
-    const auto& e = events[trace_cursor];
-    char buf[96];
-    switch (e.kind) {
-      case util::EventKind::kScheduleSwitch:
-        std::snprintf(buf, sizeof buf, "t=%lld switch chi_%lld->chi_%lld",
-                      static_cast<long long>(e.time),
-                      static_cast<long long>(e.b) + 1,
-                      static_cast<long long>(e.a) + 1);
-        screen.window(air_window).write_line(buf);
-        break;
-      case util::EventKind::kScheduleSwitchReq:
-        std::snprintf(buf, sizeof buf, "t=%lld request chi_%lld",
-                      static_cast<long long>(e.time),
-                      static_cast<long long>(e.a) + 1);
-        screen.window(air_window).write_line(buf);
-        break;
-      case util::EventKind::kDeadlineMiss:
-        std::snprintf(buf, sizeof buf, "t=%lld P%lld proc %lld MISS d=%lld",
-                      static_cast<long long>(e.time),
-                      static_cast<long long>(e.a) + 1,
-                      static_cast<long long>(e.b),
-                      static_cast<long long>(e.c));
-        screen.window(hm_window).write_line(buf);
-        break;
-      default:
-        break;
-    }
   }
 }
 
@@ -116,12 +86,15 @@ int main() {
   const std::size_t hm_window =
       screen.add_window("AIR Health Monitor", {50, 20, 50, 10});
 
-  std::size_t cursor = 0;
+  // Stream scheduler and HM events into their windows as they happen.
+  vitral::TraceWindowSink sink(screen, air_window, hm_window);
+  module.add_trace_sink(&sink);
+
   const Ticks mtf = scenarios::kFig8Mtf;
 
   // Frame 1: nominal operation.
   module.run(2 * mtf);
-  refresh(screen, module, partition_windows, air_window, hm_window, cursor);
+  refresh(screen, module, partition_windows);
   std::printf("===== frame 1: nominal operation (chi_1) =====\n%s\n",
               screen.render().c_str());
 
@@ -129,7 +102,7 @@ int main() {
   module.start_process_by_name(module.partition_id("AOCS"),
                                scenarios::kFaultyProcessName);
   module.run(2 * mtf);
-  refresh(screen, module, partition_windows, air_window, hm_window, cursor);
+  refresh(screen, module, partition_windows);
   std::printf("===== frame 2: faulty process active on P1 =====\n%s\n",
               screen.render().c_str());
 
@@ -137,8 +110,11 @@ int main() {
   (void)module.apex(module.partition_id("AOCS"))
       .set_module_schedule(ScheduleId{1});
   module.run(2 * mtf);
-  refresh(screen, module, partition_windows, air_window, hm_window, cursor);
+  refresh(screen, module, partition_windows);
   std::printf("===== frame 3: after switching to chi_2 =====\n%s\n",
               screen.render().c_str());
+
+  module.remove_trace_sink(&sink);
+  std::printf("%s\n", module.status_report().c_str());
   return 0;
 }

@@ -298,6 +298,20 @@ LoadResult load_module_config(std::string_view json_text) {
     config.memory_bytes =
         static_cast<std::size_t>(root.get_int("memory_bytes", 16 << 20));
     config.validate = root.get_bool("validate", true);
+    config.trace_enabled = root.get_bool("trace_enabled", true);
+
+    if (const Value* telemetry = root.find("telemetry")) {
+      if (!telemetry->is_object()) fail("\"telemetry\" must be an object");
+      config.telemetry.metrics_enabled =
+          telemetry->get_bool("metrics", true);
+      config.telemetry.profiler_enabled =
+          telemetry->get_bool("profiler", false);
+      config.telemetry.flight_recorder_capacity = static_cast<std::size_t>(
+          telemetry->get_int("flight_recorder_capacity", 0));
+      config.telemetry.flight_recorder_critical_capacity =
+          static_cast<std::size_t>(
+              telemetry->get_int("flight_recorder_critical_capacity", 256));
+    }
 
     const Value* partitions = root.find("partitions");
     if (partitions == nullptr || !partitions->is_array()) {

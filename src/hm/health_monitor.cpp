@@ -99,6 +99,7 @@ RecoveryAction HealthMonitor::report(Ticks now, ErrorCode code,
     report.handled_by_error_handler = true;
     report.action_taken = RecoveryAction::kIgnore;
     log_.push_back(report);
+    note(log_.back());
     if (on_report) on_report(log_.back());
     return report.action_taken;
   }
@@ -115,15 +116,27 @@ RecoveryAction HealthMonitor::report(Ticks now, ErrorCode code,
     report.deferred_by_threshold = true;
     report.action_taken = RecoveryAction::kIgnore;
     log_.push_back(report);
+    note(log_.back());
     if (on_report) on_report(log_.back());
     return report.action_taken;
   }
 
   report.action_taken = entry.action;
   log_.push_back(report);
+  note(log_.back());
   execute(log_.back());
   if (on_report) on_report(log_.back());
   return report.action_taken;
+}
+
+void HealthMonitor::note(const ErrorReport& report) {
+  if (metrics_ == nullptr) return;
+  metrics_->add(telemetry::Metric::kHmErrors,
+                report.partition.valid() ? report.partition.value() : -1);
+  metrics_->add(telemetry::Metric::kHmErrorsByCode,
+                static_cast<std::int32_t>(report.code));
+  metrics_->add(telemetry::Metric::kHmActionsByKind,
+                static_cast<std::int32_t>(report.action_taken));
 }
 
 void HealthMonitor::execute(const ErrorReport& report) {

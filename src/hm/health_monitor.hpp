@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
 #include "util/types.hpp"
 
 namespace air::hm {
@@ -124,13 +125,19 @@ class HealthMonitor {
   /// Observation hook: every report, after the action is decided.
   std::function<void(const ErrorReport&)> on_report;
 
+  /// Publish error-rate metrics: errors per partition, per error code, and
+  /// actions per recovery kind. nullptr = off.
+  void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   void execute(const ErrorReport& report);
+  void note(const ErrorReport& report);
 
   HmTable module_table_;
   std::map<PartitionId, HmTable> partition_tables_;
   std::map<std::pair<PartitionId, ErrorCode>, std::uint32_t> occurrence_;
   std::vector<ErrorReport> log_;
+  telemetry::MetricsRegistry* metrics_{nullptr};
 };
 
 }  // namespace air::hm

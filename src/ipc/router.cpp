@@ -39,6 +39,11 @@ void Router::propagate_sampling(const PortRef& source,
                                 const Message& message) {
   const ChannelConfig* channel = channel_for_source(source);
   if (channel == nullptr) return;  // unconnected port: message stays local
+  if (metrics_ != nullptr) {
+    metrics_->add(telemetry::Metric::kIpcMessages, channel->id.value());
+    metrics_->add(telemetry::Metric::kIpcBytes, channel->id.value(),
+                  message.payload.size());
+  }
   for (const PortRef& dest : channel->local_destinations) {
     if (SamplingPort* port = sampling_port(dest)) {
       (void)port->write(message);  // sampling writes always overwrite
@@ -71,6 +76,11 @@ void Router::pump(const PortRef& source) {
 
     auto message = src->receive();
     AIR_ASSERT(message.has_value());
+    if (metrics_ != nullptr) {
+      metrics_->add(telemetry::Metric::kIpcMessages, channel->id.value());
+      metrics_->add(telemetry::Metric::kIpcBytes, channel->id.value(),
+                    message->payload.size());
+    }
     for (const PortRef& dest : channel->local_destinations) {
       if (QueuingPort* port = queuing_port(dest)) {
         (void)port->send(*message);
@@ -81,6 +91,12 @@ void Router::pump(const PortRef& source) {
       if (remote_send) remote_send(dest, *message, ChannelKind::kQueuing);
     }
     moved_any = true;
+  }
+  // Refresh the depth gauge only when this pump moved something or left a
+  // backlog behind -- an idle channel costs no registry write per tick.
+  if (metrics_ != nullptr && (moved_any || !src->empty())) {
+    metrics_->set(telemetry::Metric::kIpcQueueDepth, channel->id.value(),
+                  static_cast<std::int64_t>(src->depth()));
   }
   if (moved_any && on_source_space) on_source_space(source);
 }
@@ -100,8 +116,12 @@ void Router::deliver_remote(const PortRef& destination, const Message& message,
     }
   } else {
     if (QueuingPort* port = queuing_port(destination)) {
-      if (port->send(message) == QueuingPort::SendStatus::kOk && on_delivery) {
-        on_delivery(destination);
+      if (port->send(message) == QueuingPort::SendStatus::kOk) {
+        if (on_delivery) on_delivery(destination);
+      } else if (metrics_ != nullptr) {
+        // Remote arrival lost on a full destination queue: the one place a
+        // queuing message can drop (local channels hold at the source).
+        metrics_->add(telemetry::Metric::kIpcDrops, -1);
       }
     }
   }

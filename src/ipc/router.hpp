@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ipc/ports.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/types.hpp"
 
 namespace air::ipc {
@@ -89,6 +90,13 @@ class Router {
     return channels_;
   }
 
+  /// Publish per-channel traffic metrics (messages, bytes, queue depth,
+  /// drops) keyed by channel id; remote arrivals (no local channel) are
+  /// keyed -1. nullptr = off.
+  void set_metrics(telemetry::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+  }
+
  private:
   [[nodiscard]] const ChannelConfig* channel_for_source(
       const PortRef& source) const;
@@ -96,6 +104,7 @@ class Router {
   std::map<PortRef, SamplingPort*> sampling_;
   std::map<PortRef, QueuingPort*> queuing_;
   std::vector<ChannelConfig> channels_;
+  telemetry::MetricsRegistry* metrics_{nullptr};
 };
 
 }  // namespace air::ipc

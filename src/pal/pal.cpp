@@ -29,15 +29,36 @@ void Pal::announce_ticks(Ticks now, Ticks elapsed) {
   while (true) {
     const DeadlineRecord* rec = registry_->earliest();
     ++deadline_checks_;
-    if (rec == nullptr || rec->deadline >= now) break;  // line 3-4
+    if (rec == nullptr || rec->deadline >= now) {  // line 3-4
+      // Telemetry: the partition's deadline headroom -- the distribution the
+      // paper's Fig. 8 discussion reasons about. Sampled once per deadline
+      // episode (when a record first reaches the head of the registry), so
+      // the steady-state announce path pays two integer compares, not a
+      // histogram insertion per tick.
+      if (metrics_ != nullptr && rec != nullptr &&
+          rec->deadline != kInfiniteTime &&
+          (rec->pid != last_slack_pid_ ||
+           rec->deadline != last_slack_deadline_)) {
+        last_slack_pid_ = rec->pid;
+        last_slack_deadline_ = rec->deadline;
+        metrics_->observe(telemetry::Metric::kDeadlineSlack, partition_index_,
+                          rec->deadline - now);
+      }
+      break;
+    }
     const ProcessId pid = rec->pid;
     const Ticks missed = rec->deadline;
     ++violations_;
+    if (metrics_ != nullptr) {
+      metrics_->observe(telemetry::Metric::kDeadlineLateness,
+                        partition_index_, now - missed);
+    }
     // Line 7 before line 6: the record is removed (O(1), pointer already
     // held) before HM_DEADLINEVIOLATED runs, because the Health Monitor's
     // recovery action may re-enter the registry (stopping the process
     // unregisters its deadline; a partition restart clears everything).
     registry_->remove_earliest();
+    note_registry_depth();
     if (on_deadline_violation) {
       on_deadline_violation(pid, missed, now);  // line 6: HM_DEADLINEVIOLATED
     }
@@ -48,16 +69,30 @@ void Pal::register_deadline(ProcessId pid, Ticks absolute_deadline) {
   if (absolute_deadline == kInfiniteTime) {
     // D = infinity: the notion of deadline violation does not apply (eq. 24).
     registry_->unregister(pid);
-    return;
+  } else {
+    registry_->register_deadline(pid, absolute_deadline);
   }
-  registry_->register_deadline(pid, absolute_deadline);
+  note_registry_depth();
 }
 
-void Pal::unregister_deadline(ProcessId pid) { registry_->unregister(pid); }
+void Pal::unregister_deadline(ProcessId pid) {
+  registry_->unregister(pid);
+  note_registry_depth();
+}
 
 void Pal::reset() {
   registry_->clear();
   kernel_->reset_all();
+  last_slack_pid_ = ProcessId::invalid();
+  last_slack_deadline_ = kInfiniteTime;
+  note_registry_depth();
+}
+
+void Pal::note_registry_depth() {
+  if (metrics_ != nullptr) {
+    metrics_->set(telemetry::Metric::kDeadlineRegistryDepth, partition_index_,
+                  static_cast<std::int64_t>(registry_->size()));
+  }
 }
 
 }  // namespace air::pal

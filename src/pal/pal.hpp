@@ -15,6 +15,7 @@
 
 #include "pal/deadline_registry.hpp"
 #include "pos/kernel.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/types.hpp"
 
 namespace air::pal {
@@ -69,11 +70,27 @@ class Pal {
   std::function<void(ProcessId, Ticks deadline, Ticks detected_at)>
       on_deadline_violation;
 
+  /// Publish deadline telemetry (slack/lateness histograms, registry depth
+  /// gauge) under partition index `partition` (nullptr = off).
+  void set_metrics(telemetry::MetricsRegistry* metrics,
+                   std::int32_t partition) {
+    metrics_ = metrics;
+    partition_index_ = partition;
+  }
+
  private:
+  void note_registry_depth();
+
   std::unique_ptr<pos::IKernel> kernel_;
   std::unique_ptr<IDeadlineRegistry> registry_;
   std::uint64_t deadline_checks_{0};
   std::uint64_t violations_{0};
+  telemetry::MetricsRegistry* metrics_{nullptr};
+  std::int32_t partition_index_{-1};
+  // Last {pid, deadline} sampled into the slack histogram: one observation
+  // per deadline episode instead of one per announce.
+  ProcessId last_slack_pid_{ProcessId::invalid()};
+  Ticks last_slack_deadline_{kInfiniteTime};
 };
 
 }  // namespace air::pal

@@ -37,6 +37,16 @@ PartitionDispatcher::DispatchResult PartitionDispatcher::dispatch(
   const PartitionId previous = active_;
   active_ = heir;
   ++switches_;
+  if (metrics_ != nullptr) {
+    if (heir.valid()) {
+      metrics_->add(telemetry::Metric::kPartitionContextSwitches,
+                    heir.value());
+    }
+    if (previous.valid()) {
+      metrics_->add(telemetry::Metric::kPartitionPreemptions,
+                    previous.value());
+    }
+  }
 
   // Line 8: restore the heir's execution context -- in this simulation the
   // address space (MMU context); spatial separation switches with it.

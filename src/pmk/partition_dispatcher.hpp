@@ -22,6 +22,7 @@
 
 #include "hal/mmu.hpp"
 #include "pmk/partition.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/types.hpp"
 
 namespace air::pmk {
@@ -50,6 +51,12 @@ class PartitionDispatcher {
   [[nodiscard]] std::uint64_t dispatch_count() const { return dispatches_; }
   [[nodiscard]] std::uint64_t context_switches() const { return switches_; }
 
+  /// Publish per-partition context-switch / preemption counters to the
+  /// telemetry registry (nullptr = off).
+  void set_metrics(telemetry::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+  }
+
   /// Algorithm 2 line 9: wired by the module to apply the heir partition's
   /// pending ScheduleChangeAction on its first dispatch after a switch.
   std::function<void(PartitionId)> on_pending_schedule_change_action;
@@ -64,6 +71,7 @@ class PartitionDispatcher {
   PartitionId active_{PartitionId::invalid()};
   std::uint64_t dispatches_{0};
   std::uint64_t switches_{0};
+  telemetry::MetricsRegistry* metrics_{nullptr};
 };
 
 }  // namespace air::pmk

@@ -51,6 +51,9 @@ bool PartitionScheduler::tick() {
   // most frequent case this comparison is false and we are done.
   if (sched->table[table_iterator_].tick != phase) return false;
   ++points_hit_;
+  if (metrics_ != nullptr) {
+    metrics_->add(telemetry::Metric::kSchedulePreemptionPoints, -1);
+  }
 
   // Lines 3-7: make a pending schedule switch effective at the MTF boundary.
   if (current_ != next_ && phase == 0) {
@@ -60,6 +63,9 @@ bool PartitionScheduler::tick() {
     last_schedule_switch_was_set_ = true;
     table_iterator_ = 0;              // line 6
     sched = &schedules_.at(current_);
+    if (metrics_ != nullptr) {
+      metrics_->add(telemetry::Metric::kScheduleSwitches, -1);
+    }
     if (on_schedule_switch) on_schedule_switch(current_, old);
   }
 

@@ -22,6 +22,7 @@
 #include <map>
 
 #include "pmk/schedule.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/types.hpp"
 
 namespace air::pmk {
@@ -67,6 +68,12 @@ class PartitionScheduler {
     return points_hit_;
   }
 
+  /// Publish preemption points and schedule switches to the telemetry
+  /// registry (nullptr = off; observability layer, PR telemetry).
+  void set_metrics(telemetry::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+  }
+
   /// Invoked right after a schedule switch becomes effective (line 4-6),
   /// with (new, old); the module uses it to arm per-partition
   /// ScheduleChangeActions and to trace the switch.
@@ -86,6 +93,7 @@ class PartitionScheduler {
 
   std::uint64_t tick_calls_{0};
   std::uint64_t points_hit_{0};
+  telemetry::MetricsRegistry* metrics_{nullptr};
 };
 
 }  // namespace air::pmk

@@ -22,6 +22,8 @@ ProcessId GenericKernel::schedule() {
     current_ = ProcessId::invalid();
     return current_;
   }
+  count_dispatch(run_queue_.front() != current_ ||
+                 (current_.valid() && run_queue_.size() > 1));
   // Round-robin: the previous head moves to the tail on every scheduling
   // decision, giving a one-tick time slice.
   if (current_.valid() && run_queue_.size() > 1 &&

@@ -58,6 +58,14 @@ class IKernel {
   virtual void unlock_preemption() = 0;
   [[nodiscard]] virtual bool preemption_locked() const = 0;
 
+  // --- scheduling statistics (observability; scraped into telemetry) ---
+  /// schedule() calls that selected an heir.
+  [[nodiscard]] virtual std::uint64_t dispatch_count() const = 0;
+  /// Dispatches where the heir differed from the running process.
+  [[nodiscard]] virtual std::uint64_t process_switches() const = 0;
+  /// Processes currently ready or running (process scheduler queue depth).
+  [[nodiscard]] virtual std::size_t ready_depth() const = 0;
+
   /// Partition restart: every process back to dormant, script pointers
   /// rewound, queues cleared. Process table itself is preserved (ARINC 653
   /// processes are re-started, not re-created, on partition restart).

@@ -181,4 +181,12 @@ void KernelBase::reset_all() {
   preemption_lock_ = 0;
 }
 
+std::size_t KernelBase::ready_depth() const {
+  std::size_t n = 0;
+  for (const auto& p : table_) {
+    if (p.schedulable()) ++n;
+  }
+  return n;
+}
+
 }  // namespace air::pos

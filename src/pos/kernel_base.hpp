@@ -42,7 +42,22 @@ class KernelBase : public IKernel {
 
   void reset_all() override;
 
+  [[nodiscard]] std::uint64_t dispatch_count() const override {
+    return dispatches_;
+  }
+  [[nodiscard]] std::uint64_t process_switches() const override {
+    return process_switches_;
+  }
+  [[nodiscard]] std::size_t ready_depth() const override;
+
  protected:
+  /// Subclass schedule() bookkeeping: an heir was selected; `switched`
+  /// when it differs from the previously running process.
+  void count_dispatch(bool switched) {
+    ++dispatches_;
+    if (switched) ++process_switches_;
+  }
+
   // --- scheduling-policy hooks ---
   virtual void enqueue_ready(ProcessControlBlock& pcb) = 0;
   virtual void dequeue_ready(ProcessControlBlock& pcb) = 0;
@@ -58,6 +73,8 @@ class KernelBase : public IKernel {
   Ticks now_{0};
   std::uint64_t ready_counter_{0};
   int preemption_lock_{0};
+  std::uint64_t dispatches_{0};
+  std::uint64_t process_switches_{0};
 };
 
 }  // namespace air::pos

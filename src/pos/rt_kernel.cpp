@@ -29,7 +29,10 @@ ProcessId RtKernel::schedule() {
   // With preemption locked, the current process runs on while schedulable.
   if (preemption_locked() && current_.valid()) {
     const ProcessControlBlock* cur = pcb(current_);
-    if (cur != nullptr && cur->schedulable()) return current_;
+    if (cur != nullptr && cur->schedulable()) {
+      count_dispatch(false);
+      return current_;
+    }
   }
 
   const ProcessId heir = pick_heir();
@@ -37,6 +40,7 @@ ProcessId RtKernel::schedule() {
     current_ = ProcessId::invalid();
     return heir;
   }
+  count_dispatch(heir != current_);
   if (heir != current_) {
     if (current_.valid()) {
       ProcessControlBlock* prev = pcb(current_);

@@ -144,6 +144,8 @@ OpOutcome apply_service(Module& module, apex::Apex& apex,
             module.trace().record(now, EventKind::kSpatialViolation,
                                   partition.value(), pcb.id.value(),
                                   static_cast<std::int64_t>(o.vaddr));
+            module.metrics().add(telemetry::Metric::kSpatialViolations,
+                                 partition.value());
             module.health().report(now, hm::ErrorCode::kMemoryViolation,
                                    hm::ErrorLevel::kProcess, partition,
                                    pcb.id, "access outside partition space");

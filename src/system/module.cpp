@@ -28,6 +28,13 @@ Module::Module(ModuleConfig config)
       machine_(config_.memory_bytes),
       spatial_(machine_) {
   trace_.enable(config_.trace_enabled);
+  metrics_.enable(config_.telemetry.metrics_enabled);
+  profiler_.enable(config_.telemetry.profiler_enabled);
+  if (config_.telemetry.flight_recorder_capacity > 0) {
+    trace_.set_flight_recorder(
+        config_.telemetry.flight_recorder_capacity,
+        config_.telemetry.flight_recorder_critical_capacity);
+  }
   AIR_ASSERT_MSG(!config_.partitions.empty(), "module has no partitions");
 
   // Normalise to the multicore representation: a single-core module is a
@@ -93,6 +100,14 @@ Module::Module(ModuleConfig config)
     core.scheduler.set_initial_schedule(core_config.initial_schedule);
     core.dispatcher =
         std::make_unique<pmk::PartitionDispatcher>(pcbs_, &machine_.mmu());
+    if (config_.telemetry.metrics_enabled) {
+      core.scheduler.set_metrics(&metrics_);
+      core.dispatcher->set_metrics(&metrics_);
+    }
+  }
+  if (config_.telemetry.metrics_enabled) {
+    router_.set_metrics(&metrics_);
+    health_.set_metrics(&metrics_);
   }
 
   // Per-partition runtime: PAL (wrapping the POS kernel) + APEX. A
@@ -105,6 +120,9 @@ Module::Module(ModuleConfig config)
     PartitionRuntime& rt = partitions_[i];
     rt.pal = std::make_unique<pal::Pal>(make_kernel(pc.pos_kind),
                                         pc.deadline_registry);
+    if (config_.telemetry.metrics_enabled) {
+      rt.pal->set_metrics(&metrics_, static_cast<std::int32_t>(i));
+    }
     rt.apex = std::make_unique<apex::Apex>(
         id, pcbs_[i], *rt.pal, router_, health_,
         cores_[core_affinity_[i]].scheduler, [this] { return now(); });
@@ -194,6 +212,10 @@ Module::Module(ModuleConfig config)
     };
     core.dispatcher->on_context_switch = [this](PartitionId heir,
                                                 PartitionId previous) {
+      if (previous.valid()) {
+        trace_.record(now(), EventKind::kPartitionPreempt, previous.value(),
+                      heir.value());
+      }
       trace_.record(now(), EventKind::kPartitionDispatch, heir.value(),
                     previous.value());
     };
@@ -364,7 +386,13 @@ void Module::tick_once() {
   };
   util::FixedVector<Dispatched, 16> dispatched;
   for (Core& core : cores_) {
-    (void)core.scheduler.tick();
+    {
+      telemetry::TickProfiler::Scope scope(profiler_,
+                                           telemetry::TickPhase::kScheduler);
+      (void)core.scheduler.tick();
+    }
+    telemetry::TickProfiler::Scope scope(profiler_,
+                                         telemetry::TickPhase::kDispatcher);
     const auto result = core.dispatcher->dispatch(
         core.scheduler.heir_partition(), core.scheduler.ticks());
     if (result.active.valid()) {
@@ -374,7 +402,11 @@ void Module::tick_once() {
 
   // PMK channel service: queuing channels progress regardless of which
   // partitions are active.
-  router_.pump_all();
+  {
+    telemetry::TickProfiler::Scope scope(profiler_,
+                                         telemetry::TickPhase::kRouter);
+    router_.pump_all();
+  }
 
   for (const Dispatched& d : dispatched) {
     if (stopped_) return;
@@ -398,9 +430,17 @@ void Module::step_active_partition(PartitionId id, Ticks elapsed) {
   if (pcb.mmu_context >= 0) {
     machine_.mmu().set_active_context(pcb.mmu_context);
   }
-  rt.pal->announce_ticks(now(), elapsed);
+  {
+    telemetry::TickProfiler::Scope scope(profiler_,
+                                         telemetry::TickPhase::kPal);
+    rt.pal->announce_ticks(now(), elapsed);
+  }
   if (stopped_) return;
   if (pcb.mode != pmk::OperatingMode::kNormal) return;  // HM intervened
+  telemetry::TickProfiler::Scope scope(profiler_,
+                                       telemetry::TickPhase::kExecutor);
+  // Busy/slack telemetry is scraped from the PCB accounting at snapshot
+  // time; the per-tick path pays only the two increments it always did.
   if (Executor::step(*this, id, now())) {
     ++pcb.busy_ticks;
   } else {
@@ -456,6 +496,41 @@ const std::vector<std::string>& Module::console(PartitionId id) const {
   return partitions_[static_cast<std::size_t>(id.value())].console_lines;
 }
 
+telemetry::MetricsSnapshot Module::metrics_snapshot() {
+  if (metrics_.enabled()) {
+    // Scrape the totals that layers count locally (cheap increments on
+    // members they own) rather than publishing per event: PAL deadline
+    // counters, POS kernel scheduling counters, and the MMU statistics.
+    for (std::size_t i = 0; i < partitions_.size(); ++i) {
+      const auto index = static_cast<std::int32_t>(i);
+      const pmk::PartitionControlBlock& pcb = pcbs_[i];
+      metrics_.set_counter(telemetry::Metric::kPartitionBusyTicks, index,
+                           static_cast<std::uint64_t>(pcb.busy_ticks));
+      metrics_.set_counter(telemetry::Metric::kPartitionSlackTicks, index,
+                           static_cast<std::uint64_t>(pcb.slack_ticks));
+      const pal::Pal& p = *partitions_[i].pal;
+      metrics_.set_counter(telemetry::Metric::kDeadlineChecks, index,
+                           p.deadline_checks());
+      metrics_.set_counter(telemetry::Metric::kDeadlineMisses, index,
+                           p.violations_detected());
+      const pos::IKernel& k = p.kernel();
+      metrics_.set_counter(telemetry::Metric::kProcessDispatches, index,
+                           k.dispatch_count());
+      metrics_.set_counter(telemetry::Metric::kProcessSwitches, index,
+                           k.process_switches());
+      metrics_.set(telemetry::Metric::kReadyQueueDepth, index,
+                   static_cast<std::int64_t>(k.ready_depth()));
+    }
+    const hal::MmuStats& mmu = machine_.mmu().stats();
+    metrics_.set_counter(telemetry::Metric::kTlbHits, -1, mmu.tlb_hits);
+    metrics_.set_counter(telemetry::Metric::kTlbMisses, -1, mmu.tlb_misses);
+    metrics_.set_counter(telemetry::Metric::kMmuTableWalks, -1,
+                         mmu.table_walks);
+    metrics_.set_counter(telemetry::Metric::kMmuFaults, -1, mmu.faults);
+  }
+  return metrics_.snapshot(now());
+}
+
 bool Module::start_process_by_name(PartitionId id, std::string_view name) {
   apex::Apex& a = apex(id);
   ProcessId pid;
@@ -509,6 +584,49 @@ std::string Module::status_report() {
   std::snprintf(line, sizeof line, "  hm log entries: %zu\n",
                 health_.log().size());
   out += line;
+  if (metrics_.enabled()) {
+    const telemetry::MetricsSnapshot snap = metrics_snapshot();
+    std::snprintf(line, sizeof line, "  telemetry: %zu metric series\n",
+                  snap.samples.size());
+    out += line;
+    for (const auto& pcb : pcbs_) {
+      const auto index = pcb.id.value();
+      const std::uint64_t busy =
+          snap.counter(telemetry::Metric::kPartitionBusyTicks, index);
+      const std::uint64_t slack =
+          snap.counter(telemetry::Metric::kPartitionSlackTicks, index);
+      const double util =
+          busy + slack > 0
+              ? 100.0 * static_cast<double>(busy) /
+                    static_cast<double>(busy + slack)
+              : 0.0;
+      std::snprintf(
+          line, sizeof line,
+          "    %-12s util=%5.1f%% deadline_misses=%llu dispatches=%llu\n",
+          pcb.name.c_str(), util,
+          static_cast<unsigned long long>(
+              snap.counter(telemetry::Metric::kDeadlineMisses, index)),
+          static_cast<unsigned long long>(
+              snap.counter(telemetry::Metric::kProcessDispatches, index)));
+      out += line;
+    }
+    std::uint64_t msgs = 0, bytes = 0, drops = 0;
+    for (const auto& sample : snap.samples) {
+      if (sample.metric == telemetry::Metric::kIpcMessages) {
+        msgs += sample.counter;
+      } else if (sample.metric == telemetry::Metric::kIpcBytes) {
+        bytes += sample.counter;
+      } else if (sample.metric == telemetry::Metric::kIpcDrops) {
+        drops += sample.counter;
+      }
+    }
+    std::snprintf(line, sizeof line,
+                  "    ipc: %llu messages, %llu bytes, %llu drops\n",
+                  static_cast<unsigned long long>(msgs),
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(drops));
+    out += line;
+  }
   return out;
 }
 

@@ -28,6 +28,8 @@
 #include "pmk/partition_scheduler.hpp"
 #include "pmk/spatial.hpp"
 #include "system/module_config.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "util/fixed_vector.hpp"
 #include "util/trace.hpp"
 
@@ -62,6 +64,21 @@ class Module {
   // --- component access ---
   [[nodiscard]] util::Trace& trace() { return trace_; }
   [[nodiscard]] const util::Trace& trace() const { return trace_; }
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const telemetry::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] telemetry::TickProfiler& profiler() { return profiler_; }
+
+  /// Deterministic metrics snapshot at the current module time: scrapes the
+  /// layer-local totals (PAL deadline counters, POS kernel counters, MMU
+  /// statistics) into the registry, then returns the ordered sample set.
+  [[nodiscard]] telemetry::MetricsSnapshot metrics_snapshot();
+
+  /// Register/remove a streaming observer of trace events (vitral console,
+  /// online monitors, tests). Sinks fire synchronously inside record().
+  void add_trace_sink(util::TraceSink* sink) { trace_.add_sink(sink); }
+  void remove_trace_sink(util::TraceSink* sink) { trace_.remove_sink(sink); }
   [[nodiscard]] hal::Machine& machine() { return machine_; }
   [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
   /// Scheduler / dispatcher of one core (core 0 by default, which is the
@@ -132,6 +149,8 @@ class Module {
 
   ModuleConfig config_;
   util::Trace trace_;
+  telemetry::MetricsRegistry metrics_;
+  telemetry::TickProfiler profiler_;
   hal::Machine machine_;
   pmk::SpatialManager spatial_;
   ipc::Router router_;

@@ -99,6 +99,19 @@ struct CoreConfig {
   ScheduleId initial_schedule{ScheduleId{0}};
 };
 
+/// Observability configuration (src/telemetry). Metrics are deterministic
+/// and on by default; the host-side tick profiler is off by default; a
+/// flight-recorder capacity of 0 keeps the unbounded trace of the seed.
+struct TelemetryConfig {
+  bool metrics_enabled{true};
+  bool profiler_enabled{false};
+  /// Flight recorder: bounded trace storage. 0 = unbounded vector.
+  std::size_t flight_recorder_capacity{0};
+  /// Separate retention for critical events (deadline misses, HM reports,
+  /// schedule switches) so debug floods cannot evict the evidence.
+  std::size_t flight_recorder_critical_capacity{256};
+};
+
 struct ModuleConfig {
   std::string name{"module"};
   ModuleId id{ModuleId{0}};
@@ -128,6 +141,8 @@ struct ModuleConfig {
   bool validate{true};
   /// Record events in the trace (disable for hot-path benches).
   bool trace_enabled{true};
+  /// Metrics registry, tick profiler and flight recorder setup.
+  TelemetryConfig telemetry;
 };
 
 }  // namespace air::system

@@ -1,0 +1,107 @@
+#include "telemetry/export.hpp"
+
+#include "util/json.hpp"
+
+// Same GCC 12 -Wmaybe-uninitialized false positive as trace_export.cpp
+// (variant move machinery inside json::Value at -O2, GCC PR 105562 family).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace air::telemetry {
+
+namespace {
+
+using util::json::Array;
+using util::json::Object;
+using util::json::Value;
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot, int indent) {
+  Array metrics;
+  for (const MetricSample& s : snapshot.samples) {
+    Object row;
+    row["name"] = Value{std::string{to_string(s.metric)}};
+    row["index"] = Value{std::int64_t{s.index}};
+    row["kind"] = Value{kind_name(s.kind)};
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        row["value"] = Value{static_cast<std::int64_t>(s.counter)};
+        break;
+      case MetricKind::kGauge:
+        row["last"] = Value{s.gauge.last};
+        row["max"] = Value{s.gauge.max};
+        row["samples"] = Value{static_cast<std::int64_t>(s.gauge.samples)};
+        break;
+      case MetricKind::kHistogram: {
+        row["count"] = Value{static_cast<std::int64_t>(s.histogram.count)};
+        row["sum"] = Value{s.histogram.sum};
+        if (s.histogram.count > 0) {
+          row["min"] = Value{s.histogram.min};
+          row["max"] = Value{s.histogram.max};
+        }
+        Array buckets;
+        for (const std::uint64_t b : s.histogram.buckets) {
+          buckets.push_back(Value{static_cast<std::int64_t>(b)});
+        }
+        row["buckets"] = Value{std::move(buckets)};
+        break;
+      }
+    }
+    metrics.push_back(Value{std::move(row)});
+  }
+  Object root;
+  root["time"] = Value{snapshot.time};
+  root["metrics"] = Value{std::move(metrics)};
+  return Value{std::move(root)}.dump(indent);
+}
+
+std::string to_csv(const MetricsSnapshot& snapshot) {
+  std::string out = "metric,index,kind,value,count,sum,min,max\n";
+  char line[256];
+  for (const MetricSample& s : snapshot.samples) {
+    const std::string name{to_string(s.metric)};
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(line, sizeof line, "%s,%d,counter,%llu,,,,\n",
+                      name.c_str(), s.index,
+                      static_cast<unsigned long long>(s.counter));
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(line, sizeof line, "%s,%d,gauge,%lld,%llu,,,%lld\n",
+                      name.c_str(), s.index,
+                      static_cast<long long>(s.gauge.last),
+                      static_cast<unsigned long long>(s.gauge.samples),
+                      static_cast<long long>(s.gauge.max));
+        break;
+      case MetricKind::kHistogram:
+        if (s.histogram.count > 0) {
+          std::snprintf(line, sizeof line,
+                        "%s,%d,histogram,,%llu,%lld,%lld,%lld\n",
+                        name.c_str(), s.index,
+                        static_cast<unsigned long long>(s.histogram.count),
+                        static_cast<long long>(s.histogram.sum),
+                        static_cast<long long>(s.histogram.min),
+                        static_cast<long long>(s.histogram.max));
+        } else {
+          std::snprintf(line, sizeof line, "%s,%d,histogram,,0,0,,\n",
+                        name.c_str(), s.index);
+        }
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace air::telemetry

@@ -1,0 +1,25 @@
+// Metrics snapshot exporters: JSON (machine-readable, nested by metric) and
+// CSV (one row per sample, spreadsheet/pandas-ready). Both orderings come
+// from MetricsSnapshot, which is deterministic, so repeated runs of the same
+// configuration export byte-identical documents.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace air::telemetry {
+
+/// JSON document:
+///   {"time": T, "metrics": [{"name":..., "index":..., "kind":...,
+///     "value":... | "last"/"max"/"samples" | "count"/"sum"/"min"/"max"/
+///     "buckets":[...]}, ...]}
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot,
+                                  int indent = 2);
+
+/// CSV with header `metric,index,kind,value,count,sum,min,max`. Counters put
+/// the total in `value`; gauges put last in `value` and max in `max`;
+/// histograms fill count/sum/min/max and leave `value` empty.
+[[nodiscard]] std::string to_csv(const MetricsSnapshot& snapshot);
+
+}  // namespace air::telemetry

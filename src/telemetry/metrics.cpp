@@ -1,0 +1,176 @@
+#include "telemetry/metrics.hpp"
+
+#include "util/assert.hpp"
+
+namespace air::telemetry {
+
+namespace {
+
+struct MetricInfo {
+  std::string_view name;
+  MetricKind kind;
+};
+
+constexpr std::array<MetricInfo, static_cast<std::size_t>(Metric::kCount)>
+    kCatalogue{{
+        {"pmk.partition_context_switches", MetricKind::kCounter},
+        {"pmk.partition_preemptions", MetricKind::kCounter},
+        {"pmk.partition_busy_ticks", MetricKind::kCounter},
+        {"pmk.partition_slack_ticks", MetricKind::kCounter},
+        {"pmk.schedule_preemption_points", MetricKind::kCounter},
+        {"pmk.schedule_switches", MetricKind::kCounter},
+        {"pal.deadline_checks", MetricKind::kCounter},
+        {"pal.deadline_misses", MetricKind::kCounter},
+        {"pal.deadline_slack", MetricKind::kHistogram},
+        {"pal.deadline_lateness", MetricKind::kHistogram},
+        {"pal.deadline_registry_depth", MetricKind::kGauge},
+        {"pos.process_dispatches", MetricKind::kCounter},
+        {"pos.process_switches", MetricKind::kCounter},
+        {"pos.ready_queue_depth", MetricKind::kGauge},
+        {"ipc.messages", MetricKind::kCounter},
+        {"ipc.bytes", MetricKind::kCounter},
+        {"ipc.drops", MetricKind::kCounter},
+        {"ipc.queue_depth", MetricKind::kGauge},
+        {"hal.tlb_hits", MetricKind::kCounter},
+        {"hal.tlb_misses", MetricKind::kCounter},
+        {"hal.mmu_table_walks", MetricKind::kCounter},
+        {"hal.mmu_faults", MetricKind::kCounter},
+        {"pmk.spatial_violations", MetricKind::kCounter},
+        {"hm.errors", MetricKind::kCounter},
+        {"hm.errors_by_code", MetricKind::kCounter},
+        {"hm.actions_by_kind", MetricKind::kCounter},
+    }};
+
+[[nodiscard]] const MetricInfo& info(Metric metric) {
+  const auto i = static_cast<std::size_t>(metric);
+  AIR_ASSERT(i < kCatalogue.size());
+  return kCatalogue[i];
+}
+
+[[nodiscard]] std::size_t slot_index(std::int32_t index) {
+  AIR_ASSERT_MSG(index >= -1, "metric index must be a partition/channel/code "
+                              "value or -1 (module-wide)");
+  return static_cast<std::size_t>(index + 1);
+}
+
+}  // namespace
+
+std::string_view to_string(Metric metric) { return info(metric).name; }
+
+MetricKind kind_of(Metric metric) { return info(metric).kind; }
+
+void Histogram::observe(std::int64_t value) {
+  ++count;
+  sum += value;
+  if (value < min) min = value;
+  if (value > max) max = value;
+  // bucket = floor(log2(value + 1)), clamped to [0, kBuckets).
+  std::uint64_t v = value > 0 ? static_cast<std::uint64_t>(value) + 1 : 1;
+  std::size_t bucket = 0;
+  while (v > 1 && bucket + 1 < kBuckets) {
+    v >>= 1;
+    ++bucket;
+  }
+  ++buckets[bucket];
+}
+
+std::int64_t Histogram::upper_bound(std::size_t b) {
+  if (b + 1 >= kBuckets) return std::numeric_limits<std::int64_t>::max();
+  return static_cast<std::int64_t>((std::uint64_t{1} << (b + 1)) - 2);
+}
+
+const MetricSample* MetricsSnapshot::find(Metric metric,
+                                          std::int32_t index) const {
+  for (const MetricSample& s : samples) {
+    if (s.metric == metric && s.index == index) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter(Metric metric,
+                                       std::int32_t index) const {
+  const MetricSample* s = find(metric, index);
+  return s != nullptr ? s->counter : 0;
+}
+
+void MetricsRegistry::Slot::ensure(std::size_t n, MetricKind kind) {
+  if (touched.size() < n) touched.resize(n, false);
+  switch (kind) {
+    case MetricKind::kCounter:
+      if (counters.size() < n) counters.resize(n, 0);
+      break;
+    case MetricKind::kGauge:
+      if (gauges.size() < n) gauges.resize(n);
+      break;
+    case MetricKind::kHistogram:
+      if (histograms.size() < n) histograms.resize(n);
+      break;
+  }
+}
+
+std::uint64_t& MetricsRegistry::counter_slot(Metric metric,
+                                             std::int32_t index) {
+  AIR_ASSERT(kind_of(metric) == MetricKind::kCounter);
+  Slot& slot = slots_[static_cast<std::size_t>(metric)];
+  const std::size_t i = slot_index(index);
+  slot.ensure(i + 1, MetricKind::kCounter);
+  slot.touched[i] = true;
+  return slot.counters[i];
+}
+
+void MetricsRegistry::set(Metric metric, std::int32_t index,
+                          std::int64_t value) {
+  if (!enabled_) return;
+  AIR_ASSERT(kind_of(metric) == MetricKind::kGauge);
+  Slot& slot = slots_[static_cast<std::size_t>(metric)];
+  const std::size_t i = slot_index(index);
+  slot.ensure(i + 1, MetricKind::kGauge);
+  slot.touched[i] = true;
+  Gauge& gauge = slot.gauges[i];
+  gauge.last = value;
+  if (value > gauge.max) gauge.max = value;
+  ++gauge.samples;
+}
+
+void MetricsRegistry::observe(Metric metric, std::int32_t index,
+                              std::int64_t value) {
+  if (!enabled_) return;
+  AIR_ASSERT(kind_of(metric) == MetricKind::kHistogram);
+  Slot& slot = slots_[static_cast<std::size_t>(metric)];
+  const std::size_t i = slot_index(index);
+  slot.ensure(i + 1, MetricKind::kHistogram);
+  slot.touched[i] = true;
+  slot.histograms[i].observe(value);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(Ticks now) const {
+  MetricsSnapshot snap;
+  snap.time = now;
+  for (std::size_t m = 0; m < slots_.size(); ++m) {
+    const Metric metric = static_cast<Metric>(m);
+    const MetricKind kind = kind_of(metric);
+    const Slot& slot = slots_[m];
+    for (std::size_t i = 0; i < slot.touched.size(); ++i) {
+      if (!slot.touched[i]) continue;
+      MetricSample sample;
+      sample.metric = metric;
+      sample.index = static_cast<std::int32_t>(i) - 1;
+      sample.kind = kind;
+      switch (kind) {
+        case MetricKind::kCounter: sample.counter = slot.counters[i]; break;
+        case MetricKind::kGauge: sample.gauge = slot.gauges[i]; break;
+        case MetricKind::kHistogram:
+          sample.histogram = slot.histograms[i];
+          break;
+      }
+      snap.samples.push_back(std::move(sample));
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::clear() {
+  for (Slot& slot : slots_) slot = {};
+}
+
+}  // namespace air::telemetry

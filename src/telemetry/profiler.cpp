@@ -1,0 +1,50 @@
+#include "telemetry/profiler.hpp"
+
+#include <cstdio>
+
+namespace air::telemetry {
+
+std::string_view to_string(TickPhase phase) {
+  switch (phase) {
+    case TickPhase::kScheduler: return "scheduler";
+    case TickPhase::kDispatcher: return "dispatcher";
+    case TickPhase::kRouter: return "router";
+    case TickPhase::kPal: return "pal";
+    case TickPhase::kExecutor: return "executor";
+    case TickPhase::kCount: break;
+  }
+  return "?";
+}
+
+void TickProfiler::record(TickPhase phase,
+                          std::chrono::steady_clock::duration elapsed) {
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  PhaseStats& s = stats_[static_cast<std::size_t>(phase)];
+  ++s.calls;
+  s.total_ns += ns;
+  if (ns > s.max_ns) s.max_ns = ns;
+}
+
+std::string TickProfiler::report() const {
+  std::string out = "tick profile (host time):\n";
+  char line[128];
+  for (std::size_t p = 0; p < stats_.size(); ++p) {
+    const PhaseStats& s = stats_[p];
+    const double mean =
+        s.calls > 0 ? static_cast<double>(s.total_ns) /
+                          static_cast<double>(s.calls)
+                    : 0.0;
+    std::snprintf(line, sizeof line,
+                  "  %-10s calls=%-10llu total=%-12llu ns  mean=%-8.1f ns  "
+                  "max=%llu ns\n",
+                  std::string{to_string(static_cast<TickPhase>(p))}.c_str(),
+                  static_cast<unsigned long long>(s.calls),
+                  static_cast<unsigned long long>(s.total_ns), mean,
+                  static_cast<unsigned long long>(s.max_ns));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace air::telemetry

@@ -1,0 +1,87 @@
+// Per-layer tick profiling (host-side, wall-clock).
+//
+// Measures where the real CPU time of Module::tick_once goes -- partition
+// scheduler, dispatcher, channel router, PAL announce, process executor --
+// with std::chrono::steady_clock. This is *host* observability for the
+// "fast as the hardware allows" goal: it is reported separately from
+// simulated time and is deliberately excluded from metrics snapshots, which
+// must stay deterministic. Disabled it costs one predictable branch per
+// phase; bench_telemetry quantifies both states.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace air::telemetry {
+
+enum class TickPhase : std::uint8_t {
+  kScheduler = 0,  // Algorithm 1, all cores
+  kDispatcher,     // Algorithm 2, all cores
+  kRouter,         // PMK channel pump
+  kPal,            // surrogate clock-tick announce + deadline checks
+  kExecutor,       // process script interpretation
+  kCount
+};
+
+[[nodiscard]] std::string_view to_string(TickPhase phase);
+
+struct PhaseStats {
+  std::uint64_t calls{0};
+  std::uint64_t total_ns{0};
+  std::uint64_t max_ns{0};
+};
+
+class TickProfiler {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// RAII phase measurement; a no-op when the profiler is disabled (the
+  /// caller should branch on enabled() to skip the clock reads entirely).
+  class Scope {
+   public:
+    Scope(TickProfiler& profiler, TickPhase phase)
+        : profiler_(profiler.enabled_ ? &profiler : nullptr), phase_(phase) {
+      if (profiler_ != nullptr) {
+        start_ = std::chrono::steady_clock::now();
+      }
+    }
+    ~Scope() {
+      if (profiler_ != nullptr) {
+        profiler_->record(phase_, std::chrono::steady_clock::now() - start_);
+      }
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TickProfiler* profiler_;
+    TickPhase phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  void record(TickPhase phase, std::chrono::steady_clock::duration elapsed);
+
+  [[nodiscard]] const PhaseStats& stats(TickPhase phase) const {
+    return stats_[static_cast<std::size_t>(phase)];
+  }
+
+  /// Ticks profiled (kScheduler calls; every tick enters that phase once).
+  [[nodiscard]] std::uint64_t ticks() const {
+    return stats(TickPhase::kScheduler).calls;
+  }
+
+  /// Human-readable table: per-phase calls, total, mean and max ns.
+  [[nodiscard]] std::string report() const;
+
+  void clear() { stats_ = {}; }
+
+ private:
+  bool enabled_{false};
+  std::array<PhaseStats, static_cast<std::size_t>(TickPhase::kCount)> stats_{};
+};
+
+}  // namespace air::telemetry

@@ -32,6 +32,25 @@ class RingBuffer {
     return true;
   }
 
+  /// Append `value`, evicting the oldest element when full (flight-recorder
+  /// semantics -- keep the newest history). Returns true when an element was
+  /// evicted, so callers can keep an exact dropped count.
+  bool push_overwrite(T value) {
+    if (!full()) {
+      (void)push(std::move(value));
+      return false;
+    }
+    slots_[head_] = std::move(value);
+    head_ = (head_ + 1) % slots_.size();
+    return true;
+  }
+
+  /// Element `i` in FIFO order (0 = oldest). Valid for i < size().
+  [[nodiscard]] const T& at(std::size_t i) const {
+    AIR_ASSERT(i < count_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
   /// Pop the oldest element into `out`; returns false when empty.
   [[nodiscard]] bool pop(T& out) {
     if (empty()) return false;

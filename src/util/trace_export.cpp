@@ -1,5 +1,7 @@
 #include "util/trace_export.hpp"
 
+#include <map>
+
 #include "util/json.hpp"
 
 // GCC 12's -Wmaybe-uninitialized fires false positives inside the inlined
@@ -31,15 +33,32 @@ json::Value instant(const char* name, double ts, std::int64_t track,
   return json::Value{std::move(event)};
 }
 
+/// Counter event ("ph":"C"): Perfetto renders one stacked-area track per
+/// `name`, sampling `args` at each ts.
+json::Value counter(std::string name, double ts, const char* series,
+                    double value) {
+  json::Object event;
+  event["name"] = json::Value{std::move(name)};
+  event["ph"] = json::Value{"C"};
+  event["ts"] = json::Value{ts};
+  event["pid"] = json::Value{std::int64_t{0}};
+  json::Object args;
+  args[series] = json::Value{value};
+  event["args"] = json::Value{std::move(args)};
+  return json::Value{std::move(event)};
+}
+
 }  // namespace
 
 std::string to_chrome_trace(const Trace& trace, double tick_us) {
   json::Array events;
 
   // Partition occupancy: open a duration on dispatch, close it when another
-  // partition (or idle) takes over.
+  // partition (or idle) takes over. Cumulative busy time per partition
+  // feeds the utilization counter tracks.
   std::int64_t active = -1;
   double active_since = 0;
+  std::map<std::int64_t, double> busy_us;
   auto close_active = [&](double ts) {
     if (active < 0) return;
     json::Object begin;
@@ -51,9 +70,16 @@ std::string to_chrome_trace(const Trace& trace, double tick_us) {
     begin["pid"] = json::Value{std::int64_t{0}};
     begin["tid"] = json::Value{active};
     events.push_back(json::Value{std::move(begin)});
+    busy_us[active] += ts - active_since;
+    if (ts > 0) {
+      events.push_back(
+          counter("P" + std::to_string(active + 1) + " utilization", ts,
+                  "percent", 100.0 * busy_us[active] / ts));
+    }
   };
 
   double last_ts = 0;
+  std::int64_t miss_count = 0;
   for (const TraceEvent& e : trace.events()) {
     const double ts = static_cast<double>(e.time) * tick_us;
     last_ts = ts;
@@ -67,6 +93,8 @@ std::string to_chrome_trace(const Trace& trace, double tick_us) {
         events.push_back(instant("deadline miss", ts, e.a,
                                  "process " + std::to_string(e.b) +
                                      " missed t=" + std::to_string(e.c)));
+        events.push_back(counter("deadline misses", ts, "count",
+                                 static_cast<double>(++miss_count)));
         break;
       case EventKind::kScheduleSwitch:
         events.push_back(instant(

@@ -3,8 +3,10 @@
 // to_chrome_trace() converts a module trace into the Chrome Trace Event
 // JSON format (load in chrome://tracing or Perfetto): partition occupancy
 // becomes duration events on a per-partition track, while deadline misses,
-// schedule switches and HM reports become instant events. Useful for
-// eyeballing exactly the Gantt charts the paper draws (Fig. 8).
+// schedule switches and HM reports become instant events. Counter events
+// ("ph":"C") add per-partition CPU-utilization curves and a cumulative
+// deadline-miss series under the Gantt tracks. Useful for eyeballing
+// exactly the charts the paper draws (Fig. 8).
 #pragma once
 
 #include <string>

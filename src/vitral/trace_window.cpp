@@ -1,0 +1,45 @@
+#include "vitral/trace_window.hpp"
+
+#include <cstdio>
+
+namespace air::vitral {
+
+using util::EventKind;
+
+void TraceWindowSink::on_event(const util::TraceEvent& e) {
+  char buf[96];
+  switch (e.kind) {
+    case EventKind::kScheduleSwitch:
+      std::snprintf(buf, sizeof buf, "t=%lld switch chi_%lld->chi_%lld",
+                    static_cast<long long>(e.time),
+                    static_cast<long long>(e.b) + 1,
+                    static_cast<long long>(e.a) + 1);
+      screen_->window(scheduler_window_).write_line(buf);
+      break;
+    case EventKind::kScheduleSwitchReq:
+      std::snprintf(buf, sizeof buf, "t=%lld request chi_%lld",
+                    static_cast<long long>(e.time),
+                    static_cast<long long>(e.a) + 1);
+      screen_->window(scheduler_window_).write_line(buf);
+      break;
+    case EventKind::kDeadlineMiss:
+      std::snprintf(buf, sizeof buf, "t=%lld P%lld proc %lld MISS d=%lld",
+                    static_cast<long long>(e.time),
+                    static_cast<long long>(e.a) + 1,
+                    static_cast<long long>(e.b),
+                    static_cast<long long>(e.c));
+      screen_->window(hm_window_).write_line(buf);
+      break;
+    case EventKind::kHmAction:
+      std::snprintf(buf, sizeof buf, "t=%lld P%lld action %lld",
+                    static_cast<long long>(e.time),
+                    static_cast<long long>(e.a) + 1,
+                    static_cast<long long>(e.b));
+      screen_->window(hm_window_).write_line(buf);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace air::vitral

@@ -1,0 +1,38 @@
+// Streaming trace consumption for VITRAL (Fig. 9).
+//
+// The paper's demonstration dedicates windows to AIR components: the
+// Partition Scheduler/Dispatcher window shows schedule switches and the
+// Health Monitor window shows deadline misses and recovery actions. This
+// sink subscribes to the module's trace (util::TraceSink) and formats the
+// relevant events into those windows as they happen -- no post-hoc scanning
+// of the event vector, which also makes it work unchanged in bounded
+// flight-recorder mode where old events are evicted.
+#pragma once
+
+#include <cstddef>
+
+#include "util/trace.hpp"
+#include "vitral/vitral.hpp"
+
+namespace air::vitral {
+
+class TraceWindowSink : public util::TraceSink {
+ public:
+  /// Formats scheduler events into `scheduler_window` and HM/deadline
+  /// events into `hm_window` of `screen` (indices from Screen::add_window).
+  /// The screen must outlive the sink's registration.
+  TraceWindowSink(Screen& screen, std::size_t scheduler_window,
+                  std::size_t hm_window)
+      : screen_(&screen),
+        scheduler_window_(scheduler_window),
+        hm_window_(hm_window) {}
+
+  void on_event(const util::TraceEvent& event) override;
+
+ private:
+  Screen* screen_;
+  std::size_t scheduler_window_;
+  std::size_t hm_window_;
+};
+
+}  // namespace air::vitral

@@ -6,6 +6,7 @@
 #include "config/fig8.hpp"
 #include "system/module.hpp"
 #include "system/world.hpp"
+#include "telemetry/export.hpp"
 #include "util/trace_export.hpp"
 
 namespace air {
@@ -26,6 +27,38 @@ TEST(Determinism, Fig8RunsReplayIdentically) {
   const std::string second = run_once();
   EXPECT_EQ(first, second);
   EXPECT_GT(first.size(), 1000u) << "the trace is non-trivial";
+}
+
+TEST(Determinism, MetricsSnapshotsReplayByteIdentically) {
+  auto run_once = [] {
+    system::Module module(scenarios::fig8_config());
+    module.start_process_by_name(module.partition_id("AOCS"),
+                                 scenarios::kFaultyProcessName);
+    module.run(500);
+    (void)module.apex(module.partition_id("AOCS"))
+        .set_module_schedule(ScheduleId{1});
+    module.run(5 * scenarios::kFig8Mtf);
+    const telemetry::MetricsSnapshot snapshot = module.metrics_snapshot();
+    return telemetry::to_json(snapshot) + "\n" + telemetry::to_csv(snapshot);
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.size(), 1000u) << "the snapshot is non-trivial";
+}
+
+TEST(Determinism, FlightRecorderModeReplaysIdentically) {
+  auto run_once = [] {
+    auto config = scenarios::fig8_config();
+    config.telemetry.flight_recorder_capacity = 128;
+    system::Module module(std::move(config));
+    module.start_process_by_name(module.partition_id("AOCS"),
+                                 scenarios::kFaultyProcessName);
+    module.run(5 * scenarios::kFig8Mtf);
+    return util::to_json(module.trace()) + "#" +
+           std::to_string(module.trace().dropped_events());
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 TEST(Determinism, MultiModuleWorldReplaysIdentically) {

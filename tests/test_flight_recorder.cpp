@@ -1,0 +1,192 @@
+// Flight-recorder trace mode: bounded rings, exact drop accounting,
+// severity-based retention, and streaming sinks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "config/fig8.hpp"
+#include "system/module.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/trace.hpp"
+
+namespace air {
+namespace {
+
+using util::EventKind;
+using util::Severity;
+using util::Trace;
+using util::TraceEvent;
+
+TEST(RingBuffer, PushOverwriteEvictsOldest) {
+  util::RingBuffer<int> ring(3);
+  EXPECT_FALSE(ring.push_overwrite(1));
+  EXPECT_FALSE(ring.push_overwrite(2));
+  EXPECT_FALSE(ring.push_overwrite(3));
+  EXPECT_TRUE(ring.push_overwrite(4));  // evicts 1
+  EXPECT_TRUE(ring.push_overwrite(5));  // evicts 2
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.at(0), 3);
+  EXPECT_EQ(ring.at(1), 4);
+  EXPECT_EQ(ring.at(2), 5);
+}
+
+TEST(FlightRecorder, WrapKeepsTheNewestAndCountsDropsExactly) {
+  Trace trace;
+  trace.set_flight_recorder(8);
+  for (Ticks t = 0; t < 100; ++t) {
+    trace.record(t, EventKind::kProcessStateChange, 0, 0, t);
+  }
+  EXPECT_EQ(trace.recorded_events(), 100u);
+  EXPECT_EQ(trace.dropped_events(), 92u);
+  EXPECT_EQ(trace.dropped_critical_events(), 0u);
+
+  const auto& events = trace.events();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].time, static_cast<Ticks>(92 + i));
+  }
+}
+
+TEST(FlightRecorder, CriticalEventsSurviveADebugFlood) {
+  Trace trace;
+  trace.set_flight_recorder(16, 4);
+  // Two critical events early, then a flood of debug events.
+  trace.record(1, EventKind::kDeadlineMiss, 0, 1, 10);
+  trace.record(2, EventKind::kHmError, 0, 1, 0);
+  for (Ticks t = 3; t < 1000; ++t) {
+    trace.record(t, EventKind::kProcessStateChange, 0, 0, t);
+  }
+  // The debug ring wrapped many times; the critical ring kept both.
+  const auto misses = trace.filtered(EventKind::kDeadlineMiss);
+  ASSERT_EQ(misses.size(), 1u);
+  EXPECT_EQ(misses[0].time, 1);
+  EXPECT_EQ(trace.filtered(EventKind::kHmError).size(), 1u);
+  EXPECT_EQ(trace.dropped_critical_events(), 0u);
+
+  // The merged view is ordered by recording sequence: critical first.
+  const auto& events = trace.events();
+  ASSERT_EQ(events.size(), 18u);
+  EXPECT_EQ(events[0].kind, EventKind::kDeadlineMiss);
+  EXPECT_EQ(events[1].kind, EventKind::kHmError);
+  for (std::size_t i = 2; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].time, events[i].time);
+  }
+}
+
+TEST(FlightRecorder, CriticalRingAlsoWrapsWithExactCount) {
+  Trace trace;
+  trace.set_flight_recorder(4, 2);
+  for (Ticks t = 0; t < 10; ++t) {
+    trace.record(t, EventKind::kDeadlineMiss, 0, 0, t);
+  }
+  EXPECT_EQ(trace.dropped_events(), 8u);
+  EXPECT_EQ(trace.dropped_critical_events(), 8u);
+  const auto& events = trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time, 8);
+  EXPECT_EQ(events[1].time, 9);
+}
+
+TEST(FlightRecorder, ExistingEventsAreReroutedOnActivation) {
+  Trace trace;
+  trace.record(1, EventKind::kProcessStateChange, 0);
+  trace.record(2, EventKind::kDeadlineMiss, 0, 0, 2);
+  trace.set_flight_recorder(4, 4);
+  trace.record(3, EventKind::kProcessStateChange, 0);
+
+  const auto& events = trace.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].time, 1);
+  EXPECT_EQ(events[1].time, 2);
+  EXPECT_EQ(events[2].time, 3);
+  EXPECT_EQ(trace.count(EventKind::kDeadlineMiss), 1u);
+}
+
+TEST(FlightRecorder, ClearResetsRingsAndCounters) {
+  Trace trace;
+  trace.set_flight_recorder(2);
+  for (Ticks t = 0; t < 10; ++t) {
+    trace.record(t, EventKind::kProcessStateChange, 0);
+  }
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.dropped_events(), 0u);
+  EXPECT_EQ(trace.recorded_events(), 0u);
+  EXPECT_TRUE(trace.flight_recorder()) << "mode survives clear";
+}
+
+TEST(FlightRecorder, SeverityClassification) {
+  EXPECT_EQ(severity(EventKind::kDeadlineMiss), Severity::kCritical);
+  EXPECT_EQ(severity(EventKind::kHmError), Severity::kCritical);
+  EXPECT_EQ(severity(EventKind::kScheduleSwitch), Severity::kCritical);
+  EXPECT_EQ(severity(EventKind::kSpatialViolation), Severity::kCritical);
+  EXPECT_EQ(severity(EventKind::kPartitionDispatch), Severity::kInfo);
+  EXPECT_EQ(severity(EventKind::kProcessStateChange), Severity::kDebug);
+  EXPECT_EQ(severity(EventKind::kPortSend), Severity::kDebug);
+}
+
+// --- streaming sinks ---
+
+struct CollectingSink final : util::TraceSink {
+  std::vector<TraceEvent> seen;
+  void on_event(const TraceEvent& event) override { seen.push_back(event); }
+};
+
+TEST(TraceSink, ReceivesEveryEventInOrderRegardlessOfMode) {
+  for (const bool bounded : {false, true}) {
+    Trace trace;
+    if (bounded) trace.set_flight_recorder(2);
+    CollectingSink sink;
+    trace.add_sink(&sink);
+    for (Ticks t = 0; t < 50; ++t) {
+      trace.record(t, EventKind::kProcessStateChange, 0, 0, t);
+    }
+    trace.remove_sink(&sink);
+    trace.record(50, EventKind::kProcessStateChange, 0);
+
+    ASSERT_EQ(sink.seen.size(), 50u) << "bounded=" << bounded;
+    for (Ticks t = 0; t < 50; ++t) {
+      EXPECT_EQ(sink.seen[static_cast<std::size_t>(t)].time, t);
+    }
+  }
+}
+
+TEST(TraceSink, ModuleRegistrationStreamsModuleEvents) {
+  system::Module module(scenarios::fig8_config());
+  CollectingSink sink;
+  module.add_trace_sink(&sink);
+  module.run(scenarios::kFig8Mtf);
+  module.remove_trace_sink(&sink);
+  const std::size_t streamed = sink.seen.size();
+  EXPECT_GT(streamed, 0u);
+  module.run(scenarios::kFig8Mtf);
+  EXPECT_EQ(sink.seen.size(), streamed) << "no events after removal";
+
+  // Streamed events mirror the retained trace over the same interval.
+  std::size_t dispatches = 0;
+  for (const auto& event : sink.seen) {
+    if (event.kind == EventKind::kPartitionDispatch) ++dispatches;
+  }
+  EXPECT_GT(dispatches, 0u);
+}
+
+TEST(FlightRecorder, ModuleRunsBoundedWithCompleteCriticalHistory) {
+  auto config = scenarios::fig8_config();
+  config.telemetry.flight_recorder_capacity = 64;
+  config.telemetry.flight_recorder_critical_capacity = 512;
+  system::Module module(std::move(config));
+  module.start_process_by_name(module.partition_id("AOCS"),
+                               scenarios::kFaultyProcessName);
+  module.run(5 * scenarios::kFig8Mtf);
+
+  EXPECT_TRUE(module.trace().flight_recorder());
+  EXPECT_GT(module.trace().dropped_events(), 0u) << "flood exceeded capacity";
+  EXPECT_EQ(module.trace().dropped_critical_events(), 0u);
+  // All 4 misses of the faulty process survive in the critical ring.
+  EXPECT_EQ(module.trace().count(EventKind::kDeadlineMiss), 4u);
+  // Retained events are bounded by the two ring capacities.
+  EXPECT_LE(module.trace().events().size(), 64u + 512u);
+}
+
+}  // namespace
+}  // namespace air

@@ -25,6 +25,10 @@ TEST(StatusReport, CoversPartitionsProcessesAndHm) {
       << report;
   EXPECT_NE(report.find("hm log entries: 4"), std::string::npos);
   EXPECT_NE(report.find("mode=normal"), std::string::npos);
+  // Telemetry summary: utilization, miss counts and IPC totals.
+  EXPECT_NE(report.find("telemetry:"), std::string::npos) << report;
+  EXPECT_NE(report.find("util="), std::string::npos);
+  EXPECT_NE(report.find("ipc:"), std::string::npos);
 }
 
 TEST(StatusReport, MarksAStoppedModule) {

@@ -1,0 +1,309 @@
+// Telemetry subsystem: metrics registry semantics, exporters, the module
+// wiring (every layer publishes into one registry) and the tick profiler.
+#include <gtest/gtest.h>
+
+#include "config/fig8.hpp"
+#include "config/loader.hpp"
+#include "system/module.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "util/json.hpp"
+
+namespace air {
+namespace {
+
+using telemetry::Metric;
+using telemetry::MetricKind;
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+
+TEST(MetricsRegistry, CountersAccumulatePerIndex) {
+  MetricsRegistry registry;
+  registry.add(Metric::kIpcMessages, 0);
+  registry.add(Metric::kIpcMessages, 0, 2);
+  registry.add(Metric::kIpcMessages, 3, 5);
+  registry.add(Metric::kIpcMessages, -1);
+
+  const MetricsSnapshot snap = registry.snapshot(42);
+  EXPECT_EQ(snap.time, 42);
+  EXPECT_EQ(snap.counter(Metric::kIpcMessages, 0), 3u);
+  EXPECT_EQ(snap.counter(Metric::kIpcMessages, 3), 5u);
+  EXPECT_EQ(snap.counter(Metric::kIpcMessages, -1), 1u);
+  EXPECT_EQ(snap.counter(Metric::kIpcMessages, 1), 0u) << "untouched index";
+  EXPECT_EQ(snap.find(Metric::kIpcMessages, 1), nullptr);
+}
+
+TEST(MetricsRegistry, DisabledRecordingIsANoOp) {
+  MetricsRegistry registry;
+  registry.enable(false);
+  registry.add(Metric::kIpcMessages, 0);
+  registry.set(Metric::kReadyQueueDepth, 0, 7);
+  registry.observe(Metric::kDeadlineSlack, 0, 10);
+  EXPECT_TRUE(registry.snapshot(0).samples.empty());
+}
+
+TEST(MetricsRegistry, GaugeTracksLastAndMax) {
+  MetricsRegistry registry;
+  registry.set(Metric::kReadyQueueDepth, 2, 3);
+  registry.set(Metric::kReadyQueueDepth, 2, 9);
+  registry.set(Metric::kReadyQueueDepth, 2, 4);
+
+  const MetricsSnapshot snap = registry.snapshot(0);
+  const auto* sample = snap.find(Metric::kReadyQueueDepth, 2);
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricKind::kGauge);
+  EXPECT_EQ(sample->gauge.last, 4);
+  EXPECT_EQ(sample->gauge.max, 9);
+  EXPECT_EQ(sample->gauge.samples, 3u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsByLog2) {
+  MetricsRegistry registry;
+  registry.observe(Metric::kDeadlineSlack, 0, 0);    // bucket 0 [0,0]
+  registry.observe(Metric::kDeadlineSlack, 0, 1);    // bucket 1 [1,2]
+  registry.observe(Metric::kDeadlineSlack, 0, 2);    // bucket 1
+  registry.observe(Metric::kDeadlineSlack, 0, 3);    // bucket 2 [3,6]
+  registry.observe(Metric::kDeadlineSlack, 0, 100);  // bucket 6 [63,126]
+  registry.observe(Metric::kDeadlineSlack, 0, -5);   // clamped to bucket 0
+
+  const MetricsSnapshot snap = registry.snapshot(0);
+  const auto* sample = snap.find(Metric::kDeadlineSlack, 0);
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricKind::kHistogram);
+  const auto& h = sample->histogram;
+  EXPECT_EQ(h.count, 6u);
+  EXPECT_EQ(h.sum, 101);
+  EXPECT_EQ(h.min, -5);
+  EXPECT_EQ(h.max, 100);
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.buckets[1], 2u);
+  EXPECT_EQ(h.buckets[2], 1u);
+  EXPECT_EQ(h.buckets[6], 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsOrderedByMetricThenIndex) {
+  MetricsRegistry registry;
+  registry.add(Metric::kIpcBytes, 2);
+  registry.add(Metric::kIpcBytes, -1);
+  registry.add(Metric::kPartitionBusyTicks, 1);
+  registry.add(Metric::kIpcBytes, 0);
+
+  const MetricsSnapshot snap = registry.snapshot(0);
+  ASSERT_EQ(snap.samples.size(), 4u);
+  EXPECT_EQ(snap.samples[0].metric, Metric::kPartitionBusyTicks);
+  EXPECT_EQ(snap.samples[1].metric, Metric::kIpcBytes);
+  EXPECT_EQ(snap.samples[1].index, -1);
+  EXPECT_EQ(snap.samples[2].index, 0);
+  EXPECT_EQ(snap.samples[3].index, 2);
+}
+
+TEST(MetricsRegistry, ClearForgetsEverything) {
+  MetricsRegistry registry;
+  registry.add(Metric::kIpcMessages, 0);
+  registry.clear();
+  EXPECT_TRUE(registry.snapshot(0).samples.empty());
+}
+
+TEST(MetricsExport, JsonParsesAndCarriesEveryKind) {
+  MetricsRegistry registry;
+  registry.add(Metric::kIpcMessages, 1, 7);
+  registry.set(Metric::kReadyQueueDepth, 0, 5);
+  registry.observe(Metric::kDeadlineSlack, 0, 12);
+
+  const std::string json = telemetry::to_json(registry.snapshot(99));
+  const auto parsed = util::json::parse(json);
+  ASSERT_TRUE(parsed.ok()) << json;
+  EXPECT_EQ(parsed.value->get_int("time", -1), 99);
+
+  const auto* metrics = parsed.value->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const auto& rows = metrics->as_array();
+  ASSERT_EQ(rows.size(), 3u);
+  bool counter = false, gauge = false, histogram = false;
+  for (const auto& row : rows) {
+    const std::string kind = row.get_string("kind", "");
+    if (kind == "counter") {
+      counter = true;
+      EXPECT_EQ(row.get_string("name", ""), "ipc.messages");
+      EXPECT_EQ(row.get_int("value", -1), 7);
+      EXPECT_EQ(row.get_int("index", -2), 1);
+    } else if (kind == "gauge") {
+      gauge = true;
+      EXPECT_EQ(row.get_int("last", -1), 5);
+      EXPECT_EQ(row.get_int("max", -1), 5);
+    } else if (kind == "histogram") {
+      histogram = true;
+      EXPECT_EQ(row.get_int("count", -1), 1);
+      EXPECT_EQ(row.get_int("sum", -1), 12);
+      ASSERT_NE(row.find("buckets"), nullptr);
+      EXPECT_EQ(row.find("buckets")->as_array().size(),
+                telemetry::Histogram::kBuckets);
+    }
+  }
+  EXPECT_TRUE(counter && gauge && histogram);
+}
+
+TEST(MetricsExport, CsvHasHeaderAndOneRowPerSample) {
+  MetricsRegistry registry;
+  registry.add(Metric::kIpcMessages, 1, 7);
+  registry.set(Metric::kReadyQueueDepth, 0, 5);
+
+  const std::string csv = telemetry::to_csv(registry.snapshot(0));
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "metric,index,kind,value,count,sum,min,max");
+  EXPECT_NE(csv.find("ipc.messages,1,counter,7"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("pos.ready_queue_depth,0,gauge,5"), std::string::npos)
+      << csv;
+}
+
+// --- module wiring: every layer lands in one registry ---
+
+TEST(ModuleTelemetry, Fig8PopulatesEveryLayer) {
+  system::Module module(scenarios::fig8_config());
+  module.start_process_by_name(module.partition_id("AOCS"),
+                               scenarios::kFaultyProcessName);
+  module.run(5 * scenarios::kFig8Mtf);
+
+  const MetricsSnapshot snap = module.metrics_snapshot();
+  ASSERT_FALSE(snap.samples.empty());
+  EXPECT_EQ(snap.time, module.now());
+
+  // PMK: preemption points fire at window boundaries (Alg. 1), so strictly
+  // fewer than once per tick; partitions were dispatched.
+  EXPECT_GT(snap.counter(Metric::kSchedulePreemptionPoints, -1), 0u);
+  EXPECT_LT(snap.counter(Metric::kSchedulePreemptionPoints, -1),
+            static_cast<std::uint64_t>(module.now()));
+  EXPECT_GT(snap.counter(Metric::kPartitionContextSwitches, 0), 0u);
+  EXPECT_GT(snap.counter(Metric::kPartitionPreemptions, 0), 0u);
+  EXPECT_GT(snap.counter(Metric::kPartitionBusyTicks, 0), 0u);
+
+  // PAL: the faulty process misses deadlines; checks ran; slack histogram
+  // collected samples.
+  EXPECT_GT(snap.counter(Metric::kDeadlineChecks, 0), 0u);
+  EXPECT_EQ(snap.counter(Metric::kDeadlineMisses, 0),
+            module.pal(PartitionId{0}).violations_detected());
+  EXPECT_GT(snap.counter(Metric::kDeadlineMisses, 0), 0u);
+  const auto* slack = snap.find(Metric::kDeadlineSlack, 0);
+  ASSERT_NE(slack, nullptr);
+  EXPECT_GT(slack->histogram.count, 0u);
+  const auto* lateness = snap.find(Metric::kDeadlineLateness, 0);
+  ASSERT_NE(lateness, nullptr);
+  EXPECT_EQ(lateness->histogram.count,
+            snap.counter(Metric::kDeadlineMisses, 0));
+
+  // POS: kernels dispatched processes.
+  EXPECT_GT(snap.counter(Metric::kProcessDispatches, 0), 0u);
+  EXPECT_EQ(snap.counter(Metric::kProcessDispatches, 0),
+            module.kernel(PartitionId{0}).dispatch_count());
+
+  // IPC: Fig. 8 has sampling + queuing channels with traffic.
+  std::uint64_t ipc_messages = 0;
+  for (const auto& sample : snap.samples) {
+    if (sample.metric == Metric::kIpcMessages) ipc_messages += sample.counter;
+  }
+  EXPECT_GT(ipc_messages, 0u);
+
+  // HAL: the snapshot mirrors the MMU's own accounting exactly (the Fig. 8
+  // scripts issue no explicit memory-access ops, so these may be zero).
+  const hal::MmuStats& mmu = module.machine().mmu().stats();
+  EXPECT_EQ(snap.counter(Metric::kTlbHits, -1), mmu.tlb_hits);
+  EXPECT_EQ(snap.counter(Metric::kTlbMisses, -1), mmu.tlb_misses);
+  EXPECT_EQ(snap.counter(Metric::kMmuTableWalks, -1), mmu.table_walks);
+  EXPECT_EQ(snap.counter(Metric::kMmuFaults, -1), mmu.faults);
+
+  // HM: every deadline miss became an error report.
+  EXPECT_EQ(snap.counter(Metric::kHmErrors, 0),
+            snap.counter(Metric::kDeadlineMisses, 0));
+  EXPECT_EQ(snap.counter(
+                Metric::kHmErrorsByCode,
+                static_cast<std::int32_t>(hm::ErrorCode::kDeadlineMissed)),
+            snap.counter(Metric::kDeadlineMisses, 0));
+}
+
+TEST(ModuleTelemetry, DisabledMetricsProduceAnEmptySnapshot) {
+  auto config = scenarios::fig8_config();
+  config.telemetry.metrics_enabled = false;
+  system::Module module(std::move(config));
+  module.run(scenarios::kFig8Mtf);
+  EXPECT_TRUE(module.metrics_snapshot().samples.empty());
+}
+
+TEST(ModuleTelemetry, StatusReportSummarisesMetrics) {
+  system::Module module(scenarios::fig8_config());
+  module.start_process_by_name(module.partition_id("AOCS"),
+                               scenarios::kFaultyProcessName);
+  module.run(5 * scenarios::kFig8Mtf);
+
+  const std::string report = module.status_report();
+  EXPECT_NE(report.find("telemetry:"), std::string::npos) << report;
+  EXPECT_NE(report.find("util="), std::string::npos);
+  EXPECT_NE(report.find("deadline_misses=4"), std::string::npos) << report;
+  EXPECT_NE(report.find("ipc:"), std::string::npos);
+}
+
+TEST(ModuleTelemetry, ProfilerMeasuresEveryPhase) {
+  auto config = scenarios::fig8_config();
+  config.telemetry.profiler_enabled = true;
+  system::Module module(std::move(config));
+  module.run(2 * scenarios::kFig8Mtf);
+
+  const telemetry::TickProfiler& profiler = module.profiler();
+  EXPECT_EQ(profiler.ticks(),
+            static_cast<std::uint64_t>(2 * scenarios::kFig8Mtf));
+  for (auto phase : {telemetry::TickPhase::kScheduler,
+                     telemetry::TickPhase::kDispatcher,
+                     telemetry::TickPhase::kRouter,
+                     telemetry::TickPhase::kPal,
+                     telemetry::TickPhase::kExecutor}) {
+    EXPECT_GT(profiler.stats(phase).calls, 0u)
+        << telemetry::to_string(phase);
+  }
+  const std::string report = profiler.report();
+  EXPECT_NE(report.find("scheduler"), std::string::npos) << report;
+  EXPECT_NE(report.find("executor"), std::string::npos);
+}
+
+TEST(ModuleTelemetry, ProfilerIsOffByDefault) {
+  system::Module module(scenarios::fig8_config());
+  module.run(scenarios::kFig8Mtf);
+  EXPECT_EQ(module.profiler().ticks(), 0u);
+}
+
+TEST(ConfigLoader, ParsesTelemetryBlock) {
+  const char* json = R"({
+    "name": "t",
+    "partitions": [{"name": "P1"}],
+    "schedules": [{"id": 0, "mtf": 10,
+                   "windows": [{"partition": "P1", "offset": 0,
+                                "duration": 10}]}],
+    "telemetry": {"metrics": false, "profiler": true,
+                  "flight_recorder_capacity": 512,
+                  "flight_recorder_critical_capacity": 64}
+  })";
+  const auto result = config::load_module_config(json);
+  ASSERT_TRUE(result.config.has_value()) << result.error;
+  const auto& telemetry = result.config->telemetry;
+  EXPECT_FALSE(telemetry.metrics_enabled);
+  EXPECT_TRUE(telemetry.profiler_enabled);
+  EXPECT_EQ(telemetry.flight_recorder_capacity, 512u);
+  EXPECT_EQ(telemetry.flight_recorder_critical_capacity, 64u);
+}
+
+TEST(ConfigLoader, TelemetryDefaultsWhenAbsent) {
+  const char* json = R"({
+    "name": "t",
+    "partitions": [{"name": "P1"}],
+    "schedules": [{"id": 0, "mtf": 10,
+                   "windows": [{"partition": "P1", "offset": 0,
+                                "duration": 10}]}]
+  })";
+  const auto result = config::load_module_config(json);
+  ASSERT_TRUE(result.config.has_value()) << result.error;
+  EXPECT_TRUE(result.config->telemetry.metrics_enabled);
+  EXPECT_FALSE(result.config->telemetry.profiler_enabled);
+  EXPECT_EQ(result.config->telemetry.flight_recorder_capacity, 0u);
+}
+
+}  // namespace
+}  // namespace air

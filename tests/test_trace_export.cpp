@@ -64,6 +64,40 @@ TEST(TraceExport, DurationsMatchTheFig8Windows) {
   FAIL() << "P1 window not found";
 }
 
+TEST(TraceExport, ChromeTraceCarriesCounterEvents) {
+  system::Module module(scenarios::fig8_config());
+  module.start_process_by_name(module.partition_id("AOCS"),
+                               scenarios::kFaultyProcessName);
+  module.run(3 * scenarios::kFig8Mtf);
+
+  const auto parsed =
+      util::json::parse(util::to_chrome_trace(module.trace()));
+  ASSERT_TRUE(parsed.ok()) << parsed.error->to_string();
+
+  bool utilization_seen = false;
+  bool miss_counter_seen = false;
+  for (const auto& event :
+       parsed.value->find("traceEvents")->as_array()) {
+    if (event.get_string("ph", "") != "C") continue;
+    const std::string name = event.get_string("name", "");
+    if (name == "P1 utilization") {
+      utilization_seen = true;
+      const auto* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("percent"), nullptr);
+      EXPECT_TRUE(args->find("percent")->is_number());
+      EXPECT_GT(event.get_int("ts", -1), 0);
+    }
+    if (name == "deadline misses") {
+      miss_counter_seen = true;
+      ASSERT_NE(event.find("args"), nullptr);
+      EXPECT_GE(event.find("args")->get_int("count", -1), 1);
+    }
+  }
+  EXPECT_TRUE(utilization_seen) << "no utilization counter series";
+  EXPECT_TRUE(miss_counter_seen) << "no cumulative miss counter";
+}
+
 TEST(TraceExport, FlatJsonRoundTrips) {
   util::Trace trace;
   trace.record(5, util::EventKind::kDeadlineMiss, 0, 2, 205, "note");
