@@ -88,4 +88,31 @@ void BM_Fig8_WithFaultInjected(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig8_WithFaultInjected)->Unit(benchmark::kMillisecond);
 
+void BM_Fig8_Mission(benchmark::State& state) {
+  // Whole-mission rate through the run() front door, warp off (Arg 0) vs
+  // on (Arg 1). Fig. 8 partitions have real work every window, so the warp
+  // exploits only intra-window idle spans; the counters report how many
+  // ticks it could skip.
+  const bool warp = state.range(0) != 0;
+  scenarios::Fig8Options options;
+  options.with_faulty_process = false;
+  options.trace_enabled = false;
+  system::Module module(scenarios::fig8_config(options));
+  module.set_time_warp(warp);
+  for (auto _ : state) {
+    module.run(10 * scenarios::kFig8Mtf);
+  }
+  state.counters["sim_ticks_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 10.0 * 1300.0,
+      benchmark::Counter::kIsRate);
+  state.counters["warped_ticks"] = benchmark::Counter(
+      static_cast<double>(module.warp_stats().warped_ticks));
+  state.counters["stepped_ticks"] = benchmark::Counter(
+      static_cast<double>(module.warp_stats().stepped_ticks));
+}
+BENCHMARK(BM_Fig8_Mission)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

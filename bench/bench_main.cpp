@@ -1,0 +1,40 @@
+// Shared main for every bench_* binary.
+//
+// Wraps the stock Google Benchmark CLI and adds a `--json[=FILE]` flag:
+//   --json        emit JSON on stdout (--benchmark_format=json)
+//   --json=FILE   keep console output, write JSON to FILE
+//                 (--benchmark_out=FILE --benchmark_out_format=json)
+// bench/run_benches.sh relies on this to produce BENCH_<name>.json files.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      args.emplace_back("--benchmark_format=json");
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      args.emplace_back(std::string("--benchmark_out=") + (arg + 7));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& s : args) argv2.push_back(s.data());
+  int argc2 = static_cast<int>(argv2.size());
+
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -60,4 +60,53 @@ void BM_ModuleTick_ManyPartitions(benchmark::State& state) {
 }
 BENCHMARK(BM_ModuleTick_ManyPartitions)->Arg(2)->Arg(8)->Arg(32);
 
+// Idle-heavy mission: one sparse partition whose only process runs 5 ticks
+// out of every 10'000 -- the profile the next-event time warp targets. The
+// CI smoke gate compares sim_ticks_per_second between Arg(0) (warp off)
+// and Arg(1) (warp on).
+system::ModuleConfig idle_heavy_config() {
+  system::ModuleConfig config;
+  config.name = "idle_heavy";
+  config.trace_enabled = false;
+  constexpr Ticks kMtf = 10'000;
+  model::Schedule schedule;
+  schedule.id = ScheduleId{0};
+  schedule.mtf = kMtf;
+  system::PartitionConfig partition;
+  partition.name = "sparse";
+  system::ProcessConfig process;
+  process.attrs.name = "beacon";
+  process.attrs.period = kMtf;
+  process.attrs.time_capacity = kMtf;
+  process.attrs.priority = 10;
+  process.attrs.script =
+      pos::ScriptBuilder{}.compute(5).periodic_wait().build();
+  partition.processes.push_back(std::move(process));
+  config.partitions.push_back(std::move(partition));
+  schedule.requirements.push_back({PartitionId{0}, kMtf, kMtf});
+  schedule.windows.push_back({PartitionId{0}, 0, kMtf});
+  config.schedules = {schedule};
+  return config;
+}
+
+void BM_ModuleTick_IdleHeavy(benchmark::State& state) {
+  const bool warp = state.range(0) != 0;
+  system::Module module(idle_heavy_config());
+  module.set_time_warp(warp);
+  constexpr Ticks kSpan = 10'000;
+  for (auto _ : state) {
+    module.run(kSpan);
+  }
+  state.counters["sim_ticks_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(kSpan),
+      benchmark::Counter::kIsRate);
+  state.counters["warped_ticks"] = benchmark::Counter(
+      static_cast<double>(module.warp_stats().warped_ticks));
+  state.counters["stepped_ticks"] = benchmark::Counter(
+      static_cast<double>(module.warp_stats().stepped_ticks));
+}
+BENCHMARK(BM_ModuleTick_IdleHeavy)
+    ->Arg(0)  // warp off
+    ->Arg(1); // warp on
+
 }  // namespace

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""CI gate: assert the time warp speeds up the idle-heavy scenario.
+
+Reads a Google Benchmark JSON file containing BM_ModuleTick_IdleHeavy/0
+(warp off) and BM_ModuleTick_IdleHeavy/1 (warp on) and fails unless the
+warp-on sim_ticks_per_second is at least MIN_SPEEDUP x the warp-off rate.
+
+Usage: check_warp_speedup.py BENCH_module_tick.json [min_speedup]
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    min_speedup = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+
+    rates = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith("BM_ModuleTick_IdleHeavy/"):
+            continue
+        if bench.get("run_type") == "aggregate":
+            continue
+        arg = name.split("/")[1]
+        rate = bench.get("sim_ticks_per_second")
+        if rate is not None:
+            # Keep the best repetition per arg.
+            rates[arg] = max(rates.get(arg, 0.0), float(rate))
+
+    if "0" not in rates or "1" not in rates:
+        print(f"error: {path} lacks BM_ModuleTick_IdleHeavy/0 and /1 "
+              f"(found: {sorted(rates)})", file=sys.stderr)
+        return 2
+
+    off, on = rates["0"], rates["1"]
+    speedup = on / off if off > 0 else float("inf")
+    print(f"idle-heavy sim ticks/sec: warp off {off:.3e}, warp on {on:.3e} "
+          f"-> speedup {speedup:.1f}x (gate: >= {min_speedup}x)")
+    if speedup < min_speedup:
+        print("error: time warp speedup below the gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

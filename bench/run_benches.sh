@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run every bench_* binary in --json mode, writing one BENCH_<name>.json per
+# binary -- the machine-readable perf trajectory the ROADMAP asks for.
+#
+# Usage: bench/run_benches.sh <build-dir> [out-dir] [extra bench args...]
+# Example: bench/run_benches.sh build perf --benchmark_min_time=0.1s
+set -euo pipefail
+
+build_dir=${1:?usage: run_benches.sh <build-dir> [out-dir] [extra args...]}
+out_dir=${2:-.}
+shift $(( $# >= 2 ? 2 : 1 ))
+
+mkdir -p "$out_dir"
+found=0
+for bin in "$build_dir"/bench/bench_*; do
+  [[ -x "$bin" && -f "$bin" ]] || continue
+  name=$(basename "$bin")
+  name=${name#bench_}
+  out="$out_dir/BENCH_${name}.json"
+  echo "== $name -> $out"
+  "$bin" --json="$out" "$@"
+  # Sanity: the file must exist and be parseable JSON-ish (non-empty).
+  [[ -s "$out" ]] || { echo "error: $out is empty" >&2; exit 1; }
+  found=1
+done
+
+if [[ $found -eq 0 ]]; then
+  echo "error: no bench binaries found under $build_dir/bench" >&2
+  exit 1
+fi

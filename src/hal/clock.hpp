@@ -18,6 +18,11 @@ class Clock {
   /// Advance time by exactly one tick (one timer interrupt period).
   void advance() { ++now_; }
 
+  /// Batch-advance by `ticks` timer periods in O(1) -- the time-warp engine
+  /// collapses a quiescent span into one call; state is identical to that
+  /// many advance() calls.
+  void advance(Ticks ticks) { now_ += ticks; }
+
  private:
   Ticks now_{0};
 };

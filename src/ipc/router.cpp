@@ -107,6 +107,29 @@ void Router::pump_all() {
   }
 }
 
+bool Router::quiescent() const {
+  for (const auto& channel : channels_) {
+    if (channel.kind != ChannelKind::kQueuing) continue;
+    auto it = queuing_.find(channel.source);
+    if (it == queuing_.end()) continue;
+    const QueuingPort* src = it->second;
+    if (src->empty()) continue;
+    // A backlog exists: pump would either move a message right now...
+    bool all_have_space = true;
+    for (const PortRef& dest : channel.local_destinations) {
+      auto dit = queuing_.find(dest);
+      if (dit != queuing_.end() && dit->second->full()) {
+        all_have_space = false;
+        break;
+      }
+    }
+    if (all_have_space) return false;
+    // ...or leave it blocked but refresh the depth gauge each tick.
+    if (metrics_ != nullptr && metrics_->enabled()) return false;
+  }
+  return true;
+}
+
 void Router::deliver_remote(const PortRef& destination, const Message& message,
                             ChannelKind kind) {
   if (kind == ChannelKind::kSampling) {

@@ -72,6 +72,12 @@ class Router {
   /// channels progress even while the source partition is inactive.
   void pump_all();
 
+  /// True when pump_all() would be observably a no-op: no channel would
+  /// move a message, and no blocked backlog would refresh its depth gauge
+  /// (gauges count samples, so even a same-value write is observable).
+  /// The time-warp engine may skip per-tick pumps only while this holds.
+  [[nodiscard]] bool quiescent() const;
+
   // --- runtime, called by the net layer on remote arrival ---
   void deliver_remote(const PortRef& destination, const Message& message,
                       ChannelKind kind);

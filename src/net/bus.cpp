@@ -62,4 +62,15 @@ void Bus::tick(Ticks now) {
   }
 }
 
+Ticks Bus::idle_ticks(Ticks now) const {
+  for (const auto& s : stations_) {
+    if (!s.tx_queue.empty()) return 0;
+  }
+  if (in_flight_.empty()) return kInfiniteTime;
+  // Frames are enqueued with monotonically non-decreasing deliver_at (fixed
+  // propagation delay), so the front is the earliest delivery.
+  const Ticks first = in_flight_.front().deliver_at;
+  return first > now ? first - now : 0;
+}
+
 }  // namespace air::net

@@ -52,6 +52,13 @@ class Bus {
   /// frames whose propagation delay expired.
   void tick(Ticks now);
 
+  /// How many consecutive calls tick(now), tick(now+1), ... would be
+  /// no-ops: 0 while any station has frames queued (its slot will come),
+  /// bounded by the earliest in-flight delivery otherwise, kInfiniteTime
+  /// when the bus is completely idle. Lets the world-level time warp skip
+  /// bus ticks without missing a transmission or delivery.
+  [[nodiscard]] Ticks idle_ticks(Ticks now) const;
+
   [[nodiscard]] const BusStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pending(ModuleId module) const;
 

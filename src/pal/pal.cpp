@@ -1,5 +1,7 @@
 #include "pal/pal.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace air::pal {
@@ -63,6 +65,36 @@ void Pal::announce_ticks(Ticks now, Ticks elapsed) {
       on_deadline_violation(pid, missed, now);  // line 6: HM_DEADLINEVIOLATED
     }
   }
+}
+
+Ticks Pal::next_attention_tick() const {
+  Ticks next = kernel_->next_wake();
+  const DeadlineRecord* rec = registry_->earliest();
+  if (rec != nullptr && rec->deadline != kInfiniteTime) {
+    // First announce(now) with now > deadline treats it as violated.
+    next = std::min(next, rec->deadline + 1);
+  }
+  return next;
+}
+
+bool Pal::slack_sample_pending() const {
+  if (metrics_ == nullptr) return false;
+  const DeadlineRecord* rec = registry_->earliest();
+  return rec != nullptr && rec->deadline != kInfiniteTime &&
+         (rec->pid != last_slack_pid_ || rec->deadline != last_slack_deadline_);
+}
+
+void Pal::advance_idle(Ticks now, Ticks elapsed) {
+  AIR_ASSERT_MSG(next_attention_tick() > now,
+                 "time-warp span crosses a PAL event");
+  AIR_ASSERT_MSG(!slack_sample_pending(),
+                 "time-warp span would skip a slack sample");
+  // One announce to the end of the span is state-identical to `elapsed`
+  // single-tick announces when no timed wait expires inside it.
+  kernel_->tick_announce(now, elapsed);
+  // Algorithm 3's steady-state path retrieves the earliest deadline exactly
+  // once per announce.
+  deadline_checks_ += static_cast<std::uint64_t>(elapsed);
 }
 
 void Pal::register_deadline(ProcessId pid, Ticks absolute_deadline) {

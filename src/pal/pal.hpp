@@ -40,6 +40,27 @@ class Pal {
   /// (each retrieval O(1)) until one still holds.
   void announce_ticks(Ticks now, Ticks elapsed);
 
+  // --- time-warp support (next-event / bulk-advance interfaces) ---
+
+  /// Earliest future tick at which announce_ticks would do anything beyond
+  /// its steady-state "check and break": the earliest POS timer wake, or
+  /// the first tick the earliest registered deadline counts as violated
+  /// (deadline + 1 -- Algorithm 3 breaks while deadline >= now).
+  /// kInfiniteTime when neither is armed.
+  [[nodiscard]] Ticks next_attention_tick() const;
+
+  /// True when the next announce would sample the deadline-slack histogram
+  /// (a record heads the registry whose episode has not been observed yet).
+  /// Such a tick must be stepped, not warped, to keep metrics byte-identical.
+  [[nodiscard]] bool slack_sample_pending() const;
+
+  /// Bulk equivalent of `elapsed` quiescent announce_ticks calls ending at
+  /// `now`. Preconditions (checked): no timer wake and no deadline violation
+  /// occurs in the span, and no slack sample is pending. Replicates the
+  /// per-tick counter effects exactly: one POS announce to `now`, plus
+  /// `elapsed` steady-state deadline checks.
+  void advance_idle(Ticks now, Ticks elapsed);
+
   /// PAL private interface used by APEX services to register/update a
   /// process's absolute deadline time (Fig. 6).
   void register_deadline(ProcessId pid, Ticks absolute_deadline);

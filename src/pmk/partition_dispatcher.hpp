@@ -45,6 +45,13 @@ class PartitionDispatcher {
   /// Algorithm 2. `ticks` is the scheduler's global tick counter value.
   DispatchResult dispatch(PartitionId heir, Ticks ticks);
 
+  /// Bulk equivalent of `n` dispatch() calls on the same-partition fast
+  /// path (lines 1-2): each would only bump the dispatch counter. Used by
+  /// the time-warp engine, which guarantees heir == active for the span.
+  void advance_same_partition(Ticks n) {
+    dispatches_ += static_cast<std::uint64_t>(n);
+  }
+
   [[nodiscard]] PartitionId active_partition() const { return active_; }
 
   // --- instrumentation (E6) ---

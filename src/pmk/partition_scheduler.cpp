@@ -20,12 +20,13 @@ void PartitionScheduler::set_initial_schedule(ScheduleId id) {
   AIR_ASSERT_MSG(!started_, "initial schedule already set");
   current_ = id;
   next_ = id;
+  current_sched_ = &schedules_.at(id);
   started_ = true;
 }
 
 const RuntimeSchedule& PartitionScheduler::current_schedule() const {
   AIR_ASSERT(started_);
-  return schedules_.at(current_);
+  return *current_sched_;
 }
 
 const RuntimeSchedule* PartitionScheduler::schedule(ScheduleId id) const {
@@ -44,7 +45,7 @@ bool PartitionScheduler::tick() {
   ++ticks_;  // line 1
   ++tick_calls_;
 
-  const RuntimeSchedule* sched = &schedules_.at(current_);
+  const RuntimeSchedule* sched = current_sched_;
   const Ticks phase = (ticks_ - last_schedule_switch_) % sched->mtf;
 
   // Line 2: has a partition preemption point been reached? In the best and
@@ -62,7 +63,8 @@ bool PartitionScheduler::tick() {
     last_schedule_switch_ = ticks_;   // line 5
     last_schedule_switch_was_set_ = true;
     table_iterator_ = 0;              // line 6
-    sched = &schedules_.at(current_);
+    current_sched_ = &schedules_.at(current_);
+    sched = current_sched_;
     if (metrics_ != nullptr) {
       metrics_->add(telemetry::Metric::kScheduleSwitches, -1);
     }
@@ -74,6 +76,28 @@ bool PartitionScheduler::tick() {
   // Line 9: advance the iterator, wrapping at the number of points.
   table_iterator_ = (table_iterator_ + 1) % sched->table.size();
   return true;
+}
+
+Ticks PartitionScheduler::next_preemption_point() const {
+  AIR_ASSERT_MSG(started_, "set_initial_schedule() not called");
+  // Before the first tick() the boot point at time 0 is still ahead.
+  if (ticks_ < 0) return 0;
+  const RuntimeSchedule& sched = *current_sched_;
+  const Ticks phase = (ticks_ - last_schedule_switch_) % sched.mtf;
+  // The table iterator always designates the next upcoming point; a
+  // non-positive phase delta means it sits in the next MTF.
+  Ticks delta = sched.table[table_iterator_].tick - phase;
+  if (delta <= 0) delta += sched.mtf;
+  return ticks_ + delta;
+}
+
+void PartitionScheduler::advance(Ticks n) {
+  AIR_ASSERT_MSG(started_, "set_initial_schedule() not called");
+  AIR_ASSERT(n >= 0);
+  AIR_ASSERT_MSG(ticks_ + n < next_preemption_point(),
+                 "time-warp span crosses a preemption point");
+  ticks_ += n;
+  tick_calls_ += static_cast<std::uint64_t>(n);
 }
 
 }  // namespace air::pmk

@@ -45,6 +45,18 @@ class PartitionScheduler {
   /// partition preemption point was reached (heir may have changed).
   bool tick();
 
+  /// Absolute tick of the next partition preemption point (the next tick()
+  /// that would return true). Pending schedule switches cannot make it
+  /// earlier: they take effect at an MTF boundary, which is itself a table
+  /// point (table[0].tick == 0), so the returned tick is always <= the next
+  /// boundary and warping up to (not onto) it preserves Algorithm 1.
+  [[nodiscard]] Ticks next_preemption_point() const;
+
+  /// Bulk equivalent of `n` tick() calls that all return false: the skipped
+  /// best-case iterations touch nothing but the two counters. Checked
+  /// against next_preemption_point() so a point can never be jumped over.
+  void advance(Ticks n);
+
   /// The partition that should hold the processor now; invalid() = idle.
   [[nodiscard]] PartitionId heir_partition() const { return heir_; }
 
@@ -84,6 +96,10 @@ class PartitionScheduler {
   std::map<ScheduleId, RuntimeSchedule> schedules_;
   ScheduleId current_;
   ScheduleId next_;
+  // Hot-path cache of schedules_[current_]; std::map nodes are address-
+  // stable, so the pointer is refreshed only on set_initial_schedule() and
+  // on an effective schedule switch, keeping tick() free of map lookups.
+  const RuntimeSchedule* current_sched_{nullptr};
   Ticks ticks_{-1};  // so the first tick() lands on time 0 == table point 0
   Ticks last_schedule_switch_{0};
   bool last_schedule_switch_was_set_{false};

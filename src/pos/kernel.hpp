@@ -47,6 +47,11 @@ class IKernel {
   /// partition regains the processor). Wakes every expired timed wait.
   virtual void tick_announce(Ticks now, Ticks elapsed) = 0;
   [[nodiscard]] virtual Ticks now() const = 0;
+  /// Earliest tick at which a timed wait (delay, timed block, suspended
+  /// with timeout) expires; kInfiniteTime when no timer is armed. The
+  /// time-warp engine uses this to bound how far a quiescent partition can
+  /// be fast-forwarded without missing a wake-up.
+  [[nodiscard]] virtual Ticks next_wake() const = 0;
 
   // --- scheduling ---
   /// Select the heir process (eq. 14 for the RT kernel), mark it running,

@@ -181,6 +181,20 @@ void KernelBase::reset_all() {
   preemption_lock_ = 0;
 }
 
+Ticks KernelBase::next_wake() const {
+  // Both tick_announce loops key on the same predicate (waiting with a
+  // finite wake_time; the suspended flag only changes *how* the expiry is
+  // handled), so one scan covers every armed timer.
+  Ticks earliest = kInfiniteTime;
+  for (const auto& p : table_) {
+    if (p.state == ProcessState::kWaiting && p.wake_time != kInfiniteTime &&
+        p.wake_time < earliest) {
+      earliest = p.wake_time;
+    }
+  }
+  return earliest;
+}
+
 std::size_t KernelBase::ready_depth() const {
   std::size_t n = 0;
   for (const auto& p : table_) {

@@ -29,6 +29,7 @@ class KernelBase : public IKernel {
 
   void tick_announce(Ticks now, Ticks elapsed) override;
   [[nodiscard]] Ticks now() const override { return now_; }
+  [[nodiscard]] Ticks next_wake() const override;
 
   [[nodiscard]] ProcessId current() const override { return current_; }
 

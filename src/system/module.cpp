@@ -1,5 +1,6 @@
 #include "system/module.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
@@ -27,6 +28,7 @@ Module::Module(ModuleConfig config)
     : config_(std::move(config)),
       machine_(config_.memory_bytes),
       spatial_(machine_) {
+  time_warp_ = config_.time_warp;
   trace_.enable(config_.trace_enabled);
   metrics_.enable(config_.telemetry.metrics_enabled);
   profiler_.enable(config_.telemetry.profiler_enabled);
@@ -372,6 +374,7 @@ void Module::apply_pending_change_action(PartitionId id) {
 
 void Module::tick_once() {
   if (stopped_) return;
+  ++warp_stats_.stepped_ticks;
 
   // Timer interrupt.
   machine_.tick();
@@ -456,11 +459,34 @@ std::size_t Module::core_of(PartitionId partition) const {
 }
 
 void Module::run(Ticks ticks) {
-  for (Ticks i = 0; i < ticks && !stopped_; ++i) tick_once();
+  if (ticks <= 0) return;  // explicit no-op
+  Ticks done = 0;
+  while (done < ticks && !stopped_) {
+    if (time_warp_) {
+      const Ticks n = std::min(warp_headroom(), ticks - done);
+      if (n > 0) {
+        warp_advance(n);
+        done += n;
+        continue;
+      }
+    }
+    tick_once();
+    ++done;
+  }
 }
 
 void Module::run_until(Ticks time) {
-  while (now() < time && !stopped_) tick_once();
+  if (time <= now()) return;  // explicit no-op for now/past targets
+  while (now() < time && !stopped_) {
+    if (time_warp_) {
+      const Ticks n = std::min(warp_headroom(), time - now());
+      if (n > 0) {
+        warp_advance(n);
+        continue;
+      }
+    }
+    tick_once();
+  }
 }
 
 PartitionId Module::partition_id(std::string_view name) const {

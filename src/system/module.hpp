@@ -43,14 +43,49 @@ class Module {
   Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
 
-  /// Advance the module by `ticks` clock ticks (no-op once stopped).
+  /// Advance the module by `ticks` clock ticks (no-op once stopped or when
+  /// `ticks` <= 0). Quiescent spans are fast-forwarded by the time-warp
+  /// engine when enabled.
   void run(Ticks ticks);
 
-  /// Advance until the module clock reaches `time`.
+  /// Advance until the module clock reaches `time` (no-op when `time` is
+  /// now or in the past). Delegates to the same warp engine as run().
   void run_until(Ticks time);
 
   /// Execute exactly one clock tick.
   void tick_once();
+
+  // --- next-event time warp ---
+
+  /// Warped-vs-stepped tick accounting. Deliberately kept outside the
+  /// metrics registry: snapshots must stay byte-identical with warp on and
+  /// off, so the engine's own counters cannot live in the oracle.
+  struct WarpStats {
+    std::uint64_t stepped_ticks{0};  // ticks executed via tick_once()
+    std::uint64_t warped_ticks{0};   // ticks skipped via warp_advance()
+    std::uint64_t warp_spans{0};     // warp_advance() invocations
+  };
+
+  /// Enable/disable the time warp at runtime (benches and equivalence
+  /// tests flip it on an already-built module).
+  void set_time_warp(bool on) { time_warp_ = on; }
+  [[nodiscard]] bool time_warp_enabled() const { return time_warp_; }
+  [[nodiscard]] const WarpStats& warp_stats() const { return warp_stats_; }
+
+  /// Number of upcoming ticks that are provably boring: the module is
+  /// quiescent (no runnable work, no pending context switch, no router
+  /// backlog, no pending telemetry sample) and no layer has an event before
+  /// now() + headroom + 1. Returns 0 when any of that fails, when the
+  /// module is stopped or not yet booted, or when the per-tick host
+  /// profiler is enabled (it observes every stepped tick).
+  [[nodiscard]] Ticks warp_headroom() const;
+
+  /// Fast-forward the module by `n` boring ticks in O(1): bulk-advance the
+  /// HAL clock, every core's scheduler/dispatcher and the active
+  /// partitions' PAL/POS, replicating exactly the per-tick counter effects
+  /// of `n` quiescent tick_once() calls. `n` must not exceed
+  /// warp_headroom() (layer asserts enforce it).
+  void warp_advance(Ticks n);
 
   /// Module time. The scheduler's counter sits at -1 before the first tick
   /// (so that tick 0 is the first preemption point); boot-time actions are
@@ -160,6 +195,8 @@ class Module {
   std::vector<std::size_t> core_affinity_;  // partition value -> core index
   std::vector<PartitionRuntime> partitions_;
   bool stopped_{false};
+  bool time_warp_{true};
+  WarpStats warp_stats_;
 };
 
 }  // namespace air::system

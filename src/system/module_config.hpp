@@ -139,6 +139,11 @@ struct ModuleConfig {
   /// Validate every schedule against eqs. (20)-(23) at construction and
   /// abort on violation -- offline verification per Sect. 3/5.
   bool validate{true};
+  /// Next-event time warp: when the module is quiescent, run()/run_until()
+  /// fast-forward to the next interesting tick in O(1) instead of stepping.
+  /// Observably equivalent to per-tick execution (metrics, traces and
+  /// APEX-visible state are byte-identical); disable to force stepping.
+  bool time_warp{true};
   /// Record events in the trace (disable for hot-path benches).
   bool trace_enabled{true};
   /// Metrics registry, tick profiler and flight recorder setup.

@@ -1,5 +1,7 @@
 #include "system/world.hpp"
 
+#include <algorithm>
+
 namespace air::system {
 
 Module& World::add_module(ModuleConfig config) {
@@ -21,10 +23,30 @@ Module& World::add_module(ModuleConfig config) {
 }
 
 void World::run(Ticks ticks) {
-  for (Ticks i = 0; i < ticks; ++i) {
+  Ticks done = 0;
+  while (done < ticks) {
+    // Lockstep time warp: skip a span only when *every* module is
+    // quiescent for it and the bus would neither transmit nor deliver.
+    // A stopped module never changes state again, so it bounds nothing.
+    Ticks n = std::min(ticks - done, bus_.idle_ticks(now_));
+    for (auto& module : modules_) {
+      if (module->stopped()) continue;
+      if (!module->time_warp_enabled()) {
+        n = 0;
+        break;
+      }
+      n = std::min(n, module->warp_headroom());
+    }
+    if (n > 0) {
+      for (auto& module : modules_) module->warp_advance(n);
+      now_ += n;
+      done += n;
+      continue;
+    }
     for (auto& module : modules_) module->tick_once();
     bus_.tick(now_);
     ++now_;
+    ++done;
   }
 }
 

@@ -1,0 +1,298 @@
+// Time-warp equivalence: running a mission with the next-event fast-forward
+// enabled must be byte-identical -- metrics snapshot, trace contents, final
+// APEX-visible process state -- to stepping every tick. The randomized suite
+// generates missions with model::generate_schedule and compares both
+// executions over a bag of seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "config/fig8.hpp"
+#include "model/generator.hpp"
+#include "pos/workload.hpp"
+#include "system/module.hpp"
+#include "system/world.hpp"
+#include "telemetry/export.hpp"
+#include "util/rng.hpp"
+#include "util/trace_export.hpp"
+
+namespace air {
+namespace {
+
+// Serialize everything a partition application could observe through APEX.
+std::string apex_visible_state(system::Module& module) {
+  std::string out;
+  for (std::size_t p = 0; p < module.partition_count(); ++p) {
+    const PartitionId id{static_cast<std::int32_t>(p)};
+    const pmk::PartitionControlBlock& pcb = module.partition_pcb(id);
+    out += "partition " + std::to_string(p) +
+           " mode=" + std::to_string(static_cast<int>(pcb.mode)) +
+           " busy=" + std::to_string(pcb.busy_ticks) +
+           " slack=" + std::to_string(pcb.slack_ticks) + "\n";
+    auto& kernel = module.kernel(id);
+    for (std::size_t q = 0; q < kernel.process_count(); ++q) {
+      apex::ProcessStatus st;
+      if (module.apex(id).get_process_status(
+              ProcessId{static_cast<std::int32_t>(q)}, st) !=
+          apex::ReturnCode::kNoError) {
+        continue;
+      }
+      out += "  " + st.name + " state=" +
+             std::to_string(static_cast<int>(st.state)) +
+             " prio=" + std::to_string(st.current_priority) +
+             " deadline=" + std::to_string(st.deadline_time) +
+             " completions=" + std::to_string(st.completions) +
+             " max_resp=" + std::to_string(st.max_response) +
+             " mean_resp=" + std::to_string(st.mean_response) +
+             " misses=" + std::to_string(st.deadline_misses) + "\n";
+    }
+    for (const std::string& line : module.console(id)) {
+      out += "  console: " + line + "\n";
+    }
+  }
+  out += "now=" + std::to_string(module.now());
+  out += " stopped=" + std::to_string(module.stopped() ? 1 : 0);
+  return out;
+}
+
+struct RunResult {
+  std::string trace;
+  std::string metrics;
+  std::string apex;
+  system::Module::WarpStats warp;
+};
+
+RunResult run_mission(system::ModuleConfig config, bool warp, Ticks span) {
+  system::Module module(std::move(config));
+  module.set_time_warp(warp);
+  module.run(span);
+  RunResult result;
+  result.trace = util::to_json(module.trace());
+  const telemetry::MetricsSnapshot snap = module.metrics_snapshot();
+  result.metrics = telemetry::to_json(snap) + "\n" + telemetry::to_csv(snap);
+  result.apex = apex_visible_state(module);
+  result.warp = module.warp_stats();
+  return result;
+}
+
+void expect_equivalent(const RunResult& stepped, const RunResult& warped,
+                       const std::string& label) {
+  EXPECT_EQ(stepped.trace, warped.trace) << label << ": traces diverge";
+  EXPECT_EQ(stepped.metrics, warped.metrics)
+      << label << ": metrics snapshots diverge";
+  EXPECT_EQ(stepped.apex, warped.apex)
+      << label << ": final APEX-visible state diverges";
+  EXPECT_EQ(stepped.warp.warped_ticks, 0u) << label << ": baseline warped";
+  EXPECT_EQ(stepped.warp.stepped_ticks,
+            warped.warp.stepped_ticks + warped.warp.warped_ticks)
+      << label << ": tick accounting mismatch";
+}
+
+// One sparse partition: 5 busy ticks out of every 10'000.
+system::ModuleConfig idle_heavy_config() {
+  system::ModuleConfig config;
+  config.name = "idle_heavy";
+  constexpr Ticks kMtf = 10'000;
+  model::Schedule schedule;
+  schedule.id = ScheduleId{0};
+  schedule.mtf = kMtf;
+  system::PartitionConfig partition;
+  partition.name = "sparse";
+  system::ProcessConfig process;
+  process.attrs.name = "beacon";
+  process.attrs.period = kMtf;
+  process.attrs.time_capacity = kMtf;
+  process.attrs.priority = 10;
+  process.attrs.script =
+      pos::ScriptBuilder{}.compute(5).periodic_wait().build();
+  partition.processes.push_back(std::move(process));
+  config.partitions.push_back(std::move(partition));
+  schedule.requirements.push_back({PartitionId{0}, kMtf, kMtf});
+  schedule.windows.push_back({PartitionId{0}, 0, kMtf});
+  config.schedules = {schedule};
+  return config;
+}
+
+TEST(TimeWarp, IdleHeavyMissionWarpsAndMatches) {
+  const Ticks span = 50'000;
+  const RunResult stepped = run_mission(idle_heavy_config(), false, span);
+  const RunResult warped = run_mission(idle_heavy_config(), true, span);
+  expect_equivalent(stepped, warped, "idle_heavy");
+  // The engine must actually engage: the mission is >99% idle.
+  EXPECT_GT(warped.warp.warped_ticks,
+            static_cast<std::uint64_t>(span) * 9 / 10);
+  EXPECT_GT(warped.warp.warp_spans, 0u);
+}
+
+TEST(TimeWarp, Fig8MissionWithFaultAndModeSwitchMatches) {
+  auto mission = [](bool warp) {
+    auto config = scenarios::fig8_config();
+    system::Module module(std::move(config));
+    module.set_time_warp(warp);
+    module.start_process_by_name(module.partition_id("AOCS"),
+                                 scenarios::kFaultyProcessName);
+    module.run(500);
+    (void)module.apex(module.partition_id("AOCS"))
+        .set_module_schedule(ScheduleId{1});
+    module.run(5 * scenarios::kFig8Mtf);
+    RunResult result;
+    result.trace = util::to_json(module.trace());
+    const telemetry::MetricsSnapshot snap = module.metrics_snapshot();
+    result.metrics = telemetry::to_json(snap) + "\n" + telemetry::to_csv(snap);
+    result.apex = apex_visible_state(module);
+    result.warp = module.warp_stats();
+    return result;
+  };
+  const RunResult stepped = mission(false);
+  const RunResult warped = mission(true);
+  expect_equivalent(stepped, warped, "fig8");
+  EXPECT_GT(stepped.trace.size(), 1000u) << "the mission is non-trivial";
+}
+
+TEST(TimeWarp, Fig8FlightRecorderMatches) {
+  auto mission = [](bool warp) {
+    auto config = scenarios::fig8_config();
+    config.telemetry.flight_recorder_capacity = 128;
+    system::Module module(std::move(config));
+    module.set_time_warp(warp);
+    module.start_process_by_name(module.partition_id("AOCS"),
+                                 scenarios::kFaultyProcessName);
+    module.run(5 * scenarios::kFig8Mtf);
+    return util::to_json(module.trace()) + "#" +
+           std::to_string(module.trace().dropped_events());
+  };
+  EXPECT_EQ(mission(false), mission(true));
+}
+
+// Randomized missions: partitions with generated PSTs and a mix of
+// periodic, timed-wait and logging processes at varying density.
+system::ModuleConfig random_mission(std::uint64_t seed) {
+  util::Rng rng(seed);
+  system::ModuleConfig config;
+  config.name = "random_" + std::to_string(seed);
+  config.trace_enabled = true;
+
+  const int nparts = static_cast<int>(rng.uniform(1, 3));
+  std::vector<model::ScheduleRequirement> requirements;
+  for (int i = 0; i < nparts; ++i) {
+    const Ticks period = 100 << rng.uniform(0, 2);  // 100 / 200 / 400
+    const Ticks duration = rng.uniform(10, period / 5);
+    requirements.push_back({PartitionId{i}, period, duration});
+
+    system::PartitionConfig partition;
+    partition.name = "part" + std::to_string(i);
+    const int nprocs = static_cast<int>(rng.uniform(1, 2));
+    for (int p = 0; p < nprocs; ++p) {
+      system::ProcessConfig process;
+      process.attrs.name = "proc" + std::to_string(p);
+      process.attrs.priority = 10 + p;
+      pos::ScriptBuilder script;
+      if (rng.chance(0.5)) {
+        // Periodic worker; occasionally too slow for its deadline.
+        const Ticks pperiod = period * rng.uniform(1, 4);
+        process.attrs.period = pperiod;
+        process.attrs.time_capacity =
+            rng.chance(0.2) ? pperiod / 4 : pperiod;
+        script.compute(rng.uniform(1, 12));
+        if (rng.chance(0.3)) script.log("beat");
+        script.periodic_wait();
+      } else {
+        // Delay-loop worker (timed waits exercise next_wake()).
+        script.compute(rng.uniform(1, 6));
+        script.timed_wait(rng.uniform(20, 600));
+        if (rng.chance(0.3)) script.log("tw");
+      }
+      process.attrs.script = script.build();
+      partition.processes.push_back(std::move(process));
+    }
+    config.partitions.push_back(std::move(partition));
+  }
+
+  model::GeneratorInput input;
+  input.requirements = requirements;
+  input.mtf = 0;  // lcm of the periods
+  input.id = ScheduleId{0};
+  input.name = "generated";
+  auto schedule = model::generate_schedule(input);
+  EXPECT_TRUE(schedule.has_value()) << "seed " << seed << " infeasible";
+  config.schedules = {*schedule};
+  return config;
+}
+
+TEST(TimeWarp, RandomizedMissionsAreEquivalent) {
+  std::uint64_t total_warped = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Ticks span = 6'000;
+    const RunResult stepped = run_mission(random_mission(seed), false, span);
+    const RunResult warped = run_mission(random_mission(seed), true, span);
+    expect_equivalent(stepped, warped, "seed " + std::to_string(seed));
+    total_warped += warped.warp.warped_ticks;
+  }
+  // Across the suite the engine must have found real headroom.
+  EXPECT_GT(total_warped, 0u);
+}
+
+TEST(TimeWarp, RunZeroAndRunUntilPastAreNoOps) {
+  system::Module module(idle_heavy_config());
+  module.run(1'000);
+  const Ticks before = module.now();
+  const auto stats_before = module.warp_stats();
+  const std::string trace_before = util::to_json(module.trace());
+
+  module.run(0);
+  module.run(-25);
+  module.run_until(before);      // "until now" does nothing
+  module.run_until(before - 1);  // past target does nothing
+
+  EXPECT_EQ(module.now(), before);
+  EXPECT_EQ(module.warp_stats().stepped_ticks, stats_before.stepped_ticks);
+  EXPECT_EQ(module.warp_stats().warped_ticks, stats_before.warped_ticks);
+  EXPECT_EQ(util::to_json(module.trace()), trace_before);
+}
+
+TEST(TimeWarp, RunUntilDelegatesToWarpEngine) {
+  system::Module warped(idle_heavy_config());
+  warped.set_time_warp(true);
+  warped.run_until(30'000);
+  EXPECT_EQ(warped.now(), 30'000);
+  EXPECT_GT(warped.warp_stats().warped_ticks, 0u);
+
+  system::Module stepped(idle_heavy_config());
+  stepped.set_time_warp(false);
+  stepped.run_until(30'000);
+  EXPECT_EQ(stepped.now(), 30'000);
+  EXPECT_EQ(util::to_json(stepped.trace()), util::to_json(warped.trace()));
+}
+
+TEST(TimeWarp, WorldLockstepWarpMatchesStepped) {
+  auto mission = [](bool warp) {
+    system::World world({.slot_length = 7, .frames_per_slot = 2,
+                         .propagation_delay = 3});
+    auto config_a = scenarios::fig8_config();
+    config_a.id = ModuleId{0};
+    auto config_b = idle_heavy_config();
+    config_b.id = ModuleId{1};
+    system::Module& a = world.add_module(std::move(config_a));
+    system::Module& b = world.add_module(std::move(config_b));
+    a.set_time_warp(warp);
+    b.set_time_warp(warp);
+    world.run(3 * scenarios::kFig8Mtf);
+    return util::to_json(a.trace()) + util::to_json(b.trace()) +
+           apex_visible_state(a) + apex_visible_state(b) + "@" +
+           std::to_string(world.now());
+  };
+  EXPECT_EQ(mission(false), mission(true));
+}
+
+TEST(TimeWarp, ProfilerForcesStepping) {
+  auto config = idle_heavy_config();
+  config.telemetry.profiler_enabled = true;
+  system::Module module(std::move(config));
+  module.set_time_warp(true);
+  module.run(2'000);
+  EXPECT_EQ(module.warp_stats().warped_ticks, 0u)
+      << "per-tick host profiling must disable the warp";
+}
+
+}  // namespace
+}  // namespace air
