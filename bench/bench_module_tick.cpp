@@ -15,7 +15,11 @@ void BM_ModuleTick_Fig8(benchmark::State& state) {
   scenarios::Fig8Options options;
   options.with_faulty_process = false;
   options.trace_enabled = state.range(0) != 0;
-  system::Module module(scenarios::fig8_config(options));
+  system::ModuleConfig config = scenarios::fig8_config(options);
+  // This file is the perf-trajectory baseline: span recording is off here
+  // and quantified separately in bench_telemetry.cpp.
+  config.telemetry.spans_enabled = false;
+  system::Module module(std::move(config));
   for (auto _ : state) {
     module.tick_once();
   }
@@ -32,6 +36,7 @@ void BM_ModuleTick_ManyPartitions(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   system::ModuleConfig config;
   config.trace_enabled = false;
+  config.telemetry.spans_enabled = false;
   model::Schedule schedule;
   schedule.id = ScheduleId{0};
   schedule.mtf = static_cast<Ticks>(n) * 20;
@@ -68,6 +73,7 @@ system::ModuleConfig idle_heavy_config() {
   system::ModuleConfig config;
   config.name = "idle_heavy";
   config.trace_enabled = false;
+  config.telemetry.spans_enabled = false;
   constexpr Ticks kMtf = 10'000;
   model::Schedule schedule;
   schedule.id = ScheduleId{0};

@@ -4,18 +4,22 @@
 // tick profiler) costs <= 5% on the whole-module tick path, and disabled
 // telemetry is indistinguishable from the pre-telemetry baseline (the
 // registry pointer is null in every layer, so the only residual cost is a
-// handful of never-taken branches). Run BM_TelemetryTick_Fig8 with the
-// configuration index to compare:
+// handful of never-taken branches). The same discipline holds for the
+// causal span layer: disabled spans are a null pointer + one branch. Run
+// BM_TelemetryTick_Fig8 with the configuration index to compare:
 //   0  telemetry off, trace off   (seed-equivalent hot path)
 //   1  metrics only, trace off
 //   2  metrics + trace (unbounded vector, the seed's tracing mode)
 //   3  metrics + flight recorder (bounded rings)
-//   4  metrics + flight recorder + tick profiler + streaming sink (full)
+//   4  metrics + flight recorder + tick profiler + streaming sink
+//   5  metrics + spans, trace off (span layer alone)
+//   6  metrics + flight recorder + spans (span mirror feeds the rings)
 #include <benchmark/benchmark.h>
 
 #include "config/fig8.hpp"
 #include "system/module.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/spans.hpp"
 #include "util/trace.hpp"
 
 namespace {
@@ -31,24 +35,31 @@ void BM_TelemetryTick_Fig8(benchmark::State& state) {
   const int mode = static_cast<int>(state.range(0));
   scenarios::Fig8Options options;
   options.with_faulty_process = false;
-  options.trace_enabled = mode >= 2;
+  options.trace_enabled = mode == 2 || mode == 3 || mode == 4 || mode == 6;
   system::ModuleConfig config = scenarios::fig8_config(options);
   config.telemetry.metrics_enabled = mode >= 1;
-  config.telemetry.flight_recorder_capacity = mode >= 3 ? 4096 : 0;
-  config.telemetry.profiler_enabled = mode >= 4;
+  config.telemetry.flight_recorder_capacity =
+      mode == 3 || mode == 4 || mode == 6 ? 4096 : 0;
+  config.telemetry.profiler_enabled = mode == 4;
+  config.telemetry.spans_enabled = mode >= 5;
+  config.telemetry.spans_capacity = mode >= 5 ? 4096 : 0;
 
   system::Module module(std::move(config));
   NullSink sink;
-  if (mode >= 4) module.add_trace_sink(&sink);
+  if (mode == 4) module.add_trace_sink(&sink);
 
   for (auto _ : state) {
     module.tick_once();
   }
   state.counters["sim_ticks_per_second"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
-  if (mode >= 4) module.remove_trace_sink(&sink);
+  if (mode >= 5) {
+    state.counters["spans_recorded"] = benchmark::Counter(
+        static_cast<double>(module.spans().recorded_spans()));
+  }
+  if (mode == 4) module.remove_trace_sink(&sink);
 }
-BENCHMARK(BM_TelemetryTick_Fig8)->DenseRange(0, 4);
+BENCHMARK(BM_TelemetryTick_Fig8)->DenseRange(0, 6);
 
 // Microcosts: one registry operation, enabled vs disabled, and one
 // snapshot of a populated registry.
@@ -87,6 +98,21 @@ void BM_MetricsSnapshot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MetricsSnapshot);
+
+// Span open/close cost, enabled vs disabled: disabled must be one branch.
+void BM_SpanBeginEnd(benchmark::State& state) {
+  telemetry::SpanRecorder spans;
+  spans.enable(state.range(0) != 0);
+  spans.set_capacity(4096);
+  Ticks t = 0;
+  for (auto _ : state) {
+    const telemetry::SpanId id =
+        spans.begin(telemetry::SpanKind::kJob, t, 0, 0, 1, 2, t + 10);
+    spans.end(id, t + 1);
+    ++t;
+  }
+}
+BENCHMARK(BM_SpanBeginEnd)->Arg(0)->Arg(1);
 
 // Trace record cost: unbounded vector vs flight-recorder rings (the ring
 // stays O(1) memory; the vector reallocates and grows without bound).

@@ -18,7 +18,12 @@ for bin in "$build_dir"/bench/bench_*; do
   name=${name#bench_}
   out="$out_dir/BENCH_${name}.json"
   echo "== $name -> $out"
-  "$bin" --json="$out" "$@"
+  # Explicit status check: a crashing or failing bench binary must fail the
+  # whole run (set -e alone is silent about *which* binary died).
+  if ! "$bin" --json="$out" "$@"; then
+    echo "error: $name exited non-zero" >&2
+    exit 1
+  fi
   # Sanity: the file must exist and be parseable JSON-ish (non-empty).
   [[ -s "$out" ]] || { echo "error: $out is empty" >&2; exit 1; }
   found=1

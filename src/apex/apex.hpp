@@ -191,6 +191,10 @@ class Apex {
   /// Partition console sink (VITRAL window).
   std::function<void(std::string_view)> console;
 
+  /// Record message-lifetime and schedule-switch spans (send/receive legs
+  /// parented on the caller's job span). nullptr = off.
+  void set_spans(telemetry::SpanRecorder* spans) { spans_ = spans; }
+
   /// Called by the module when the partition (re)enters NORMAL mode.
   void enter_normal_mode();
 
@@ -258,6 +262,7 @@ class Apex {
   hm::HealthMonitor& health_;
   pmk::PartitionScheduler& scheduler_;
   std::function<Ticks()> now_fn_;
+  telemetry::SpanRecorder* spans_{nullptr};
 
   std::vector<BufferObject> buffers_;
   std::vector<BlackboardObject> blackboards_;

@@ -429,8 +429,22 @@ ReturnCode Apex::set_module_schedule(ScheduleId schedule) {
     // Only authorised (system) partitions may switch schedules (Sect. 4.2).
     return ReturnCode::kInvalidConfig;
   }
+  const ScheduleId previous = scheduler_.status().current;
   if (!scheduler_.request_schedule(schedule)) {
     return ReturnCode::kInvalidParam;
+  }
+  if (spans_ != nullptr) {
+    // Open a switch span from the request to the MTF-boundary activation
+    // (the module closes it when the switch takes effect), parented on the
+    // requesting process's job so chains can answer "who asked for this".
+    const telemetry::SpanId stale = spans_->take_pending_schedule_switch();
+    if (stale != 0) {
+      spans_->end(stale, now_fn_(), telemetry::SpanStatus::kAborted);
+    }
+    spans_->set_pending_schedule_switch(spans_->begin(
+        telemetry::SpanKind::kScheduleSwitch, now_fn_(),
+        pal_.job_span(pal_.kernel().current()), 0, schedule.value(),
+        previous.value()));
   }
   return ReturnCode::kNoError;
 }

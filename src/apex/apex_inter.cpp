@@ -78,7 +78,19 @@ ReturnCode Apex::write_sampling_message(PortId id, std::string message) {
     return ReturnCode::kInvalidMode;
   }
   ipc::Message msg{std::move(message), now_fn_(), partition_};
-  if (!port.write(msg)) return ReturnCode::kInvalidParam;  // too large
+  if (msg.payload.size() > port.max_message_bytes()) {
+    return ReturnCode::kInvalidParam;  // too large (port.write would refuse)
+  }
+  if (spans_ != nullptr) {
+    // The send leg roots the message flow; the context rides in the message
+    // through router hops and bus transit to the receive leg.
+    const telemetry::SpanId send = spans_->instant(
+        telemetry::SpanKind::kMsgSend, msg.sent_at,
+        pal_.job_span(pal_.kernel().current()), 0, partition_.value(),
+        id.value(), static_cast<std::int64_t>(msg.payload.size()));
+    msg.ctx = {send, send};
+  }
+  if (!port.write(msg)) return ReturnCode::kInvalidParam;
   router_.propagate_sampling({partition_, port.name()}, msg);
   return ReturnCode::kNoError;
 }
@@ -101,6 +113,12 @@ ReturnCode Apex::read_sampling_message(PortId id, std::string& out,
   }
   out = result.message->payload;
   valid = result.valid;
+  if (spans_ != nullptr && result.message->ctx.trace_id != 0) {
+    spans_->instant(telemetry::SpanKind::kMsgReceive, now_fn_(),
+                    result.message->ctx.parent_span,
+                    result.message->ctx.trace_id, partition_.value(),
+                    id.value(), static_cast<std::int64_t>(out.size()));
+  }
   if (pos::ProcessControlBlock* self = current_pcb()) self->inbox = out;
   return ReturnCode::kNoError;
 }
@@ -125,6 +143,16 @@ ServiceResult Apex::send_queuing_message(PortId id, std::string message,
     return ServiceResult::error(ReturnCode::kTimedOut);
   }
   ipc::Message msg{std::move(message), now_fn_(), partition_};
+  if (spans_ != nullptr && !obj.port->full() &&
+      msg.payload.size() <= obj.port->max_message_bytes()) {
+    // Root the flow only for a message that will actually enqueue; refused
+    // sends (full queue, oversized payload) leave no orphan span.
+    const telemetry::SpanId send = spans_->instant(
+        telemetry::SpanKind::kMsgSend, msg.sent_at,
+        pal_.job_span(pal_.kernel().current()), 0, partition_.value(),
+        id.value(), static_cast<std::int64_t>(msg.payload.size()));
+    msg.ctx = {send, send};
+  }
   switch (obj.port->send(std::move(msg))) {
     case ipc::QueuingPort::SendStatus::kOk:
       // Opportunistic channel transfer; the PMK also pumps every tick.
@@ -160,6 +188,12 @@ ServiceResult Apex::receive_queuing_message(PortId id, Ticks timeout,
   }
   if (auto message = obj.port->receive()) {
     out = message->payload;
+    if (spans_ != nullptr && message->ctx.trace_id != 0) {
+      spans_->instant(telemetry::SpanKind::kMsgReceive, now_fn_(),
+                      message->ctx.parent_span, message->ctx.trace_id,
+                      partition_.value(), id.value(),
+                      static_cast<std::int64_t>(out.size()));
+    }
     self->inbox = out;
     return ServiceResult::ok();
   }

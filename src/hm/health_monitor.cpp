@@ -100,6 +100,7 @@ RecoveryAction HealthMonitor::report(Ticks now, ErrorCode code,
     report.action_taken = RecoveryAction::kIgnore;
     log_.push_back(report);
     note(log_.back());
+    note_span(log_.back());
     if (on_report) on_report(log_.back());
     return report.action_taken;
   }
@@ -117,6 +118,7 @@ RecoveryAction HealthMonitor::report(Ticks now, ErrorCode code,
     report.action_taken = RecoveryAction::kIgnore;
     log_.push_back(report);
     note(log_.back());
+    note_span(log_.back());
     if (on_report) on_report(log_.back());
     return report.action_taken;
   }
@@ -124,6 +126,7 @@ RecoveryAction HealthMonitor::report(Ticks now, ErrorCode code,
   report.action_taken = entry.action;
   log_.push_back(report);
   note(log_.back());
+  note_span(log_.back());
   execute(log_.back());
   if (on_report) on_report(log_.back());
   return report.action_taken;
@@ -137,6 +140,18 @@ void HealthMonitor::note(const ErrorReport& report) {
                 static_cast<std::int32_t>(report.code));
   metrics_->add(telemetry::Metric::kHmActionsByKind,
                 static_cast<std::int32_t>(report.action_taken));
+}
+
+void HealthMonitor::note_span(const ErrorReport& report) {
+  if (spans_ == nullptr) return;
+  // The reporting layer (PAL deadline check, spatial guard, APEX error
+  // service) latched the causal span just before calling report().
+  spans_->instant(telemetry::SpanKind::kHmHandler, report.time,
+                  spans_->take_pending_cause(), 0,
+                  report.partition.valid() ? report.partition.value() : -1,
+                  report.process.valid() ? report.process.value() : -1,
+                  static_cast<std::int64_t>(report.code),
+                  std::string{to_string(report.action_taken)});
 }
 
 void HealthMonitor::execute(const ErrorReport& report) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/spans.hpp"
 #include "util/types.hpp"
 
 namespace air::hm {
@@ -129,15 +130,22 @@ class HealthMonitor {
   /// actions per recovery kind. nullptr = off.
   void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Record a handler span per report, parented on the span that caused it
+  /// (the recorder's pending-cause latch, set by the reporting layer).
+  /// nullptr = off.
+  void set_spans(telemetry::SpanRecorder* spans) { spans_ = spans; }
+
  private:
   void execute(const ErrorReport& report);
   void note(const ErrorReport& report);
+  void note_span(const ErrorReport& report);
 
   HmTable module_table_;
   std::map<PartitionId, HmTable> partition_tables_;
   std::map<std::pair<PartitionId, ErrorCode>, std::uint32_t> occurrence_;
   std::vector<ErrorReport> log_;
   telemetry::MetricsRegistry* metrics_{nullptr};
+  telemetry::SpanRecorder* spans_{nullptr};
 };
 
 }  // namespace air::hm

@@ -28,6 +28,7 @@ struct Message {
   std::string payload;
   Ticks sent_at{0};
   PartitionId from_partition;
+  TraceContext ctx;  // causal span context; zero when tracing is off
 };
 
 /// Sampling port: a single message slot; writes overwrite, reads do not

@@ -35,6 +35,18 @@ const ChannelConfig* Router::channel_for_source(const PortRef& source) const {
   return nullptr;
 }
 
+Message Router::traced_hop(const Message& message, std::int64_t channel,
+                           std::int64_t destinations) {
+  // Precondition (checked at call sites to keep the untraced path free of
+  // copies): spans_ != nullptr && message.ctx.trace_id != 0.
+  Message copy = message;
+  copy.ctx.parent_span = spans_->instant(
+      telemetry::SpanKind::kMsgRouterHop, now_ ? now_() : 0,
+      message.ctx.parent_span, message.ctx.trace_id, channel, destinations,
+      static_cast<std::int64_t>(message.payload.size()));
+  return copy;
+}
+
 void Router::propagate_sampling(const PortRef& source,
                                 const Message& message) {
   const ChannelConfig* channel = channel_for_source(source);
@@ -44,14 +56,23 @@ void Router::propagate_sampling(const PortRef& source,
     metrics_->add(telemetry::Metric::kIpcBytes, channel->id.value(),
                   message.payload.size());
   }
+  const Message* delivered = &message;
+  Message traced;
+  if (spans_ != nullptr && message.ctx.trace_id != 0) {
+    traced = traced_hop(message, channel->id.value(),
+                        static_cast<std::int64_t>(
+                            channel->local_destinations.size() +
+                            channel->remote_destinations.size()));
+    delivered = &traced;
+  }
   for (const PortRef& dest : channel->local_destinations) {
     if (SamplingPort* port = sampling_port(dest)) {
-      (void)port->write(message);  // sampling writes always overwrite
+      (void)port->write(*delivered);  // sampling writes always overwrite
       if (on_delivery) on_delivery(dest);
     }
   }
   for (const RemotePortRef& dest : channel->remote_destinations) {
-    if (remote_send) remote_send(dest, message, ChannelKind::kSampling);
+    if (remote_send) remote_send(dest, *delivered, ChannelKind::kSampling);
   }
 }
 
@@ -76,6 +97,12 @@ void Router::pump(const PortRef& source) {
 
     auto message = src->receive();
     AIR_ASSERT(message.has_value());
+    if (spans_ != nullptr && message->ctx.trace_id != 0) {
+      *message = traced_hop(*message, channel->id.value(),
+                            static_cast<std::int64_t>(
+                                channel->local_destinations.size() +
+                                channel->remote_destinations.size()));
+    }
     if (metrics_ != nullptr) {
       metrics_->add(telemetry::Metric::kIpcMessages, channel->id.value());
       metrics_->add(telemetry::Metric::kIpcBytes, channel->id.value(),
@@ -132,14 +159,20 @@ bool Router::quiescent() const {
 
 void Router::deliver_remote(const PortRef& destination, const Message& message,
                             ChannelKind kind) {
+  const Message* delivered = &message;
+  Message traced;
+  if (spans_ != nullptr && message.ctx.trace_id != 0) {
+    traced = traced_hop(message, -1, 1);  // channel -1 = remote arrival
+    delivered = &traced;
+  }
   if (kind == ChannelKind::kSampling) {
     if (SamplingPort* port = sampling_port(destination)) {
-      (void)port->write(message);
+      (void)port->write(*delivered);
       if (on_delivery) on_delivery(destination);
     }
   } else {
     if (QueuingPort* port = queuing_port(destination)) {
-      if (port->send(message) == QueuingPort::SendStatus::kOk) {
+      if (port->send(*delivered) == QueuingPort::SendStatus::kOk) {
         if (on_delivery) on_delivery(destination);
       } else if (metrics_ != nullptr) {
         // Remote arrival lost on a full destination queue: the one place a

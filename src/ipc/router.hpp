@@ -18,6 +18,7 @@
 
 #include "ipc/ports.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/spans.hpp"
 #include "util/types.hpp"
 
 namespace air::ipc {
@@ -103,14 +104,30 @@ class Router {
     metrics_ = metrics;
   }
 
+  /// Record a router-hop span per traced message moved through a channel
+  /// (and re-parent the delivered copies so the flow stays connected).
+  /// `now` supplies the module clock; nullptr = off.
+  void set_spans(telemetry::SpanRecorder* spans,
+                 std::function<Ticks()> now) {
+    spans_ = spans;
+    now_ = std::move(now);
+  }
+
  private:
   [[nodiscard]] const ChannelConfig* channel_for_source(
       const PortRef& source) const;
+
+  /// Hop span for a traced message; returns the message to deliver (the
+  /// original, or a re-parented copy when the hop was recorded).
+  [[nodiscard]] Message traced_hop(const Message& message, std::int64_t channel,
+                                   std::int64_t destinations);
 
   std::map<PortRef, SamplingPort*> sampling_;
   std::map<PortRef, QueuingPort*> queuing_;
   std::vector<ChannelConfig> channels_;
   telemetry::MetricsRegistry* metrics_{nullptr};
+  telemetry::SpanRecorder* spans_{nullptr};
+  std::function<Ticks()> now_;
 };
 
 }  // namespace air::ipc

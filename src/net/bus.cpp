@@ -27,7 +27,15 @@ void Bus::send(ModuleId from, const ipc::RemotePortRef& dest,
                const ipc::Message& message, ipc::ChannelKind kind, Ticks now) {
   Station* s = station(from);
   AIR_ASSERT_MSG(s != nullptr, "sending module not attached to the bus");
-  s->tx_queue.push_back({dest, message, kind, now});
+  Frame frame{dest, message, kind, now, 0};
+  if (spans_ != nullptr && message.ctx.trace_id != 0) {
+    frame.span = spans_->begin(
+        telemetry::SpanKind::kMsgBusTransit, now, message.ctx.parent_span,
+        message.ctx.trace_id, from.value(), dest.module.value(),
+        static_cast<std::int64_t>(message.payload.size()));
+    frame.message.ctx.parent_span = frame.span;
+  }
+  s->tx_queue.push_back(std::move(frame));
   ++stats_.frames_sent;
 }
 
@@ -39,10 +47,16 @@ void Bus::tick(Ticks now) {
     Station* dest = station(flight.frame.dest.module);
     if (dest == nullptr) {
       ++stats_.frames_dropped;
+      if (spans_ != nullptr && flight.frame.span != 0) {
+        spans_->end(flight.frame.span, now, telemetry::SpanStatus::kAborted);
+      }
       continue;
     }
     stats_.total_latency += now - flight.frame.enqueued_at;
     ++stats_.frames_delivered;
+    if (spans_ != nullptr && flight.frame.span != 0) {
+      spans_->end(flight.frame.span, now);
+    }
     dest->deliver(flight.frame.dest.partition, flight.frame.dest.port,
                   flight.frame.message, flight.frame.kind);
   }

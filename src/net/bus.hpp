@@ -62,12 +62,17 @@ class Bus {
   [[nodiscard]] const BusStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pending(ModuleId module) const;
 
+  /// Record a transit span per traced frame (open at send, closed at
+  /// delivery/drop) in the World's bus recorder. nullptr = off.
+  void set_spans(telemetry::SpanRecorder* spans) { spans_ = spans; }
+
  private:
   struct Frame {
     ipc::RemotePortRef dest;
     ipc::Message message;
     ipc::ChannelKind kind{ipc::ChannelKind::kSampling};
     Ticks enqueued_at{0};
+    telemetry::SpanId span{0};  // open transit span (0 = untraced)
   };
   struct InFlight {
     Frame frame;
@@ -85,6 +90,7 @@ class Bus {
   std::vector<Station> stations_;
   std::deque<InFlight> in_flight_;
   BusStats stats_;
+  telemetry::SpanRecorder* spans_{nullptr};
 };
 
 }  // namespace air::net

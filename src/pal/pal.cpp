@@ -61,6 +61,17 @@ void Pal::announce_ticks(Ticks now, Ticks elapsed) {
     // unregisters its deadline; a partition restart clears everything).
     registry_->remove_earliest();
     note_registry_depth();
+    if (spans_ != nullptr) {
+      // Retire the job span as a miss *before* HM_DEADLINEVIOLATED runs --
+      // the recovery action may stop the process, whose unregister must not
+      // re-close it -- and latch it as the cause of the imminent HM report.
+      const auto it = job_spans_.find(pid);
+      if (it != job_spans_.end()) {
+        spans_->set_pending_cause(it->second);
+        spans_->end(it->second, now, telemetry::SpanStatus::kDeadlineMiss);
+        job_spans_.erase(it);
+      }
+    }
     if (on_deadline_violation) {
       on_deadline_violation(pid, missed, now);  // line 6: HM_DEADLINEVIOLATED
     }
@@ -98,6 +109,16 @@ void Pal::advance_idle(Ticks now, Ticks elapsed) {
 }
 
 void Pal::register_deadline(ProcessId pid, Ticks absolute_deadline) {
+  if (spans_ != nullptr) {
+    // A new deadline episode: the previous one (if still open) completed.
+    close_job_span(pid, current_time(), telemetry::SpanStatus::kOk);
+    if (absolute_deadline != kInfiniteTime) {
+      job_spans_[pid] = spans_->begin(
+          telemetry::SpanKind::kJob, current_time(),
+          spans_->current_window(partition_index_span_), 0,
+          partition_index_span_, pid.value(), absolute_deadline);
+    }
+  }
   if (absolute_deadline == kInfiniteTime) {
     // D = infinity: the notion of deadline violation does not apply (eq. 24).
     registry_->unregister(pid);
@@ -108,16 +129,32 @@ void Pal::register_deadline(ProcessId pid, Ticks absolute_deadline) {
 }
 
 void Pal::unregister_deadline(ProcessId pid) {
+  close_job_span(pid, current_time(), telemetry::SpanStatus::kOk);
   registry_->unregister(pid);
   note_registry_depth();
 }
 
 void Pal::reset() {
+  if (spans_ != nullptr) {
+    for (const auto& [pid, span] : job_spans_) {
+      spans_->end(span, current_time(), telemetry::SpanStatus::kAborted);
+    }
+    job_spans_.clear();
+  }
   registry_->clear();
   kernel_->reset_all();
   last_slack_pid_ = ProcessId::invalid();
   last_slack_deadline_ = kInfiniteTime;
   note_registry_depth();
+}
+
+void Pal::close_job_span(ProcessId pid, Ticks at,
+                         telemetry::SpanStatus status) {
+  if (spans_ == nullptr) return;
+  const auto it = job_spans_.find(pid);
+  if (it == job_spans_.end()) return;
+  spans_->end(it->second, at, status);
+  job_spans_.erase(it);
 }
 
 void Pal::note_registry_depth() {

@@ -11,11 +11,13 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "pal/deadline_registry.hpp"
 #include "pos/kernel.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/spans.hpp"
 #include "util/types.hpp"
 
 namespace air::pal {
@@ -99,8 +101,26 @@ class Pal {
     partition_index_ = partition;
   }
 
+  /// Record a job span per deadline episode (register_deadline opens,
+  /// unregister/violation retires) under partition `partition`; on a
+  /// violation the miss cause is latched for the Health Monitor.
+  /// nullptr = off.
+  void set_spans(telemetry::SpanRecorder* spans, std::int32_t partition) {
+    spans_ = spans;
+    partition_index_span_ = partition;
+  }
+
+  /// Open job span of `pid` (0 = none) -- the causal parent for work the
+  /// process initiates (message sends, mode-change requests).
+  [[nodiscard]] telemetry::SpanId job_span(ProcessId pid) const {
+    if (spans_ == nullptr) return 0;
+    const auto it = job_spans_.find(pid);
+    return it != job_spans_.end() ? it->second : 0;
+  }
+
  private:
   void note_registry_depth();
+  void close_job_span(ProcessId pid, Ticks at, telemetry::SpanStatus status);
 
   std::unique_ptr<pos::IKernel> kernel_;
   std::unique_ptr<IDeadlineRegistry> registry_;
@@ -108,6 +128,9 @@ class Pal {
   std::uint64_t violations_{0};
   telemetry::MetricsRegistry* metrics_{nullptr};
   std::int32_t partition_index_{-1};
+  telemetry::SpanRecorder* spans_{nullptr};
+  std::int32_t partition_index_span_{-1};
+  std::map<ProcessId, telemetry::SpanId> job_spans_;  // open deadline episodes
   // Last {pid, deadline} sampled into the slack histogram: one observation
   // per deadline episode instead of one per announce.
   ProcessId last_slack_pid_{ProcessId::invalid()};

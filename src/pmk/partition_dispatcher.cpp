@@ -48,6 +48,20 @@ PartitionDispatcher::DispatchResult PartitionDispatcher::dispatch(
     }
   }
 
+  // Window spans bracket the context switch: the outgoing partition's
+  // window ends at this tick and the heir's begins (idle slots, invalid
+  // heir, open no span).
+  if (spans_ != nullptr) {
+    if (window_span_ != 0) {
+      spans_->end(window_span_, ticks);
+      window_span_ = 0;
+    }
+    if (heir.valid()) {
+      window_span_ = spans_->begin(telemetry::SpanKind::kPartitionWindow,
+                                   ticks, 0, 0, heir.value());
+    }
+  }
+
   // Line 8: restore the heir's execution context -- in this simulation the
   // address space (MMU context); spatial separation switches with it.
   if (next != nullptr) {

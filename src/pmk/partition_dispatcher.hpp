@@ -23,6 +23,7 @@
 #include "hal/mmu.hpp"
 #include "pmk/partition.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/spans.hpp"
 #include "util/types.hpp"
 
 namespace air::pmk {
@@ -64,6 +65,10 @@ class PartitionDispatcher {
     metrics_ = metrics;
   }
 
+  /// Record a partition-window span per context switch: the previous
+  /// window closes and the heir's opens. nullptr = off.
+  void set_spans(telemetry::SpanRecorder* spans) { spans_ = spans; }
+
   /// Algorithm 2 line 9: wired by the module to apply the heir partition's
   /// pending ScheduleChangeAction on its first dispatch after a switch.
   std::function<void(PartitionId)> on_pending_schedule_change_action;
@@ -79,6 +84,8 @@ class PartitionDispatcher {
   std::uint64_t dispatches_{0};
   std::uint64_t switches_{0};
   telemetry::MetricsRegistry* metrics_{nullptr};
+  telemetry::SpanRecorder* spans_{nullptr};
+  telemetry::SpanId window_span_{0};  // open span of the active window
 };
 
 }  // namespace air::pmk

@@ -37,6 +37,15 @@ Module::Module(ModuleConfig config)
         config_.telemetry.flight_recorder_capacity,
         config_.telemetry.flight_recorder_critical_capacity);
   }
+  spans_.enable(config_.telemetry.spans_enabled);
+  spans_.set_origin(static_cast<std::uint32_t>(config_.id.value()));
+  spans_.set_capacity(config_.telemetry.spans_capacity);
+  if (config_.telemetry.spans_enabled && config_.trace_enabled) {
+    // Mirror retirements into the trace as debug kSpan events: the flight
+    // recorder shows span activity in context, and severity routing keeps
+    // the flood away from the critical ring.
+    spans_.set_trace(&trace_);
+  }
   AIR_ASSERT_MSG(!config_.partitions.empty(), "module has no partitions");
 
   // Normalise to the multicore representation: a single-core module is a
@@ -106,10 +115,17 @@ Module::Module(ModuleConfig config)
       core.scheduler.set_metrics(&metrics_);
       core.dispatcher->set_metrics(&metrics_);
     }
+    if (config_.telemetry.spans_enabled) {
+      core.dispatcher->set_spans(&spans_);
+    }
   }
   if (config_.telemetry.metrics_enabled) {
     router_.set_metrics(&metrics_);
     health_.set_metrics(&metrics_);
+  }
+  if (config_.telemetry.spans_enabled) {
+    router_.set_spans(&spans_, [this] { return now(); });
+    health_.set_spans(&spans_);
   }
 
   // Per-partition runtime: PAL (wrapping the POS kernel) + APEX. A
@@ -128,6 +144,10 @@ Module::Module(ModuleConfig config)
     rt.apex = std::make_unique<apex::Apex>(
         id, pcbs_[i], *rt.pal, router_, health_,
         cores_[core_affinity_[i]].scheduler, [this] { return now(); });
+    if (config_.telemetry.spans_enabled) {
+      rt.pal->set_spans(&spans_, static_cast<std::int32_t>(i));
+      rt.apex->set_spans(&spans_);
+    }
     wire_partition(id);
   }
 
@@ -200,6 +220,10 @@ Module::Module(ModuleConfig config)
                                                           ScheduleId old) {
       trace_.record(now(), EventKind::kScheduleSwitch, next.value(),
                     old.value());
+      // Close the switch span SET_MODULE_SCHEDULE opened: the request has
+      // now taken effect at the MTF boundary.
+      const telemetry::SpanId sw = spans_.take_pending_schedule_switch();
+      if (sw != 0) spans_.end(sw, now());
       const pmk::RuntimeSchedule* schedule = scheduler->schedule(next);
       AIR_ASSERT(schedule != nullptr);
       for (auto& pcb : pcbs_) {
@@ -246,6 +270,9 @@ void Module::wire_partition(PartitionId id) {
     if (pos::ProcessControlBlock* pcb = kernel(id).pcb(pid)) {
       ++pcb->deadline_misses;
     }
+    // Attach the root-cause chain while the causal caches still describe
+    // the detection instant (HM recovery below may reset them).
+    build_miss_anomaly(id, pid, deadline, detected_at);
     health_.report(detected_at, hm::ErrorCode::kDeadlineMissed,
                    hm::ErrorLevel::kProcess, id, pid, "deadline missed");
   };
@@ -553,6 +580,14 @@ telemetry::MetricsSnapshot Module::metrics_snapshot() {
     metrics_.set_counter(telemetry::Metric::kMmuTableWalks, -1,
                          mmu.table_walks);
     metrics_.set_counter(telemetry::Metric::kMmuFaults, -1, mmu.faults);
+    if (config_.telemetry.spans_enabled) {
+      metrics_.set_counter(telemetry::Metric::kSpansRecorded, -1,
+                           spans_.recorded_spans());
+      metrics_.set_counter(telemetry::Metric::kSpansDropped, -1,
+                           spans_.dropped_spans());
+      metrics_.set(telemetry::Metric::kSpansOpen, -1,
+                   static_cast<std::int64_t>(spans_.open_count()));
+    }
   }
   return metrics_.snapshot(now());
 }
@@ -610,6 +645,20 @@ std::string Module::status_report() {
   std::snprintf(line, sizeof line, "  hm log entries: %zu\n",
                 health_.log().size());
   out += line;
+  std::snprintf(line, sizeof line,
+                "  warp: stepped=%llu warped=%llu spans=%llu\n",
+                static_cast<unsigned long long>(warp_stats_.stepped_ticks),
+                static_cast<unsigned long long>(warp_stats_.warped_ticks),
+                static_cast<unsigned long long>(warp_stats_.warp_spans));
+  out += line;
+  if (config_.telemetry.spans_enabled) {
+    std::snprintf(line, sizeof line,
+                  "  spans: recorded=%llu dropped=%llu open=%zu anomalies=%zu\n",
+                  static_cast<unsigned long long>(spans_.recorded_spans()),
+                  static_cast<unsigned long long>(spans_.dropped_spans()),
+                  spans_.open_count(), spans_.anomalies().size());
+    out += line;
+  }
   if (metrics_.enabled()) {
     const telemetry::MetricsSnapshot snap = metrics_snapshot();
     std::snprintf(line, sizeof line, "  telemetry: %zu metric series\n",
@@ -660,6 +709,80 @@ void Module::deliver_remote(PartitionId partition, const std::string& port,
                             const ipc::Message& message,
                             ipc::ChannelKind kind) {
   router_.deliver_remote({partition, port}, message, kind);
+}
+
+void Module::build_miss_anomaly(PartitionId id, ProcessId pid, Ticks deadline,
+                                Ticks detected_at) {
+  if (!config_.telemetry.spans_enabled) return;
+  // PAL closed the job span (status kDeadlineMiss) just before invoking this
+  // callback, so the recorder's last_ended cache still points at it. Walk
+  // the causal caches backwards from there; each hop explains why the
+  // previous one happened.
+  telemetry::Anomaly anomaly;
+  anomaly.detected_at = detected_at;
+  anomaly.partition = id.value();
+  anomaly.process = pid.value();
+  anomaly.deadline = deadline;
+
+  const telemetry::Span job = spans_.last_ended(telemetry::SpanKind::kJob);
+  const bool job_matches =
+      job.id != 0 && job.a == id.value() && job.b == pid.value() &&
+      job.status == telemetry::SpanStatus::kDeadlineMiss;
+  anomaly.chain.push_back({"deadline_miss", job_matches ? job.id : 0,
+                           detected_at,
+                           "deadline " + std::to_string(deadline) +
+                               " expired for process " +
+                               std::to_string(pid.value())});
+  if (!job_matches) {
+    spans_.add_anomaly(std::move(anomaly));
+    return;
+  }
+  anomaly.chain.push_back(
+      {"job_released", job.id, job.start,
+       "job released at " + std::to_string(job.start) + " in partition " +
+           std::to_string(id.value())});
+
+  // Was the partition's window closed between release and detection? Then
+  // the miss was (at least partly) a preemption blackout: the partition
+  // could not run while other windows held the processor.
+  const telemetry::Span w = spans_.last_window(id.value());
+  bool causal_link = false;
+  if (w.id != 0 && w.end > job.start && w.end <= detected_at) {
+    causal_link = true;
+    anomaly.chain.push_back(
+        {"window_end_preemption", w.id, w.end,
+         "partition window closed at " + std::to_string(w.end)});
+    if (deadline >= w.end) {
+      anomaly.chain.push_back(
+          {"partition_inactive", 0, detected_at,
+           "deadline expired while the partition was not scheduled"});
+    }
+    // Did a schedule switch take effect in that gap? Then the blackout came
+    // from mode change, and its parent span says who requested it.
+    const telemetry::Span sw =
+        spans_.last_ended(telemetry::SpanKind::kScheduleSwitch);
+    if (sw.id != 0 && sw.end > job.start && sw.end <= detected_at) {
+      anomaly.chain.push_back(
+          {"schedule_switch", sw.id, sw.end,
+           "schedule " + std::to_string(sw.b) + " -> " +
+               std::to_string(sw.a) + " took effect at " +
+               std::to_string(sw.end)});
+      if (sw.parent != 0) {
+        anomaly.chain.push_back(
+            {"requested_by", sw.parent, sw.start,
+             "SET_MODULE_SCHEDULE issued at " + std::to_string(sw.start)});
+      }
+    }
+  }
+  if (!causal_link) {
+    // No external event stole the processor: the job simply ran past its
+    // time capacity inside its own window.
+    anomaly.chain.push_back(
+        {"capacity_overrun", job.id, detected_at,
+         "no preemption between release and miss; job exceeded its time "
+         "capacity"});
+  }
+  spans_.add_anomaly(std::move(anomaly));
 }
 
 }  // namespace air::system

@@ -30,6 +30,7 @@
 #include "system/module_config.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/spans.hpp"
 #include "util/fixed_vector.hpp"
 #include "util/trace.hpp"
 
@@ -104,6 +105,12 @@ class Module {
     return metrics_;
   }
   [[nodiscard]] telemetry::TickProfiler& profiler() { return profiler_; }
+  /// Causal span recorder (windows, jobs, message legs, HM handlers,
+  /// root-cause chains). Export with telemetry::spans_to_json.
+  [[nodiscard]] telemetry::SpanRecorder& spans() { return spans_; }
+  [[nodiscard]] const telemetry::SpanRecorder& spans() const {
+    return spans_;
+  }
 
   /// Deterministic metrics snapshot at the current module time: scrapes the
   /// layer-local totals (PAL deadline counters, POS kernel counters, MMU
@@ -181,11 +188,16 @@ class Module {
   void wire_partition(PartitionId id);
   void apply_pending_change_action(PartitionId id);
   void step_active_partition(PartitionId id, Ticks elapsed);
+  /// Walk the span recorder's causal caches backwards from a just-detected
+  /// deadline miss and attach the root-cause chain (Algorithm 3 hook).
+  void build_miss_anomaly(PartitionId id, ProcessId pid, Ticks deadline,
+                          Ticks detected_at);
 
   ModuleConfig config_;
   util::Trace trace_;
   telemetry::MetricsRegistry metrics_;
   telemetry::TickProfiler profiler_;
+  telemetry::SpanRecorder spans_;
   hal::Machine machine_;
   pmk::SpatialManager spatial_;
   ipc::Router router_;

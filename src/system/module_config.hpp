@@ -110,6 +110,13 @@ struct TelemetryConfig {
   /// Separate retention for critical events (deadline misses, HM reports,
   /// schedule switches) so debug floods cannot evict the evidence.
   std::size_t flight_recorder_critical_capacity{256};
+  /// Causal span layer: windows, jobs, message lifetimes, HM handlers,
+  /// root-cause chains on deadline misses. Deterministic; off = layers hold
+  /// a null recorder pointer and pay nothing.
+  bool spans_enabled{true};
+  /// Retained closed spans. 0 = unbounded; otherwise newest win and
+  /// evictions are counted exactly (SpanRecorder::dropped_spans).
+  std::size_t spans_capacity{0};
 };
 
 struct ModuleConfig {

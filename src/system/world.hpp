@@ -12,7 +12,13 @@ namespace air::system {
 
 class World {
  public:
-  explicit World(net::BusConfig bus_config = {}) : bus_(bus_config) {}
+  explicit World(net::BusConfig bus_config = {}) : bus_(bus_config) {
+    // The bus gets its own recorder (origin 0xFFFF) so transit spans are
+    // deterministically numbered regardless of module count; export it
+    // alongside the per-module streams for cross-module flow stitching.
+    bus_spans_.set_origin(telemetry::SpanRecorder::kBusOrigin);
+    bus_.set_spans(&bus_spans_);
+  }
 
   /// Construct and attach a module. The module's id must be unique.
   Module& add_module(ModuleConfig config);
@@ -22,10 +28,16 @@ class World {
 
   [[nodiscard]] Ticks now() const { return now_; }
   [[nodiscard]] net::Bus& bus() { return bus_; }
+  /// Span recorder for bus transit legs (kMsgBusTransit).
+  [[nodiscard]] telemetry::SpanRecorder& bus_spans() { return bus_spans_; }
+  [[nodiscard]] const telemetry::SpanRecorder& bus_spans() const {
+    return bus_spans_;
+  }
   [[nodiscard]] Module& module(std::size_t index) { return *modules_[index]; }
   [[nodiscard]] std::size_t module_count() const { return modules_.size(); }
 
  private:
+  telemetry::SpanRecorder bus_spans_;
   net::Bus bus_;
   std::vector<std::unique_ptr<Module>> modules_;
   Ticks now_{0};

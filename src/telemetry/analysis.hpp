@@ -1,0 +1,85 @@
+// Post-mortem flight-data analysis (the engine behind tools/air-analyze).
+//
+// Ingests the JSON artifacts a recorded mission leaves behind -- per-module
+// event trace (util::to_json), metrics snapshot (telemetry::to_json) and
+// span export (telemetry::spans_to_json), plus the World bus recorder's
+// spans -- and produces:
+//
+//   * a Chrome Trace Event document: partition windows as duration slices,
+//     jobs as async spans, message legs joined into flow arrows ("s"/"t"/
+//     "f" events keyed by trace id, connected across modules through the
+//     bus), HM handler invocations and schedule switches as instants;
+//   * a plain-text report: per-partition utilisation / window-jitter / job-
+//     slack tables, message-flow connectivity, and an anomaly section that
+//     renders each deadline miss with its root-cause chain;
+//   * gate counters for CI: deadline misses whose root-cause chain is empty
+//     (beyond the first miss of a module, which may lack history).
+//
+// Everything is pure string/JSON transformation -- no filesystem access --
+// so the analyzer is unit-testable; tools/air_analyze.cpp does the file IO.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace air::telemetry {
+
+/// Parsed artifacts of one recorded module.
+struct ModuleArtifacts {
+  std::string name;
+  util::json::Value trace;    // flat event array (util::to_json)
+  util::json::Value metrics;  // metrics snapshot (telemetry::to_json)
+  util::json::Value spans;    // span export (telemetry::spans_to_json)
+};
+
+/// Everything analyze() looks at. Use the add_* helpers to parse raw JSON
+/// text with error reporting; the members stay public for tests that build
+/// documents programmatically.
+struct AnalysisInput {
+  std::vector<ModuleArtifacts> modules;
+  util::json::Value bus_spans;  // span export of the World bus (optional)
+  util::json::Value baseline;   // baseline metrics snapshot (optional)
+  double tick_us{1.0};          // timeline scale: ticks -> microseconds
+
+  /// Parse and append one module's artifacts. Returns false (and sets
+  /// `error` when non-null) on malformed JSON; empty strings are allowed
+  /// and leave the corresponding document null.
+  bool add_module(std::string name, const std::string& trace_json,
+                  const std::string& metrics_json,
+                  const std::string& spans_json, std::string* error = nullptr);
+  bool set_bus_spans(const std::string& spans_json,
+                     std::string* error = nullptr);
+  bool set_baseline(const std::string& metrics_json,
+                    std::string* error = nullptr);
+};
+
+/// One rendered deadline miss (anomaly section of the report).
+struct MissSummary {
+  std::string module;
+  std::int64_t partition{-1};
+  std::int64_t process{-1};
+  std::int64_t detected_at{-1};
+  bool chained{false};  // chain goes beyond the miss link itself
+};
+
+struct AnalysisResult {
+  std::string chrome_trace;  // Chrome Trace Event JSON (timeline + flows)
+  std::string report;        // human-readable analysis report
+  std::vector<MissSummary> misses;
+  int total_misses{0};
+  /// Misses beyond a module's first whose root-cause chain is empty --
+  /// the CI gate fails when this is non-zero.
+  int unchained_misses{0};
+  /// Message flows whose legs span more than one recorder origin (i.e.
+  /// messages that crossed the bus and were stitched back together).
+  int cross_module_flows{0};
+  /// Flows with a receive leg but no send leg (broken context propagation).
+  int broken_flows{0};
+};
+
+[[nodiscard]] AnalysisResult analyze(const AnalysisInput& input);
+
+}  // namespace air::telemetry

@@ -39,6 +39,9 @@ constexpr std::array<MetricInfo, static_cast<std::size_t>(Metric::kCount)>
         {"hm.errors", MetricKind::kCounter},
         {"hm.errors_by_code", MetricKind::kCounter},
         {"hm.actions_by_kind", MetricKind::kCounter},
+        {"telemetry.spans_recorded", MetricKind::kCounter},
+        {"telemetry.spans_dropped", MetricKind::kCounter},
+        {"telemetry.spans_open", MetricKind::kGauge},
     }};
 
 [[nodiscard]] const MetricInfo& info(Metric metric) {

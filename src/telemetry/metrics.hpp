@@ -60,6 +60,10 @@ enum class Metric : std::uint8_t {
   kHmErrors,                      // counter (index = partition)
   kHmErrorsByCode,                // counter (index = hm::ErrorCode)
   kHmActionsByKind,               // counter (index = hm::RecoveryAction)
+  // --- telemetry self-observation (index = -1, module-wide) ---
+  kSpansRecorded,                 // counter: spans closed by the recorder
+  kSpansDropped,                  // counter: closed spans evicted (bounded)
+  kSpansOpen,                     // gauge: spans open at snapshot time
   kCount
 };
 

@@ -1,0 +1,257 @@
+#include "telemetry/spans.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+// Same GCC 12 -Wmaybe-uninitialized false positive as trace_export.cpp
+// (variant move machinery inside json::Value at -O2, GCC PR 105562 family).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace air::telemetry {
+
+std::string_view to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kPartitionWindow: return "partition_window";
+    case SpanKind::kJob: return "job";
+    case SpanKind::kMsgSend: return "msg_send";
+    case SpanKind::kMsgRouterHop: return "msg_router_hop";
+    case SpanKind::kMsgBusTransit: return "msg_bus_transit";
+    case SpanKind::kMsgReceive: return "msg_receive";
+    case SpanKind::kHmHandler: return "hm_handler";
+    case SpanKind::kScheduleSwitch: return "schedule_switch";
+    case SpanKind::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string_view to_string(SpanStatus status) {
+  switch (status) {
+    case SpanStatus::kOpen: return "open";
+    case SpanStatus::kOk: return "ok";
+    case SpanStatus::kDeadlineMiss: return "deadline_miss";
+    case SpanStatus::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool is_message_kind(SpanKind kind) {
+  return kind == SpanKind::kMsgSend || kind == SpanKind::kMsgRouterHop ||
+         kind == SpanKind::kMsgBusTransit || kind == SpanKind::kMsgReceive;
+}
+
+}  // namespace
+
+void SpanRecorder::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ == 0) return;
+  while (closed_.size() > capacity_) {
+    closed_.pop_front();
+    ++dropped_;
+  }
+}
+
+SpanId SpanRecorder::begin(SpanKind kind, Ticks start, SpanId parent,
+                           std::uint64_t trace_id, std::int64_t a,
+                           std::int64_t b, std::int64_t c, std::string label) {
+  if (!enabled_) return 0;
+  Span span;
+  span.id = ((static_cast<std::uint64_t>(origin_) + 1) << 32) | ++seq_;
+  span.parent = parent;
+  // A message span without a flow becomes its own flow root, so every leg
+  // it hands the context to shares one trace id end to end.
+  span.trace_id =
+      (trace_id == 0 && is_message_kind(kind)) ? span.id : trace_id;
+  span.kind = kind;
+  span.start = start;
+  span.a = a;
+  span.b = b;
+  span.c = c;
+  span.label = std::move(label);
+  if (kind == SpanKind::kPartitionWindow) {
+    current_window_[static_cast<std::int32_t>(a)] = span.id;
+  }
+  const SpanId id = span.id;
+  open_.push_back(std::move(span));
+  return id;
+}
+
+void SpanRecorder::annotate(SpanId id, std::int64_t a, std::int64_t b,
+                            std::int64_t c) {
+  if (!enabled_ || id == 0) return;
+  for (Span& span : open_) {
+    if (span.id == id) {
+      span.a = a;
+      span.b = b;
+      span.c = c;
+      return;
+    }
+  }
+}
+
+void SpanRecorder::end(SpanId id, Ticks end, SpanStatus status) {
+  if (!enabled_ || id == 0) return;
+  const auto it = std::find_if(open_.begin(), open_.end(),
+                               [id](const Span& s) { return s.id == id; });
+  if (it == open_.end()) return;
+  Span span = std::move(*it);
+  open_.erase(it);
+  span.end = end;
+  span.status = status;
+  retire(std::move(span));
+}
+
+SpanId SpanRecorder::instant(SpanKind kind, Ticks at, SpanId parent,
+                             std::uint64_t trace_id, std::int64_t a,
+                             std::int64_t b, std::int64_t c,
+                             std::string label) {
+  const SpanId id =
+      begin(kind, at, parent, trace_id, a, b, c, std::move(label));
+  end(id, at, SpanStatus::kOk);
+  return id;
+}
+
+SpanId SpanRecorder::current_window(std::int32_t partition) const {
+  const auto it = current_window_.find(partition);
+  return it != current_window_.end() ? it->second : 0;
+}
+
+Span SpanRecorder::last_window(std::int32_t partition) const {
+  const auto it = last_window_.find(partition);
+  return it != last_window_.end() ? it->second : Span{};
+}
+
+Span SpanRecorder::last_ended(SpanKind kind) const {
+  return last_ended_[static_cast<std::size_t>(kind)];
+}
+
+void SpanRecorder::add_anomaly(Anomaly anomaly) {
+  if (!enabled_) return;
+  anomalies_.push_back(std::move(anomaly));
+}
+
+const Span* SpanRecorder::find_open(SpanId id) const {
+  for (const Span& span : open_) {
+    if (span.id == id) return &span;
+  }
+  return nullptr;
+}
+
+std::vector<Span> SpanRecorder::open_spans() const { return open_; }
+
+void SpanRecorder::clear() {
+  seq_ = 0;
+  open_.clear();
+  closed_.clear();
+  closed_total_ = 0;
+  dropped_ = 0;
+  last_ended_.fill(Span{});
+  current_window_.clear();
+  last_window_.clear();
+  pending_cause_ = 0;
+  pending_switch_ = 0;
+  anomalies_.clear();
+}
+
+void SpanRecorder::retire(Span span) {
+  if (span.kind == SpanKind::kPartitionWindow) {
+    const auto partition = static_cast<std::int32_t>(span.a);
+    const auto it = current_window_.find(partition);
+    if (it != current_window_.end() && it->second == span.id) {
+      current_window_.erase(it);
+    }
+    last_window_[partition] = span;
+  }
+  last_ended_[static_cast<std::size_t>(span.kind)] = span;
+  if (trace_ != nullptr) {
+    trace_->record(span.end, util::EventKind::kSpan,
+                   static_cast<std::int64_t>(span.kind), span.a,
+                   static_cast<std::int64_t>(span.id));
+  }
+  ++closed_total_;
+  closed_.push_back(std::move(span));
+  if (capacity_ != 0 && closed_.size() > capacity_) {
+    closed_.pop_front();
+    ++dropped_;
+  }
+}
+
+namespace {
+
+using util::json::Array;
+using util::json::Object;
+using util::json::Value;
+
+Value span_to_value(const Span& span) {
+  Object row;
+  row["id"] = Value{static_cast<std::int64_t>(span.id)};
+  row["parent"] = Value{static_cast<std::int64_t>(span.parent)};
+  row["trace_id"] = Value{static_cast<std::int64_t>(span.trace_id)};
+  row["kind"] = Value{std::string{to_string(span.kind)}};
+  row["status"] = Value{std::string{to_string(span.status)}};
+  row["start"] = Value{span.start};
+  row["end"] = Value{span.end};
+  row["a"] = Value{span.a};
+  row["b"] = Value{span.b};
+  row["c"] = Value{span.c};
+  if (!span.label.empty()) row["label"] = Value{span.label};
+  return Value{std::move(row)};
+}
+
+Value anomaly_to_value(const Anomaly& anomaly) {
+  Object row;
+  row["detected_at"] = Value{anomaly.detected_at};
+  row["partition"] = Value{static_cast<std::int64_t>(anomaly.partition)};
+  row["process"] = Value{static_cast<std::int64_t>(anomaly.process)};
+  row["deadline"] = Value{anomaly.deadline};
+  Array chain;
+  for (const CauseLink& link : anomaly.chain) {
+    Object step;
+    step["what"] = Value{link.what};
+    step["span"] = Value{static_cast<std::int64_t>(link.span)};
+    step["at"] = Value{link.at};
+    if (!link.detail.empty()) step["detail"] = Value{link.detail};
+    chain.push_back(Value{std::move(step)});
+  }
+  row["chain"] = Value{std::move(chain)};
+  return Value{std::move(row)};
+}
+
+}  // namespace
+
+std::string spans_to_json(const SpanRecorder& spans, int indent) {
+  std::vector<Span> all(spans.closed().begin(), spans.closed().end());
+  const std::vector<Span> open = spans.open_spans();
+  all.insert(all.end(), open.begin(), open.end());
+  // Retirement order depends on when spans close; (start, id) is the stable
+  // causal order the analyzer and the equivalence suites want.
+  std::stable_sort(all.begin(), all.end(), [](const Span& x, const Span& y) {
+    if (x.start != y.start) return x.start < y.start;
+    return x.id < y.id;
+  });
+
+  Object meta;
+  meta["origin"] = Value{static_cast<std::int64_t>(spans.origin())};
+  meta["recorded"] = Value{static_cast<std::int64_t>(spans.recorded_spans())};
+  meta["dropped"] = Value{static_cast<std::int64_t>(spans.dropped_spans())};
+  meta["open"] = Value{static_cast<std::int64_t>(spans.open_count())};
+
+  Array rows;
+  for (const Span& span : all) rows.push_back(span_to_value(span));
+  Array anomalies;
+  for (const Anomaly& anomaly : spans.anomalies()) {
+    anomalies.push_back(anomaly_to_value(anomaly));
+  }
+
+  Object root;
+  root["meta"] = Value{std::move(meta)};
+  root["spans"] = Value{std::move(rows)};
+  root["anomalies"] = Value{std::move(anomalies)};
+  return Value{std::move(root)}.dump(indent);
+}
+
+}  // namespace air::telemetry

@@ -1,0 +1,218 @@
+// Causal span layer (observability).
+//
+// Where the metrics registry answers "how much" and the event trace answers
+// "what happened", spans answer *why*: every partition window, deadline
+// episode (job), interpartition message leg and HM handler invocation is a
+// tick-stamped span with a parent link, and message spans additionally carry
+// a trace id that follows the payload across the router and the simulated
+// bus into other modules of a World (the TraceContext rides inside
+// ipc::Message and bus frames). On a PAL deadline violation the system layer
+// walks the causal links backwards and attaches a structured root-cause
+// chain to the miss ("job preempted by partition window end -> window
+// shrunk by mode switch -> switch requested by ..."), which is what the
+// post-mortem analyzer (tools/air-analyze) renders.
+//
+// Discipline is identical to the metrics registry: layers hold a nullable
+// SpanRecorder* and pay one branch when spans are off; there is no wall
+// clock anywhere, so span streams are byte-identical across runs and with
+// the time warp on or off (every span-generating action happens on a
+// stepped tick -- the warp's quiescence conditions guarantee it).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/trace.hpp"
+#include "util/types.hpp"
+
+namespace air::telemetry {
+
+/// Span identifier: 0 = none. Ids are namespaced by the recorder's origin
+/// ((origin + 1) << 32 | sequence) so spans from different modules of a
+/// World -- and from the World's own bus recorder -- never collide and can
+/// be joined offline by the analyzer.
+using SpanId = std::uint64_t;
+
+enum class SpanKind : std::uint8_t {
+  kPartitionWindow = 0,  // a = partition
+  kJob,                  // a = partition, b = process, c = absolute deadline
+  kMsgSend,              // a = partition, b = port, c = payload bytes
+  kMsgRouterHop,         // a = channel (-1 remote arrival), b = destination
+                         //   count, c = payload bytes
+  kMsgBusTransit,        // a = sending module, b = destination module,
+                         //   c = payload bytes
+  kMsgReceive,           // a = partition, b = port, c = payload bytes
+  kHmHandler,            // a = partition, b = process, c = error code
+  kScheduleSwitch,       // a = new schedule, b = old schedule
+  kCount
+};
+
+[[nodiscard]] std::string_view to_string(SpanKind kind);
+
+enum class SpanStatus : std::uint8_t {
+  kOpen = 0,      // still running
+  kOk,            // completed normally
+  kDeadlineMiss,  // job span retired by Algorithm 3
+  kAborted,       // superseded / torn down (partition reset, lost frame)
+};
+
+[[nodiscard]] std::string_view to_string(SpanStatus status);
+
+struct Span {
+  SpanId id{0};
+  SpanId parent{0};          // causal parent (0 = root)
+  std::uint64_t trace_id{0};  // message flow id (0 = not part of a flow)
+  SpanKind kind{SpanKind::kPartitionWindow};
+  SpanStatus status{SpanStatus::kOpen};
+  Ticks start{0};
+  Ticks end{-1};  // -1 while open
+  std::int64_t a{-1};
+  std::int64_t b{-1};
+  std::int64_t c{-1};
+  std::string label;
+};
+
+/// One step of a root-cause chain. `what` is a token of the chain grammar
+/// (DESIGN.md "Observability"): deadline_miss, job_released,
+/// window_end_preemption, partition_inactive, schedule_switch, requested_by.
+struct CauseLink {
+  std::string what;
+  SpanId span{0};  // causal span the link points at (0 = none recorded)
+  Ticks at{-1};
+  std::string detail;
+};
+
+/// A deadline miss with its root-cause chain, built at detection time by
+/// walking the recorder's causal caches backwards.
+struct Anomaly {
+  Ticks detected_at{0};
+  std::int32_t partition{-1};
+  std::int32_t process{-1};
+  Ticks deadline{-1};
+  std::vector<CauseLink> chain;  // first link is always the miss itself
+};
+
+class SpanRecorder {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Id namespace of this recorder (module id; the World bus recorder uses
+  /// kBusOrigin). Set once, before recording.
+  void set_origin(std::uint32_t origin) { origin_ = origin; }
+  [[nodiscard]] std::uint32_t origin() const { return origin_; }
+
+  /// Reserved origin for the World's bus-transit recorder.
+  static constexpr std::uint32_t kBusOrigin = 0xFFFF;
+
+  /// Bounded mode: retain at most `capacity` closed spans (newest win);
+  /// evictions are counted exactly in dropped_spans(). 0 = unbounded.
+  void set_capacity(std::size_t capacity);
+
+  /// Mirror every span retirement into `trace` as a debug-severity kSpan
+  /// event -- the flight recorder then shows span activity in context (and
+  /// its severity routing keeps such floods out of the critical ring).
+  void set_trace(util::Trace* trace) { trace_ = trace; }
+
+  /// Open a span. Returns 0 when disabled. Message-kind spans passed
+  /// trace_id 0 become their own flow root (trace_id = id).
+  SpanId begin(SpanKind kind, Ticks start, SpanId parent = 0,
+               std::uint64_t trace_id = 0, std::int64_t a = -1,
+               std::int64_t b = -1, std::int64_t c = -1,
+               std::string label = {});
+
+  /// Update the payload of an open span (no-op for unknown/closed ids).
+  void annotate(SpanId id, std::int64_t a, std::int64_t b, std::int64_t c);
+
+  /// Close an open span (no-op for unknown ids -- a span may have been
+  /// retired through another path already).
+  void end(SpanId id, Ticks end, SpanStatus status = SpanStatus::kOk);
+
+  /// Zero-duration span (events that are points on the tick axis).
+  SpanId instant(SpanKind kind, Ticks at, SpanId parent = 0,
+                 std::uint64_t trace_id = 0, std::int64_t a = -1,
+                 std::int64_t b = -1, std::int64_t c = -1,
+                 std::string label = {});
+
+  // --- causal brokerage between layers -------------------------------
+  // Scalar caches maintained by begin()/end() so chain building never has
+  // to look up a span that a bounded recorder may already have evicted.
+
+  /// Open window span of `partition` (0 = partition not in a window).
+  [[nodiscard]] SpanId current_window(std::int32_t partition) const;
+  /// Copy of the last *closed* window span of `partition` (id 0 = none).
+  [[nodiscard]] Span last_window(std::int32_t partition) const;
+  /// Copy of the last span of `kind` that was closed (id 0 = none).
+  [[nodiscard]] Span last_ended(SpanKind kind) const;
+
+  /// One-shot latch: the span that caused the HM report about to be filed
+  /// (set by the PAL immediately before invoking HM_DEADLINEVIOLATED,
+  /// consumed by the Health Monitor when it records its handler span).
+  void set_pending_cause(SpanId id) { pending_cause_ = id; }
+  [[nodiscard]] SpanId take_pending_cause() {
+    const SpanId id = pending_cause_;
+    pending_cause_ = 0;
+    return id;
+  }
+
+  /// The schedule-switch span opened by SET_MODULE_SCHEDULE and closed by
+  /// the scheduler when the switch takes effect at the MTF boundary.
+  void set_pending_schedule_switch(SpanId id) { pending_switch_ = id; }
+  [[nodiscard]] SpanId take_pending_schedule_switch() {
+    const SpanId id = pending_switch_;
+    pending_switch_ = 0;
+    return id;
+  }
+
+  void add_anomaly(Anomaly anomaly);
+  [[nodiscard]] const std::vector<Anomaly>& anomalies() const {
+    return anomalies_;
+  }
+
+  // --- inspection ----------------------------------------------------
+  [[nodiscard]] const Span* find_open(SpanId id) const;
+  /// Retained closed spans, in retirement order.
+  [[nodiscard]] const std::deque<Span>& closed() const { return closed_; }
+  /// Copies of the still-open spans, in opening order.
+  [[nodiscard]] std::vector<Span> open_spans() const;
+
+  /// Spans ever closed (retained + dropped), monotonic.
+  [[nodiscard]] std::uint64_t recorded_spans() const { return closed_total_; }
+  /// Exact count of closed spans evicted in bounded mode.
+  [[nodiscard]] std::uint64_t dropped_spans() const { return dropped_; }
+  [[nodiscard]] std::size_t open_count() const { return open_.size(); }
+
+  void clear();
+
+ private:
+  void retire(Span span);
+
+  bool enabled_{true};
+  std::uint32_t origin_{0};
+  std::uint64_t seq_{0};
+  std::size_t capacity_{0};
+  util::Trace* trace_{nullptr};
+  std::vector<Span> open_;
+  std::deque<Span> closed_;
+  std::uint64_t closed_total_{0};
+  std::uint64_t dropped_{0};
+  std::array<Span, static_cast<std::size_t>(SpanKind::kCount)> last_ended_;
+  std::map<std::int32_t, SpanId> current_window_;
+  std::map<std::int32_t, Span> last_window_;
+  SpanId pending_cause_{0};
+  SpanId pending_switch_{0};
+  std::vector<Anomaly> anomalies_;
+};
+
+/// Deterministic JSON export: {"meta": ..., "spans": [...] (closed + open,
+/// ordered by (start, id)), "anomalies": [...]}. This is the span artifact
+/// tools/air-analyze ingests.
+[[nodiscard]] std::string spans_to_json(const SpanRecorder& spans,
+                                        int indent = 2);
+
+}  // namespace air::telemetry

@@ -25,6 +25,7 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kClockParavirtTrap: return "clock_paravirt_trap";
     case EventKind::kPartitionModeChange: return "partition_mode_change";
     case EventKind::kUser: return "user";
+    case EventKind::kSpan: return "span";
   }
   return "unknown";
 }
@@ -55,6 +56,7 @@ Severity severity(EventKind kind) {
     case EventKind::kProcessStateChange:
     case EventKind::kPortSend:
     case EventKind::kPortReceive:
+    case EventKind::kSpan:
       return Severity::kDebug;
   }
   return Severity::kInfo;

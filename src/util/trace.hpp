@@ -53,6 +53,7 @@ enum class EventKind : std::uint8_t {
   kClockParavirtTrap,   // a = partition (generic POS tried to disable clock)
   kPartitionModeChange, // a = partition, b = new mode
   kUser,                // free-form, used by example applications
+  kSpan,                // a = span kind, b = span payload a, c = span id
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind);

@@ -68,6 +68,16 @@ using ModuleId = Id<ModuleTag>;
 /// numeric values denote *greater* priority.
 using Priority = std::int32_t;
 
+/// Causal trace context carried inside interpartition messages and bus
+/// frames (telemetry span layer). `trace_id` names the message flow;
+/// `parent_span` is the id of the last span the message passed through, so
+/// each hop can parent itself correctly. Zero-initialised = not traced.
+/// Lives here (not in telemetry) so ipc/net need no telemetry dependency.
+struct TraceContext {
+  std::uint64_t trace_id{0};
+  std::uint64_t parent_span{0};
+};
+
 }  // namespace air
 
 template <class Tag, class Rep>

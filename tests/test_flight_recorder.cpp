@@ -6,6 +6,7 @@
 
 #include "config/fig8.hpp"
 #include "system/module.hpp"
+#include "telemetry/spans.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/trace.hpp"
 
@@ -123,6 +124,50 @@ TEST(FlightRecorder, SeverityClassification) {
   EXPECT_EQ(severity(EventKind::kPartitionDispatch), Severity::kInfo);
   EXPECT_EQ(severity(EventKind::kProcessStateChange), Severity::kDebug);
   EXPECT_EQ(severity(EventKind::kPortSend), Severity::kDebug);
+  EXPECT_EQ(severity(EventKind::kSpan), Severity::kDebug)
+      << "span mirror traffic must never enter the critical ring";
+}
+
+// --- span debug traffic vs the flight recorder ---
+
+TEST(FlightRecorder, SpanMirrorFloodDropsExactlyAndSparesCriticalRing) {
+  Trace trace;
+  trace.set_flight_recorder(8, 4);
+  // Two critical events first, then a flood of span retirements mirrored
+  // into the trace as debug events.
+  trace.record(1, EventKind::kDeadlineMiss, 0, 1, 10);
+  trace.record(2, EventKind::kHmError, 0, 1, 0);
+
+  telemetry::SpanRecorder spans;
+  spans.set_trace(&trace);
+  for (Ticks t = 3; t < 503; ++t) {
+    spans.instant(telemetry::SpanKind::kMsgSend, t, 0, 0, 0, 0, 8);
+  }
+  EXPECT_EQ(spans.recorded_spans(), 500u);
+
+  // Exact accounting: 2 critical + 500 debug recorded; the debug ring kept
+  // the newest 8, the critical ring kept both critical events.
+  EXPECT_EQ(trace.recorded_events(), 502u);
+  EXPECT_EQ(trace.dropped_events(), 492u);
+  EXPECT_EQ(trace.dropped_critical_events(), 0u);
+  ASSERT_EQ(trace.filtered(EventKind::kDeadlineMiss).size(), 1u);
+  ASSERT_EQ(trace.filtered(EventKind::kHmError).size(), 1u);
+  const auto mirrored = trace.filtered(EventKind::kSpan);
+  ASSERT_EQ(mirrored.size(), 8u);
+  EXPECT_EQ(mirrored.back().time, 502);
+}
+
+TEST(SpanRecorder, BoundedCapacityEvictsOldestWithExactCount) {
+  telemetry::SpanRecorder spans;
+  spans.set_capacity(4);
+  for (Ticks t = 0; t < 10; ++t) {
+    spans.instant(telemetry::SpanKind::kMsgSend, t, 0, 0, 0, 0, 1);
+  }
+  EXPECT_EQ(spans.recorded_spans(), 10u);
+  EXPECT_EQ(spans.dropped_spans(), 6u);
+  ASSERT_EQ(spans.closed().size(), 4u);
+  EXPECT_EQ(spans.closed().front().start, 6);
+  EXPECT_EQ(spans.closed().back().start, 9);
 }
 
 // --- streaming sinks ---

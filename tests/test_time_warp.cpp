@@ -13,6 +13,7 @@
 #include "system/module.hpp"
 #include "system/world.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/spans.hpp"
 #include "util/rng.hpp"
 #include "util/trace_export.hpp"
 
@@ -59,6 +60,7 @@ struct RunResult {
   std::string trace;
   std::string metrics;
   std::string apex;
+  std::string spans;
   system::Module::WarpStats warp;
 };
 
@@ -71,6 +73,7 @@ RunResult run_mission(system::ModuleConfig config, bool warp, Ticks span) {
   const telemetry::MetricsSnapshot snap = module.metrics_snapshot();
   result.metrics = telemetry::to_json(snap) + "\n" + telemetry::to_csv(snap);
   result.apex = apex_visible_state(module);
+  result.spans = telemetry::spans_to_json(module.spans());
   result.warp = module.warp_stats();
   return result;
 }
@@ -82,6 +85,8 @@ void expect_equivalent(const RunResult& stepped, const RunResult& warped,
       << label << ": metrics snapshots diverge";
   EXPECT_EQ(stepped.apex, warped.apex)
       << label << ": final APEX-visible state diverges";
+  EXPECT_EQ(stepped.spans, warped.spans)
+      << label << ": span streams diverge";
   EXPECT_EQ(stepped.warp.warped_ticks, 0u) << label << ": baseline warped";
   EXPECT_EQ(stepped.warp.stepped_ticks,
             warped.warp.stepped_ticks + warped.warp.warped_ticks)
@@ -140,6 +145,7 @@ TEST(TimeWarp, Fig8MissionWithFaultAndModeSwitchMatches) {
     const telemetry::MetricsSnapshot snap = module.metrics_snapshot();
     result.metrics = telemetry::to_json(snap) + "\n" + telemetry::to_csv(snap);
     result.apex = apex_visible_state(module);
+    result.spans = telemetry::spans_to_json(module.spans());
     result.warp = module.warp_stats();
     return result;
   };
@@ -147,6 +153,10 @@ TEST(TimeWarp, Fig8MissionWithFaultAndModeSwitchMatches) {
   const RunResult warped = mission(true);
   expect_equivalent(stepped, warped, "fig8");
   EXPECT_GT(stepped.trace.size(), 1000u) << "the mission is non-trivial";
+  // The mission produces real span traffic (windows, jobs, messages, the
+  // mode-switch span and miss anomalies), all byte-identical under warp.
+  EXPECT_GT(stepped.spans.size(), 1000u);
+  EXPECT_NE(stepped.spans.find("\"anomalies\""), std::string::npos);
 }
 
 TEST(TimeWarp, Fig8FlightRecorderMatches) {
@@ -278,7 +288,10 @@ TEST(TimeWarp, WorldLockstepWarpMatchesStepped) {
     b.set_time_warp(warp);
     world.run(3 * scenarios::kFig8Mtf);
     return util::to_json(a.trace()) + util::to_json(b.trace()) +
-           apex_visible_state(a) + apex_visible_state(b) + "@" +
+           apex_visible_state(a) + apex_visible_state(b) +
+           telemetry::spans_to_json(a.spans()) +
+           telemetry::spans_to_json(b.spans()) +
+           telemetry::spans_to_json(world.bus_spans()) + "@" +
            std::to_string(world.now());
   };
   EXPECT_EQ(mission(false), mission(true));

@@ -1,0 +1,165 @@
+// air-analyze: post-mortem flight-data analyzer.
+//
+// Loads the artifacts a recording left behind (see tools/air_record.cpp for
+// the manifest format), runs telemetry::analyze() and writes:
+//   <dir>/chrome_trace.json  -- timeline with windows, jobs and message
+//                               flows (open in Perfetto / chrome://tracing)
+//   <dir>/analysis.txt       -- utilisation/jitter/slack tables, flow
+//                               connectivity, anomalies with blame chains
+//
+// Usage:
+//   air-analyze <dir> [--baseline <metrics.json>] [--trace-out <file>]
+//               [--report-out <file>] [--require-cross-module-flow]
+//
+// Exit codes: 0 ok; 1 IO/parse failure; 2 analysis gate failed (a deadline
+// miss beyond the first carries no root-cause chain, or -- with
+// --require-cross-module-flow -- no message flow crossed the bus).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/analysis.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+bool read_file(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "air-analyze: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "air-analyze: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir_arg;
+  std::string baseline_path;
+  std::string trace_out;
+  std::string report_out;
+  bool require_cross_module = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
+      report_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--require-cross-module-flow") == 0) {
+      require_cross_module = true;
+    } else {
+      dir_arg = argv[i];
+    }
+  }
+  if (dir_arg.empty()) {
+    std::fprintf(stderr,
+                 "usage: air-analyze <recording-dir> [--baseline <metrics."
+                 "json>] [--trace-out <file>] [--report-out <file>] "
+                 "[--require-cross-module-flow]\n");
+    return 1;
+  }
+  const std::filesystem::path dir{dir_arg};
+
+  std::string meta_text;
+  if (!read_file(dir / "meta.json", meta_text)) return 1;
+  const air::util::json::ParseResult meta = air::util::json::parse(meta_text);
+  if (!meta.ok()) {
+    std::fprintf(stderr, "air-analyze: meta.json: %s\n",
+                 meta.error->to_string().c_str());
+    return 1;
+  }
+
+  air::telemetry::AnalysisInput input;
+  std::string error;
+  const air::util::json::Value* modules = meta.value->find("modules");
+  if (modules == nullptr || !modules->is_array()) {
+    std::fprintf(stderr, "air-analyze: meta.json lists no modules\n");
+    return 1;
+  }
+  for (const air::util::json::Value& entry : modules->as_array()) {
+    const std::string name = entry.get_string("name", "module");
+    std::string trace_json, metrics_json, spans_json;
+    if (!read_file(dir / entry.get_string("trace", ""), trace_json) ||
+        !read_file(dir / entry.get_string("metrics", ""), metrics_json) ||
+        !read_file(dir / entry.get_string("spans", ""), spans_json)) {
+      return 1;
+    }
+    if (!input.add_module(name, trace_json, metrics_json, spans_json,
+                          &error)) {
+      std::fprintf(stderr, "air-analyze: %s: %s\n", name.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  }
+  const std::string bus_file = meta.value->get_string("bus_spans", "");
+  if (!bus_file.empty()) {
+    std::string bus_json;
+    if (!read_file(dir / bus_file, bus_json)) return 1;
+    if (!input.set_bus_spans(bus_json, &error)) {
+      std::fprintf(stderr, "air-analyze: bus spans: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (!baseline_path.empty()) {
+    std::string baseline_json;
+    if (!read_file(baseline_path, baseline_json)) return 1;
+    if (!input.set_baseline(baseline_json, &error)) {
+      std::fprintf(stderr, "air-analyze: baseline: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  const air::telemetry::AnalysisResult result =
+      air::telemetry::analyze(input);
+  const std::filesystem::path trace_path =
+      trace_out.empty() ? dir / "chrome_trace.json"
+                        : std::filesystem::path{trace_out};
+  const std::filesystem::path report_path =
+      report_out.empty() ? dir / "analysis.txt"
+                         : std::filesystem::path{report_out};
+  if (!write_file(trace_path, result.chrome_trace) ||
+      !write_file(report_path, result.report)) {
+    return 1;
+  }
+  std::fputs(result.report.c_str(), stdout);
+  std::printf("\nwrote %s and %s\n", trace_path.c_str(), report_path.c_str());
+
+  if (result.unchained_misses > 0) {
+    std::fprintf(stderr,
+                 "air-analyze: FAIL: %d deadline miss(es) beyond the first "
+                 "carry no root-cause chain\n",
+                 result.unchained_misses);
+    return 2;
+  }
+  if (require_cross_module && result.cross_module_flows == 0) {
+    std::fprintf(stderr,
+                 "air-analyze: FAIL: no message flow crosses the bus\n");
+    return 2;
+  }
+  if (result.broken_flows > 0) {
+    std::fprintf(stderr,
+                 "air-analyze: FAIL: %d flow(s) have a receive leg with no "
+                 "send leg (broken context propagation)\n",
+                 result.broken_flows);
+    return 2;
+  }
+  return 0;
+}

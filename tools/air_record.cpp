@@ -1,0 +1,161 @@
+// air-record: fly the paper's Fig. 8 prototype mission and write the flight
+// artifacts tools/air-analyze ingests.
+//
+// The mission is the Sect. 6 scenario extended over the TDMA bus: module 0
+// runs the four-partition Fig. 8 prototype (faulty process injected on P1,
+// mode switch chi_1 -> chi_2 at t=500, five MTFs of flight), module 1 is a
+// ground-segment computer whose archiver consumes the payload's science
+// frames remotely -- so the recording contains at least one message flow
+// that crosses the bus.
+//
+// Usage: air-record [--no-warp] [out_dir]    (default out_dir: "flight")
+//
+// Writes per module: <name>_trace.json, <name>_metrics.json,
+// <name>_spans.json; plus bus_spans.json and meta.json (the manifest
+// air-analyze loads).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "config/fig8.hpp"
+#include "system/world.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/spans.hpp"
+#include "util/json.hpp"
+#include "util/trace_export.hpp"
+
+using namespace air;
+
+namespace {
+
+system::ModuleConfig ground_module() {
+  system::ModuleConfig config;
+  config.id = ModuleId{1};
+  config.name = "ground";
+
+  system::PartitionConfig ground;
+  ground.name = "GROUND";
+  ground.queuing_ports.push_back(
+      {"SCI_IN", ipc::PortDirection::kDestination, 64, 16});
+  system::ProcessConfig archiver;
+  archiver.attrs.name = "archiver";
+  archiver.attrs.priority = 10;
+  archiver.attrs.script = pos::ScriptBuilder{}
+                              .queuing_receive(0)
+                              .log("science frame archived")
+                              .build();
+  ground.processes.push_back(std::move(archiver));
+  config.partitions.push_back(std::move(ground));
+
+  model::Schedule schedule;
+  schedule.id = ScheduleId{0};
+  schedule.mtf = scenarios::kFig8Mtf;
+  schedule.requirements = {
+      {PartitionId{0}, scenarios::kFig8Mtf, scenarios::kFig8Mtf}};
+  schedule.windows = {{PartitionId{0}, 0, scenarios::kFig8Mtf}};
+  config.schedules = {schedule};
+  return config;
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "air-record: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool warp = true;
+  std::string out_dir = "flight";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-warp") == 0) {
+      warp = false;
+    } else {
+      out_dir = argv[i];
+    }
+  }
+
+  // Module 0: the Fig. 8 prototype, with the payload's science channel
+  // additionally fanning out to the ground module over the bus.
+  system::ModuleConfig fig8 = scenarios::fig8_config();
+  fig8.id = ModuleId{0};
+  for (ipc::ChannelConfig& channel : fig8.channels) {
+    if (channel.kind == ipc::ChannelKind::kQueuing) {
+      channel.remote_destinations.push_back(
+          {ModuleId{1}, PartitionId{0}, "SCI_IN"});
+    }
+  }
+
+  system::World world(
+      {.slot_length = 10, .frames_per_slot = 2, .propagation_delay = 2});
+  system::Module& prototype = world.add_module(std::move(fig8));
+  system::Module& ground = world.add_module(ground_module());
+  prototype.set_time_warp(warp);
+  ground.set_time_warp(warp);
+
+  // Sect. 6 mission: inject the faulty process on P1, fly 500 ticks under
+  // chi_1, request the switch to chi_2, fly five more major time frames.
+  prototype.start_process_by_name(prototype.partition_id("AOCS"),
+                                  scenarios::kFaultyProcessName);
+  world.run(500);
+  (void)prototype.apex(prototype.partition_id("AOCS"))
+      .set_module_schedule(ScheduleId{1});
+  world.run(5 * scenarios::kFig8Mtf);
+
+  const std::filesystem::path dir{out_dir};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "air-record: cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  util::json::Array modules;
+  for (std::size_t i = 0; i < world.module_count(); ++i) {
+    system::Module& module = world.module(i);
+    const std::string& name = module.config().name;
+    const telemetry::MetricsSnapshot snapshot = module.metrics_snapshot();
+    if (!write_file(dir / (name + "_trace.json"),
+                    util::to_json(module.trace())) ||
+        !write_file(dir / (name + "_metrics.json"),
+                    telemetry::to_json(snapshot)) ||
+        !write_file(dir / (name + "_spans.json"),
+                    telemetry::spans_to_json(module.spans()))) {
+      return 1;
+    }
+    util::json::Object entry;
+    entry["name"] = util::json::Value{name};
+    entry["trace"] = util::json::Value{name + "_trace.json"};
+    entry["metrics"] = util::json::Value{name + "_metrics.json"};
+    entry["spans"] = util::json::Value{name + "_spans.json"};
+    modules.push_back(util::json::Value{std::move(entry)});
+  }
+  if (!write_file(dir / "bus_spans.json",
+                  telemetry::spans_to_json(world.bus_spans()))) {
+    return 1;
+  }
+  util::json::Object meta;
+  meta["mission"] = util::json::Value{"fig8+ground"};
+  meta["modules"] = util::json::Value{std::move(modules)};
+  meta["bus_spans"] = util::json::Value{"bus_spans.json"};
+  if (!write_file(dir / "meta.json", util::json::Value{std::move(meta)}.dump(2))) {
+    return 1;
+  }
+
+  std::printf("%s\n%s\nrecorded %zu+%zu spans (+%zu bus) to %s\n",
+              prototype.status_report().c_str(),
+              ground.status_report().c_str(),
+              static_cast<std::size_t>(prototype.spans().recorded_spans()),
+              static_cast<std::size_t>(ground.spans().recorded_spans()),
+              static_cast<std::size_t>(world.bus_spans().recorded_spans()),
+              dir.c_str());
+  return 0;
+}
