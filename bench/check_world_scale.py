@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CI gate: assert the epoch-parallel World driver scales on multicore.
+
+Reads a Google Benchmark JSON file containing BM_WorldScale_Lockstep/N and
+BM_WorldScale_Parallel/N and fails unless, at N = 8 busy modules, the
+parallel sim_ticks_per_second is at least MIN_SPEEDUP x the lockstep rate.
+
+The parallel driver is byte-identical to lockstep by construction (see
+tests/test_parallel_world.cpp); this gate checks that it is also *faster*
+where it can be. On hosts without real parallelism (the JSON context's
+num_cpus < 4) the speedup is physically unavailable, so the gate reports
+the measured ratio and passes without enforcing it.
+
+Usage: check_world_scale.py BENCH_world_scale.json [min_speedup] [modules]
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    min_speedup = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+    modules = sys.argv[3] if len(sys.argv) > 3 else "8"
+
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+
+    num_cpus = int(data.get("context", {}).get("num_cpus", 0))
+
+    rates = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if bench.get("run_type") == "aggregate":
+            continue
+        for kind in ("Lockstep", "Parallel"):
+            prefix = f"BM_WorldScale_{kind}/"
+            if name.startswith(prefix):
+                arg = name.split("/")[1]
+                rate = bench.get("sim_ticks_per_second")
+                if rate is not None:
+                    key = (kind, arg)
+                    # Keep the best repetition per (kind, module count).
+                    rates[key] = max(rates.get(key, 0.0), float(rate))
+
+    lockstep = rates.get(("Lockstep", modules))
+    parallel = rates.get(("Parallel", modules))
+    if lockstep is None or parallel is None:
+        print(f"error: {path} lacks BM_WorldScale_Lockstep/{modules} or "
+              f"BM_WorldScale_Parallel/{modules} (found: {sorted(rates)})",
+              file=sys.stderr)
+        return 2
+
+    speedup = parallel / lockstep if lockstep > 0 else float("inf")
+    print(f"world scale at {modules} modules (host cpus: {num_cpus}): "
+          f"lockstep {lockstep:.3e}, parallel {parallel:.3e} ticks/sec "
+          f"-> speedup {speedup:.2f}x (gate: >= {min_speedup}x)")
+    if num_cpus < 4:
+        print(f"note: only {num_cpus} cpu(s) available -- parallel speedup "
+              "is physically unavailable here; gate not enforced")
+        return 0
+    if speedup < min_speedup:
+        print("error: parallel world speedup below the gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,43 @@ void Bus::tick(Ticks now) {
   }
 }
 
+std::size_t Bus::pending_total() const {
+  std::size_t total = 0;
+  for (const auto& s : stations_) total += s.tx_queue.size();
+  return total;
+}
+
+Ticks Bus::next_delivery(Ticks now) const {
+  Ticks earliest = kInfiniteTime;
+  if (!in_flight_.empty()) {
+    // FIFO with a fixed propagation delay: the front is the earliest. A
+    // frame already due (deliver_at <= now) is delivered by the next tick.
+    earliest = std::max(in_flight_.front().deliver_at, now);
+  }
+  if (stations_.empty()) return earliest;
+  const auto nstations = static_cast<Ticks>(stations_.size());
+  const Ticks cycle = config_.slot_length * nstations;
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (stations_[i].tx_queue.empty()) continue;
+    // First tick >= now inside station i's slot; transmission there puts
+    // the head frame on the wire, so delivery can follow one propagation
+    // delay later. Frames deeper in the queue only deliver later, so the
+    // head alone yields the lower bound.
+    const Ticks slot_begin =
+        (now / cycle) * cycle + static_cast<Ticks>(i) * config_.slot_length;
+    Ticks transmit;
+    if (now < slot_begin) {
+      transmit = slot_begin;  // slot still ahead in the current cycle
+    } else if (now < slot_begin + config_.slot_length) {
+      transmit = now;  // inside the slot right now
+    } else {
+      transmit = slot_begin + cycle;  // next cycle
+    }
+    earliest = std::min(earliest, transmit + config_.propagation_delay);
+  }
+  return earliest;
+}
+
 Ticks Bus::idle_ticks(Ticks now) const {
   for (const auto& s : stations_) {
     if (!s.tx_queue.empty()) return 0;

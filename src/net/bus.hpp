@@ -59,6 +59,21 @@ class Bus {
   /// bus ticks without missing a transmission or delivery.
   [[nodiscard]] Ticks idle_ticks(Ticks now) const;
 
+  /// Lower bound on the first tick >= `now` at which tick() could deliver a
+  /// frame into a module: the earliest in-flight arrival, or -- for frames
+  /// still queued at a station -- the first tick of the station's next TDMA
+  /// slot plus the propagation delay. kInfiniteTime when nothing is queued
+  /// or in flight. This is the epoch-horizon query of the parallel World
+  /// driver: modules may advance independently past ticks the bus provably
+  /// cannot touch.
+  [[nodiscard]] Ticks next_delivery(Ticks now) const;
+
+  /// Total frames queued for transmission across all stations (in-flight
+  /// frames excluded). Zero means replaying an epoch's bus ticks can skip
+  /// straight to the delivery edge.
+  [[nodiscard]] std::size_t pending_total() const;
+
+  [[nodiscard]] const BusConfig& config() const { return config_; }
   [[nodiscard]] const BusStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pending(ModuleId module) const;
 

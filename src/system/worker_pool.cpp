@@ -1,0 +1,75 @@
+#include "system/worker_pool.hpp"
+
+namespace air::system {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    count_ = count;
+    cursor_.store(0, std::memory_order_relaxed);
+    unfinished_ = threads_.size();
+    ++batch_;
+  }
+  wake_.notify_all();
+  // The caller is a worker too: it claims items alongside the pool, so a
+  // count <= threads batch never leaves the caller idle-waiting on one
+  // straggler it could have run itself.
+  for (std::size_t i = cursor_.fetch_add(1); i < count;
+       i = cursor_.fetch_add(1)) {
+    task(i);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return unfinished_ == 0; });
+  task_ = nullptr;
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return shutdown_ || batch_ != seen; });
+      if (shutdown_) return;
+      seen = batch_;
+      task = task_;
+      count = count_;
+    }
+    for (std::size_t i = cursor_.fetch_add(1); i < count;
+         i = cursor_.fetch_add(1)) {
+      (*task)(i);
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = --unfinished_ == 0;
+    }
+    if (last) done_.notify_one();
+  }
+}
+
+}  // namespace air::system

@@ -1,18 +1,46 @@
 #include "system/world.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "util/assert.hpp"
 
 namespace air::system {
 
+World::~World() = default;
+
 Module& World::add_module(ModuleConfig config) {
   const ModuleId id = config.id;
+  // The bus recorder owns the 0xFFFF origin namespace; a module there would
+  // alias its span ids and break cross-module flow stitching.
+  AIR_ASSERT_MSG(static_cast<std::uint32_t>(id.value()) !=
+                     telemetry::SpanRecorder::kBusOrigin,
+                 "module id collides with the bus span origin");
+  for (const auto& existing : modules_) {
+    AIR_ASSERT_MSG(existing->config().id != id, "duplicate module id");
+  }
   modules_.push_back(std::make_unique<Module>(std::move(config)));
+  staged_.emplace_back();
   Module& module = *modules_.back();
+  // Telemetry state must be module-confined: workers advance modules
+  // concurrently, so no recorder may be shared with the bus (or, by unique
+  // origin above, with any other module).
+  AIR_ASSERT_MSG(module.spans().origin() != bus_spans_.origin(),
+                 "module span recorder aliases the bus recorder");
 
-  module.remote_send = [this, id](const ipc::RemotePortRef& dest,
-                                  const ipc::Message& message,
-                                  ipc::ChannelKind kind) {
-    bus_.send(id, dest, message, kind, now_);
+  // Remote sends are staged, never injected directly: during a parallel
+  // epoch this closure runs on a worker thread, and the per-module queue is
+  // the only state it may write. The driver merges staged frames into the
+  // bus at the barrier in (tick, module attach order), which is exactly the
+  // order direct Bus::send calls had under per-tick lockstep -- TDMA
+  // arbitration and bus span numbering stay independent of the thread
+  // interleaving.
+  const std::size_t index = modules_.size() - 1;
+  module.remote_send = [this, index](const ipc::RemotePortRef& dest,
+                                     const ipc::Message& message,
+                                     ipc::ChannelKind kind) {
+    staged_[index].push_back({modules_[index]->now(), dest, message, kind});
   };
   bus_.attach(id, [&module](PartitionId partition, const std::string& port,
                             const ipc::Message& message,
@@ -22,32 +50,211 @@ Module& World::add_module(ModuleConfig config) {
   return module;
 }
 
+void World::set_workers(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (workers == workers_) return;
+  workers_ = workers;
+  pool_.reset();
+}
+
+Ticks World::epoch_horizon(Ticks limit) const {
+  AIR_ASSERT(limit > 0);
+  Ticks horizon = limit;
+  // Pre-existing traffic: nothing already queued or in flight may arrive
+  // before the epoch's final tick (arrival exactly there is fine -- every
+  // module has completed that tick when the barrier replays the bus, which
+  // is precisely when lockstep would have delivered).
+  const Ticks next = bus_.next_delivery(now_);
+  if (next < kInfiniteTime) horizon = std::min(horizon, next - now_ + 1);
+  // New traffic: a module quiescent for q ticks cannot emit a frame before
+  // now + q, so nothing it sends can arrive before now + q + delay. A busy
+  // module (q = 0) may send on the very next tick.
+  const Ticks delay = bus_.config().propagation_delay;
+  for (const auto& module : modules_) {
+    if (module->stopped()) continue;
+    const Ticks quiet = module->warp_headroom();
+    if (quiet >= kInfiniteTime - delay - 1) continue;  // no constraint
+    horizon = std::min(horizon, quiet + delay + 1);
+  }
+  return horizon > 1 ? horizon : 1;
+}
+
+void World::merge_and_run_bus(Ticks start, Ticks ticks) {
+  bool any_staged = false;
+  for (const auto& queue : staged_) any_staged |= !queue.empty();
+  if (!any_staged && bus_.pending_total() == 0) {
+    // Every earlier tick of the span is provably a no-op (no queued
+    // frames, and the horizon placed the first possible arrival at the
+    // final tick): jump straight to the delivery edge.
+    bus_.tick(start + ticks - 1);
+    return;
+  }
+  std::vector<std::size_t> cursor(staged_.size(), 0);
+  for (Ticks u = start; u < start + ticks; ++u) {
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+      std::vector<StagedFrame>& queue = staged_[i];
+      std::size_t& next = cursor[i];
+      while (next < queue.size() && queue[next].tick == u) {
+        bus_.send(modules_[i]->config().id, queue[next].dest,
+                  queue[next].message, queue[next].kind, u);
+        ++stats_.frames_merged;
+        ++next;
+      }
+    }
+    bus_.tick(u);
+  }
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    AIR_ASSERT_MSG(cursor[i] == staged_[i].size(),
+                   "staged frame timestamped outside its epoch");
+    staged_[i].clear();
+  }
+}
+
 void World::run(Ticks ticks) {
+  if (ticks <= 0) return;
+  if (workers_ > 1 && !pool_) {
+    // The epoch caller claims work alongside the pool, so `workers_` lanes
+    // need one fewer thread.
+    pool_ = std::make_unique<WorkerPool>(workers_ - 1);
+  }
+  const bool pooled =
+      pool_ != nullptr && pool_->thread_count() > 0 && modules_.size() > 1;
+  Ticks done = 0;
+  while (done < ticks) {
+    const Ticks span = epoch_horizon(ticks - done);
+    const Ticks start = now_;
+    std::uint64_t active = 0;
+    for (const auto& module : modules_) active += module->stopped() ? 0 : 1;
+    if (pooled) {
+      const auto task = [this, span](std::size_t i) {
+        modules_[i]->run(span);
+      };
+      pool_->run(modules_.size(), task);
+    } else {
+      for (auto& module : modules_) module->run(span);
+    }
+    merge_and_run_bus(start, span);
+    now_ += span;
+    done += span;
+    ++stats_.epochs;
+    stats_.epoch_ticks += static_cast<std::uint64_t>(span);
+    stats_.module_ticks += active * static_cast<std::uint64_t>(span);
+  }
+}
+
+Ticks World::lockstep_headroom(Ticks limit) {
+  // Fast recheck: whatever forced stepping last tick almost always still
+  // does; while it holds, the scan over every other module is skipped.
+  if (warp_blocker_ != kUnblocked) {
+    if (warp_blocker_ == kBusBlocked) {
+      if (bus_.idle_ticks(now_) == 0) return 0;
+    } else {
+      const Module& module = *modules_[warp_blocker_];
+      if (!module.stopped() &&
+          (!module.time_warp_enabled() || module.warp_headroom() == 0)) {
+        return 0;
+      }
+    }
+    warp_blocker_ = kUnblocked;  // the blocker cleared: full rescan
+  }
+  Ticks n = std::min(limit, bus_.idle_ticks(now_));
+  if (n == 0) {
+    warp_blocker_ = kBusBlocked;
+    return 0;
+  }
+  // A stopped module never changes state again, so it bounds nothing.
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    const Module& module = *modules_[i];
+    if (module.stopped()) continue;
+    if (!module.time_warp_enabled()) {
+      warp_blocker_ = i;
+      return 0;
+    }
+    const Ticks headroom = module.warp_headroom();
+    if (headroom == 0) {
+      warp_blocker_ = i;
+      return 0;
+    }
+    n = std::min(n, headroom);
+  }
+  return n;
+}
+
+void World::run_lockstep(Ticks ticks) {
+  if (ticks <= 0) return;
   Ticks done = 0;
   while (done < ticks) {
     // Lockstep time warp: skip a span only when *every* module is
     // quiescent for it and the bus would neither transmit nor deliver.
-    // A stopped module never changes state again, so it bounds nothing.
-    Ticks n = std::min(ticks - done, bus_.idle_ticks(now_));
-    for (auto& module : modules_) {
-      if (module->stopped()) continue;
-      if (!module->time_warp_enabled()) {
-        n = 0;
-        break;
-      }
-      n = std::min(n, module->warp_headroom());
-    }
+    const Ticks n = lockstep_headroom(ticks - done);
     if (n > 0) {
       for (auto& module : modules_) module->warp_advance(n);
       now_ += n;
       done += n;
+      stats_.lockstep_warped += static_cast<std::uint64_t>(n);
+      ++stats_.lockstep_spans;
       continue;
     }
     for (auto& module : modules_) module->tick_once();
+    // Inject this tick's staged frames in module attach order -- exactly
+    // where the modules' direct Bus::send calls used to land.
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+      for (const StagedFrame& frame : staged_[i]) {
+        bus_.send(modules_[i]->config().id, frame.dest, frame.message,
+                  frame.kind, now_);
+      }
+      staged_[i].clear();
+    }
     bus_.tick(now_);
     ++now_;
     ++done;
+    ++stats_.lockstep_ticks;
   }
+}
+
+std::string World::status_report() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof line, "world t=%lld  modules=%zu  workers=%zu\n",
+                static_cast<long long>(now_), modules_.size(), workers_);
+  out += line;
+  const double mean_epoch =
+      stats_.epochs > 0 ? static_cast<double>(stats_.epoch_ticks) /
+                              static_cast<double>(stats_.epochs)
+                        : 0.0;
+  // Pool feed ratio: module-lane ticks actually offered per worker lane.
+  // 1.0 = every lane busy each epoch; < 1.0 = more workers than runnable
+  // modules. Deterministic by construction (no wall clock in the core).
+  const double utilisation =
+      stats_.epoch_ticks > 0
+          ? static_cast<double>(stats_.module_ticks) /
+                (static_cast<double>(stats_.epoch_ticks) *
+                 static_cast<double>(workers_))
+          : 0.0;
+  std::snprintf(line, sizeof line,
+                "  epochs: %llu (ticks=%llu, mean length=%.1f, "
+                "worker utilisation=%.2f)\n",
+                static_cast<unsigned long long>(stats_.epochs),
+                static_cast<unsigned long long>(stats_.epoch_ticks),
+                mean_epoch, utilisation);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  lockstep: ticks=%llu warped=%llu spans=%llu\n",
+                static_cast<unsigned long long>(stats_.lockstep_ticks),
+                static_cast<unsigned long long>(stats_.lockstep_warped),
+                static_cast<unsigned long long>(stats_.lockstep_spans));
+  out += line;
+  const net::BusStats& bus = bus_.stats();
+  std::snprintf(line, sizeof line,
+                "  bus: sent=%llu delivered=%llu dropped=%llu merged=%llu\n",
+                static_cast<unsigned long long>(bus.frames_sent),
+                static_cast<unsigned long long>(bus.frames_delivered),
+                static_cast<unsigned long long>(bus.frames_dropped),
+                static_cast<unsigned long long>(stats_.frames_merged));
+  out += line;
+  return out;
 }
 
 }  // namespace air::system

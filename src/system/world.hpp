@@ -1,12 +1,31 @@
 // Multi-module world: several AIR modules in lockstep on a shared TDMA bus,
 // for experiments with physically separated (remote) partitions.
+//
+// Two drivers with byte-identical observable behaviour (traces, metrics,
+// spans, APEX-visible state -- enforced by tests/test_parallel_world.cpp):
+//
+//  - run_lockstep(): the reference semantics. Per tick: every module
+//    executes tick_once() in attach order, outbound frames are injected
+//    into the bus, the bus ticks. Quiescent spans are warped in lockstep.
+//
+//  - run(): the epoch driver. Per epoch it computes a safe horizon E (no
+//    bus delivery can land before the epoch's final tick, and no module
+//    can emit a frame that would), advances every module independently by
+//    E ticks -- on the worker pool when set_workers() enabled it -- while
+//    remote sends are staged into per-module queues, then merges the
+//    staged frames into the bus in (tick, module attach order) and replays
+//    the bus across the epoch. Staging keeps TDMA arbitration and bus span
+//    numbering independent of thread interleaving. See DESIGN.md section 8.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/bus.hpp"
 #include "system/module.hpp"
+#include "system/worker_pool.hpp"
 
 namespace air::system {
 
@@ -19,12 +38,41 @@ class World {
     bus_spans_.set_origin(telemetry::SpanRecorder::kBusOrigin);
     bus_.set_spans(&bus_spans_);
   }
+  ~World();
 
   /// Construct and attach a module. The module's id must be unique.
   Module& add_module(ModuleConfig config);
 
-  /// Advance every module and the bus by `ticks` (lockstep).
+  /// Advance every module and the bus by `ticks` (epoch driver; parallel
+  /// across modules when set_workers() gave the pool more than one lane).
   void run(Ticks ticks);
+
+  /// Advance by `ticks` with the reference per-tick lockstep semantics.
+  /// run() is byte-identical to this; tests use it as the oracle.
+  void run_lockstep(Ticks ticks);
+
+  /// Size the worker pool: 1 = in-process epochs (default), N = up to N
+  /// concurrent module lanes, 0 = one lane per hardware thread. Takes
+  /// effect at the next run(); byte-identical output for every setting.
+  void set_workers(std::size_t workers);
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
+  /// Execution accounting for the drivers (deterministic; not part of the
+  /// equivalence contract, exactly like Module::WarpStats).
+  struct Stats {
+    std::uint64_t epochs{0};           // epoch rounds executed by run()
+    std::uint64_t epoch_ticks{0};      // world ticks advanced via epochs
+    std::uint64_t module_ticks{0};     // per-module ticks inside epochs
+    std::uint64_t frames_merged{0};    // staged frames injected at barriers
+    std::uint64_t lockstep_ticks{0};   // per-tick steps in run_lockstep()
+    std::uint64_t lockstep_warped{0};  // lockstep-warped ticks
+    std::uint64_t lockstep_spans{0};   // lockstep warp spans
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// World section of the integrator status report: module count, epoch
+  /// totals, mean epoch length, worker-pool feed ratio.
+  [[nodiscard]] std::string status_report() const;
 
   [[nodiscard]] Ticks now() const { return now_; }
   [[nodiscard]] net::Bus& bus() { return bus_; }
@@ -37,9 +85,42 @@ class World {
   [[nodiscard]] std::size_t module_count() const { return modules_.size(); }
 
  private:
+  /// A remote_send captured during module execution, to be injected into
+  /// the bus at the epoch barrier (or at the end of a lockstep tick).
+  struct StagedFrame {
+    Ticks tick{0};  // module time of the send
+    ipc::RemotePortRef dest;
+    ipc::Message message;
+    ipc::ChannelKind kind{ipc::ChannelKind::kSampling};
+  };
+
+  /// Safe epoch length in [1, limit]: no bus delivery (from in-flight or
+  /// queued frames, nor from anything a module could send this epoch) can
+  /// land before the epoch's final tick.
+  [[nodiscard]] Ticks epoch_horizon(Ticks limit) const;
+
+  /// Inject the staged frames of epoch [start, start + ticks) in (tick,
+  /// module attach order) and replay the bus across the span.
+  void merge_and_run_bus(Ticks start, Ticks ticks);
+
+  /// Lockstep warp span in [0, limit]: > 0 only when every module is
+  /// quiescent for the span and the bus would neither transmit nor
+  /// deliver. Caches the member that forced stepping (module index, or
+  /// kBusBlocked) so steady stepping rechecks one entity instead of
+  /// rescanning every module per tick.
+  [[nodiscard]] Ticks lockstep_headroom(Ticks limit);
+
+  static constexpr std::size_t kUnblocked = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kBusBlocked = static_cast<std::size_t>(-2);
+
   telemetry::SpanRecorder bus_spans_;
   net::Bus bus_;
   std::vector<std::unique_ptr<Module>> modules_;
+  std::vector<std::vector<StagedFrame>> staged_;  // one queue per module
+  std::unique_ptr<WorkerPool> pool_;
+  std::size_t workers_{1};
+  std::size_t warp_blocker_{kUnblocked};
+  Stats stats_;
   Ticks now_{0};
 };
 

@@ -89,6 +89,100 @@ TEST(Bus, UnattachedDestinationCountsAsDropped) {
   EXPECT_EQ(bus.stats().frames_dropped, 1u);
 }
 
+// ---------- idle_ticks / next_delivery edge cases ----------
+// These two queries bound the world-level time warp and the parallel epoch
+// horizon respectively; off-by-one here silently corrupts both drivers.
+
+TEST(Bus, IdleQueriesReportInfinityOnAnIdleBus) {
+  net::Bus bus({.slot_length = 5, .frames_per_slot = 2,
+                .propagation_delay = 3});
+  bus.attach(ModuleId{0}, [](PartitionId, const std::string&,
+                             const ipc::Message&, ipc::ChannelKind) {});
+  bus.attach(ModuleId{1}, [](PartitionId, const std::string&,
+                             const ipc::Message&, ipc::ChannelKind) {});
+  EXPECT_EQ(bus.idle_ticks(0), kInfiniteTime);
+  EXPECT_EQ(bus.next_delivery(0), kInfiniteTime);
+  EXPECT_EQ(bus.pending_total(), 0u);
+  // A tick leaves an idle bus idle.
+  bus.tick(17);
+  EXPECT_EQ(bus.idle_ticks(18), kInfiniteTime);
+  EXPECT_EQ(bus.next_delivery(18), kInfiniteTime);
+}
+
+TEST(Bus, QueuedFrameForDetachedDestinationStillBlocksTheWarp) {
+  // The destination is never attached: the transmission will end in a drop,
+  // but until it happens the bus is NOT idle -- skipping those ticks would
+  // skip the drop (and its stats/span bookkeeping).
+  net::Bus bus({.slot_length = 1, .frames_per_slot = 4,
+                .propagation_delay = 2});
+  bus.attach(ModuleId{0}, [](PartitionId, const std::string&,
+                             const ipc::Message&, ipc::ChannelKind) {});
+  bus.send(ModuleId{0}, {ModuleId{7}, PartitionId{0}, "P"},
+           {"x", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  EXPECT_EQ(bus.idle_ticks(0), 0) << "station has a frame queued";
+  EXPECT_EQ(bus.pending_total(), 1u);
+  EXPECT_EQ(bus.next_delivery(0), 2) << "transmit at 0, arrive at 0+delay";
+  bus.tick(0);  // transmits; now in flight toward a hole
+  EXPECT_EQ(bus.pending_total(), 0u);
+  EXPECT_EQ(bus.idle_ticks(1), 1) << "delivery (the drop) is due at tick 2";
+  bus.tick(1);
+  bus.tick(2);
+  EXPECT_EQ(bus.stats().frames_dropped, 1u);
+  EXPECT_EQ(bus.idle_ticks(3), kInfiniteTime);
+}
+
+TEST(Bus, NextDeliveryHonoursTdmaSlotBoundaries) {
+  // Two stations, slot_length 5 (cycle 10), delay 3. Station 1 owns
+  // [5, 10) of every cycle.
+  net::Bus bus({.slot_length = 5, .frames_per_slot = 1,
+                .propagation_delay = 3});
+  bus.attach(ModuleId{0}, [](PartitionId, const std::string&,
+                             const ipc::Message&, ipc::ChannelKind) {});
+  bus.attach(ModuleId{1}, [](PartitionId, const std::string&,
+                             const ipc::Message&, ipc::ChannelKind) {});
+  bus.send(ModuleId{1}, {ModuleId{0}, PartitionId{0}, "P"},
+           {"x", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  // Before the slot: transmission waits for the slot's first tick.
+  EXPECT_EQ(bus.next_delivery(0), 5 + 3);
+  EXPECT_EQ(bus.next_delivery(4), 5 + 3) << "one tick before the boundary";
+  // Exactly at the boundary and inside the slot: transmit immediately.
+  EXPECT_EQ(bus.next_delivery(5), 5 + 3) << "first tick of the slot";
+  EXPECT_EQ(bus.next_delivery(9), 9 + 3) << "last tick of the slot";
+  // Exactly at the closing boundary: wait a full cycle for the next slot.
+  EXPECT_EQ(bus.next_delivery(10), 15 + 3);
+  EXPECT_EQ(bus.next_delivery(14), 15 + 3);
+  // The bound is conservative and monotone in now, never in the past.
+  EXPECT_GE(bus.next_delivery(100), 100);
+}
+
+TEST(Bus, NextDeliveryCoversInFlightAndQueuedFrames) {
+  net::Bus bus({.slot_length = 1, .frames_per_slot = 1,
+                .propagation_delay = 4});
+  int deliveries = 0;
+  bus.attach(ModuleId{0}, [&](PartitionId, const std::string&,
+                              const ipc::Message&,
+                              ipc::ChannelKind) { ++deliveries; });
+  bus.send(ModuleId{0}, {ModuleId{0}, PartitionId{0}, "a"},
+           {"x", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  bus.send(ModuleId{0}, {ModuleId{0}, PartitionId{0}, "b"},
+           {"x", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  bus.tick(0);  // frame a transmits (1 frame/slot); b stays queued
+  EXPECT_EQ(bus.pending_total(), 1u);
+  // In-flight frame a arrives at 4; queued frame b transmits at 1 and
+  // would arrive at 5: the earlier one is the bound.
+  EXPECT_EQ(bus.next_delivery(1), 4);
+  bus.tick(1);  // b transmits
+  bus.tick(2);
+  bus.tick(3);
+  EXPECT_EQ(bus.next_delivery(4), 4) << "delivery due this very tick";
+  bus.tick(4);
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(bus.next_delivery(5), 5) << "b arrives at 5";
+  bus.tick(5);
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(bus.next_delivery(6), kInfiniteTime);
+}
+
 // ---------- end-to-end: two modules in a World ----------
 
 system::ModuleConfig sender_module() {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "system/world.hpp"
+#include "telemetry/spans.hpp"
+#include "util/trace_export.hpp"
 
 namespace air {
 namespace {
@@ -108,6 +110,46 @@ TEST(WorldExtra, TdmaGivesEveryStationItsShare) {
     EXPECT_EQ(payload, expected);
   }
   EXPECT_GT(world.bus().stats().frames_delivered, 100u);
+}
+
+TEST(WorldExtra, PooledRunMatchesLockstepOnChattyTopology) {
+  // The chatty three-module ring again, driven three ways: per-tick
+  // lockstep, inline epochs and a 4-lane worker pool. The pooled variant is
+  // what the CI ThreadSanitizer job watches for data races in the staging
+  // and barrier protocol.
+  auto fly = [](int mode) {
+    system::World world({.slot_length = 5, .frames_per_slot = 1,
+                         .propagation_delay = 1});
+    for (std::int32_t id : {0, 1, 2}) {
+      ipc::ChannelConfig channel;
+      channel.id = ChannelId{0};
+      channel.kind = ipc::ChannelKind::kSampling;
+      channel.source = {PartitionId{0}, "OUT"};
+      channel.remote_destinations = {
+          {ModuleId{(id + 1) % 3}, PartitionId{0}, "IN"}};
+      world.add_module(simple_module(
+          id, "NODE",
+          ScriptBuilder{}
+              .sampling_write(0, "chatter-" + std::to_string(id))
+              .timed_wait(5)
+              .build(),
+          {{"OUT", ipc::PortDirection::kSource, 32, kInfiniteTime},
+           {"IN", ipc::PortDirection::kDestination, 32, 100}},
+          {channel}));
+    }
+    if (mode == 2) world.set_workers(4);
+    mode == 0 ? world.run_lockstep(600) : world.run(600);
+    std::string out;
+    for (std::size_t m = 0; m < 3; ++m) {
+      out += util::to_json(world.module(m).trace());
+    }
+    out += telemetry::spans_to_json(world.bus_spans());
+    out += std::to_string(world.bus().stats().frames_delivered);
+    return out;
+  };
+  const std::string lockstep = fly(0);
+  EXPECT_EQ(lockstep, fly(1));
+  EXPECT_EQ(lockstep, fly(2));
 }
 
 }  // namespace

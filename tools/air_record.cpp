@@ -150,7 +150,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%s\n%s\nrecorded %zu+%zu spans (+%zu bus) to %s\n",
+  std::printf("%s%s\n%s\nrecorded %zu+%zu spans (+%zu bus) to %s\n",
+              world.status_report().c_str(),
               prototype.status_report().c_str(),
               ground.status_report().c_str(),
               static_cast<std::size_t>(prototype.spans().recorded_spans()),
