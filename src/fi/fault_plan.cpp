@@ -1,0 +1,156 @@
+#include "fi/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace air::fi {
+
+const char* to_string(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kMemoryBitFlip: return "memory_bit_flip";
+    case FaultClass::kRogueWrite: return "rogue_write";
+    case FaultClass::kClockTickDuplicate: return "clock_tick_duplicate";
+    case FaultClass::kSpuriousInterrupt: return "spurious_interrupt";
+    case FaultClass::kProcessOverrun: return "process_overrun";
+    case FaultClass::kProcessStuck: return "process_stuck";
+    case FaultClass::kApplicationError: return "application_error";
+    case FaultClass::kScheduleStorm: return "schedule_storm";
+    case FaultClass::kBusFrameDrop: return "bus_frame_drop";
+    case FaultClass::kBusFrameCorrupt: return "bus_frame_corrupt";
+    case FaultClass::kBusFrameDelay: return "bus_frame_delay";
+  }
+  return "unknown";
+}
+
+bool fault_class_from_string(std::string_view text, FaultClass& out) {
+  for (std::size_t i = 0; i < kFaultClassCount; ++i) {
+    const auto fault = static_cast<FaultClass>(i);
+    if (text == to_string(fault)) {
+      out = fault;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_bus_fault(FaultClass fault) {
+  return fault == FaultClass::kBusFrameDrop ||
+         fault == FaultClass::kBusFrameCorrupt ||
+         fault == FaultClass::kBusFrameDelay;
+}
+
+void FaultPlan::sort() {
+  std::stable_sort(injections.begin(), injections.end(),
+                   [](const Injection& lhs, const Injection& rhs) {
+                     return lhs.tick < rhs.tick;
+                   });
+}
+
+bool FaultPlan::has_class(FaultClass fault) const {
+  return std::any_of(injections.begin(), injections.end(),
+                     [fault](const Injection& in) { return in.fault == fault; });
+}
+
+std::string FaultPlan::to_text() const {
+  std::ostringstream out;
+  out << "# air fault plan v1\n";
+  out << "seed " << seed << "\n";
+  for (const Injection& in : injections) {
+    out << "inject " << in.tick << " " << to_string(in.fault) << " "
+        << in.target << " " << in.a << " " << in.b << "\n";
+  }
+  return out.str();
+}
+
+bool FaultPlan::from_text(const std::string& text, FaultPlan& out) {
+  FaultPlan plan;
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line) || line != "# air fault plan v1") {
+    return false;
+  }
+  while (std::getline(stream, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "seed") {
+      if (!(fields >> plan.seed)) return false;
+    } else if (keyword == "inject") {
+      Injection in;
+      std::string fault_name;
+      if (!(fields >> in.tick >> fault_name >> in.target >> in.a >> in.b)) {
+        return false;
+      }
+      if (!fault_class_from_string(fault_name, in.fault)) return false;
+      plan.injections.push_back(in);
+    } else {
+      return false;
+    }
+  }
+  plan.sort();
+  out = std::move(plan);
+  return true;
+}
+
+FaultPlan generate_plan(const PlanSpec& spec, std::uint64_t seed) {
+  util::Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = seed;
+  if (spec.classes.empty() || spec.max_injections == 0) return plan;
+
+  const std::size_t count =
+      static_cast<std::size_t>(rng.uniform(
+          1, static_cast<std::int64_t>(spec.max_injections)));
+  Ticks tick = spec.first_tick + rng.uniform(0, spec.min_gap);
+  for (std::size_t i = 0; i < count && tick <= spec.horizon; ++i) {
+    Injection in;
+    in.tick = tick;
+    in.fault = spec.classes[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(spec.classes.size()) - 1))];
+    in.target = static_cast<std::int32_t>(
+        rng.uniform(0, std::max(0, spec.partitions - 1)));
+    switch (in.fault) {
+      case FaultClass::kMemoryBitFlip:
+        in.a = rng.uniform(0, 4095);
+        in.b = rng.uniform(0, 7);
+        break;
+      case FaultClass::kRogueWrite:
+        in.a = 0;  // the PMK region base -- the worst allowed target
+        break;
+      case FaultClass::kClockTickDuplicate:
+        in.a = rng.uniform(1, 3);
+        in.target = -1;
+        break;
+      case FaultClass::kSpuriousInterrupt:
+        in.target = -1;
+        break;
+      case FaultClass::kProcessOverrun:
+      case FaultClass::kApplicationError:
+        in.a = rng.uniform(0, 7);  // process index, folded at apply time
+        break;
+      case FaultClass::kProcessStuck:
+        break;
+      case FaultClass::kScheduleStorm:
+        in.a = rng.uniform(0, 1);  // schedule id
+        in.target = -1;
+        break;
+      case FaultClass::kBusFrameDrop:
+      case FaultClass::kBusFrameCorrupt:
+      case FaultClass::kBusFrameDelay:
+        in.a = rng.uniform(
+            0, static_cast<std::int64_t>(spec.bus_seq_window) - 1);
+        in.b = rng.uniform(1, std::max<Ticks>(1, spec.max_bus_delay));
+        in.target = -1;
+        break;
+    }
+    plan.injections.push_back(in);
+    tick += spec.min_gap + rng.uniform(0, spec.min_gap);
+  }
+  plan.sort();
+  return plan;
+}
+
+}  // namespace air::fi

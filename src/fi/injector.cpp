@@ -1,0 +1,238 @@
+#include "fi/injector.hpp"
+
+#include <span>
+
+#include "pmk/spatial.hpp"
+
+namespace air::fi {
+
+namespace {
+
+using util::EventKind;
+
+}  // namespace
+
+Injector::Injector(FaultPlan plan) : plan_(std::move(plan)) {
+  plan_.sort();
+  for (std::size_t i = 0; i < plan_.injections.size(); ++i) {
+    if (!is_bus_fault(plan_.injections[i].fault)) module_events_.push_back(i);
+  }
+}
+
+Ticks Injector::next_event(Ticks now) const {
+  for (std::size_t i = cursor_; i < module_events_.size(); ++i) {
+    const Ticks tick = plan_.injections[module_events_[i]].tick;
+    if (tick > now) return tick;
+  }
+  return kInfiniteTime;
+}
+
+void Injector::on_tick(system::Module& module, Ticks now) {
+  while (cursor_ < module_events_.size()) {
+    const std::size_t index = module_events_[cursor_];
+    const Injection& injection = plan_.injections[index];
+    if (injection.tick > now) break;
+    ++cursor_;
+    InjectionRecord record;
+    record.index = index;
+    record.tick = now;
+    record.fault = injection.fault;
+    record.target = injection.target;
+    apply(module, now, injection, record);
+    // Marker in the module trace: byte-identity checks across execution
+    // drivers then cover the injection instants themselves.
+    module.trace().record(now, EventKind::kUser, injection.target,
+                          static_cast<std::int64_t>(injection.fault),
+                          static_cast<std::int64_t>(index),
+                          std::string{"fi "} + to_string(injection.fault));
+    log_.push_back(std::move(record));
+  }
+}
+
+void Injector::apply(system::Module& module, Ticks now,
+                     const Injection& injection, InjectionRecord& record) {
+  const PartitionId target{injection.target};
+  switch (injection.fault) {
+    case FaultClass::kMemoryBitFlip: {
+      // A radiation-style single-event upset in the target's data section:
+      // lands in physical memory directly, beneath the MMU.
+      const pmk::PartitionSpace* space = module.spatial().space(target);
+      if (space == nullptr) {
+        record.note = "no such partition";
+        return;
+      }
+      const auto bytes =
+          static_cast<std::uint64_t>(space->config.app_data_bytes);
+      const auto addr =
+          space->app_data +
+          static_cast<hal::PhysAddr>(static_cast<std::uint64_t>(injection.a) %
+                                     (bytes == 0 ? 1 : bytes));
+      const std::uint8_t old = module.machine().memory().read_u8(addr);
+      module.machine().memory().write_u8(
+          addr, old ^ static_cast<std::uint8_t>(1u << (injection.b & 7)));
+      record.applied = true;
+      record.note = "flipped one app-data bit";
+      return;
+    }
+    case FaultClass::kRogueWrite: {
+      // Application-level write from the target partition's context to an
+      // address it must not reach (default: the PMK region). Goes through
+      // the simulated MMU: containment means the write faults and the HM is
+      // told; the memory staying untouched is checked by the spatial oracle.
+      const pmk::PartitionSpace* space = module.spatial().space(target);
+      if (space == nullptr) {
+        record.note = "no such partition";
+        return;
+      }
+      hal::Machine& machine = module.machine();
+      const hal::MmuContextId prev = machine.mmu().active_context();
+      if (prev < 0) {
+        record.note = "module not booted";
+        return;
+      }
+      machine.mmu().set_active_context(space->context);
+      const hal::VirtAddr vaddr =
+          injection.a != 0 ? static_cast<hal::VirtAddr>(injection.a)
+                           : pmk::kPmkBase;
+      const std::uint32_t word = 0xFAu;
+      const hal::TranslateResult result = machine.checked_write(
+          vaddr, std::as_bytes(std::span{&word, 1}),
+          hal::ExecLevel::kApplication);
+      machine.mmu().set_active_context(prev);
+      record.applied = true;
+      if (!result.ok()) {
+        // Same escalation path as the executor's OpMemoryAccess fault.
+        module.trace().record(now, EventKind::kSpatialViolation,
+                              injection.target, 0,
+                              static_cast<std::int64_t>(vaddr));
+        module.metrics().add(telemetry::Metric::kSpatialViolations,
+                             injection.target);
+        module.health().report(now, hm::ErrorCode::kMemoryViolation,
+                               hm::ErrorLevel::kProcess, target, ProcessId{0},
+                               "fi: rogue cross-partition write");
+        record.note = "blocked by the MMU";
+      } else {
+        record.note = "write reached memory";  // a containment hole
+      }
+      return;
+    }
+    case FaultClass::kClockTickDuplicate: {
+      // The hardware clock runs ahead (duplicated timer periods). The PAL
+      // surrogate announce derives partition time from the dispatcher, not
+      // from this counter, so temporal containment predicts no effect.
+      module.machine().clock().advance(
+          std::max<Ticks>(1, static_cast<Ticks>(injection.a)));
+      record.applied = true;
+      record.note = "hardware clock ran ahead";
+      return;
+    }
+    case FaultClass::kSpuriousInterrupt: {
+      // A bus interrupt with no transfer behind it; the HM sees a
+      // module-level hardware fault (routed per the module HM table).
+      module.machine().interrupts().raise(hal::IrqLine::kBus);
+      module.health().report(now, hm::ErrorCode::kHardwareFault,
+                             hm::ErrorLevel::kModule, PartitionId::invalid(),
+                             ProcessId::invalid(),
+                             "fi: spurious bus interrupt");
+      record.applied = true;
+      record.note = "raised bus irq";
+      return;
+    }
+    case FaultClass::kProcessOverrun: {
+      // Force an already-expired deadline on one process: the PAL surrogate
+      // announce (Algorithm 3) must detect it at the partition's next
+      // dispatch and report kDeadlineMissed.
+      if (target.value() < 0 ||
+          static_cast<std::size_t>(target.value()) >=
+              module.partition_count()) {
+        record.note = "no such partition";
+        return;
+      }
+      const std::size_t count = module.kernel(target).process_count();
+      if (count == 0) {
+        record.note = "partition has no processes";
+        return;
+      }
+      const ProcessId pid{static_cast<std::int32_t>(
+          static_cast<std::uint64_t>(injection.a) % count)};
+      module.pal(target).register_deadline(pid, now);
+      record.applied = true;
+      record.note = "deadline forced to now";
+      return;
+    }
+    case FaultClass::kProcessStuck: {
+      // Start the dormant CPU hog: it consumes every remaining tick of the
+      // partition's windows. Temporal containment = other partitions keep
+      // their windows untouched.
+      record.applied =
+          module.start_process_by_name(target, Injector::kHogProcessName);
+      record.note = record.applied ? "hog process started"
+                                   : "no hog process configured";
+      return;
+    }
+    case FaultClass::kApplicationError: {
+      if (target.value() < 0 ||
+          static_cast<std::size_t>(target.value()) >=
+              module.partition_count()) {
+        record.note = "no such partition";
+        return;
+      }
+      const std::size_t count = module.kernel(target).process_count();
+      const ProcessId pid{static_cast<std::int32_t>(
+          count == 0 ? 0
+                     : static_cast<std::uint64_t>(injection.a) % count)};
+      module.health().report(now, hm::ErrorCode::kApplicationError,
+                             hm::ErrorLevel::kProcess, target, pid,
+                             "fi: injected application error");
+      record.applied = true;
+      record.note = "reported application error";
+      return;
+    }
+    case FaultClass::kScheduleStorm: {
+      // A schedule-switch request outside any planned mode change; takes
+      // effect at the next MTF boundary (Sect. 4.2), never mid-frame.
+      const ScheduleId schedule{static_cast<std::int32_t>(injection.a)};
+      record.applied = module.scheduler(0).request_schedule(schedule);
+      record.note = record.applied ? "schedule switch requested"
+                                   : "unknown schedule id";
+      return;
+    }
+    case FaultClass::kBusFrameDrop:
+    case FaultClass::kBusFrameCorrupt:
+    case FaultClass::kBusFrameDelay:
+      record.note = "bus fault (handled by BusInjector)";
+      return;
+  }
+}
+
+BusInjector::BusInjector(const FaultPlan& plan) {
+  for (const Injection& in : plan.injections) {
+    if (!is_bus_fault(in.fault)) continue;
+    net::Bus::FaultDecision& decision =
+        decisions_[static_cast<std::uint64_t>(in.a)];
+    switch (in.fault) {
+      case FaultClass::kBusFrameDrop: decision.drop = true; break;
+      case FaultClass::kBusFrameCorrupt: decision.corrupt = true; break;
+      case FaultClass::kBusFrameDelay:
+        decision.extra_delay =
+            std::max<Ticks>(decision.extra_delay,
+                            std::max<Ticks>(1, static_cast<Ticks>(in.b)));
+        break;
+      default: break;
+    }
+  }
+}
+
+void BusInjector::arm(net::Bus& bus) {
+  bus.set_fault_hook([this](std::uint64_t seq, ModuleId,
+                            const ipc::RemotePortRef&) {
+    return decide(seq);
+  });
+}
+
+net::Bus::FaultDecision BusInjector::decide(std::uint64_t seq) const {
+  const auto it = decisions_.find(seq);
+  return it != decisions_.end() ? it->second : net::Bus::FaultDecision{};
+}
+
+}  // namespace air::fi

@@ -1,0 +1,291 @@
+#include "fi/oracles.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "pmk/spatial.hpp"
+
+namespace air::fi {
+
+namespace {
+
+using util::EventKind;
+using util::TraceEvent;
+
+std::uint64_t digest_bytes(std::span<const std::byte> bytes,
+                           std::uint64_t h = 1469598103934665603ULL) {
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t fold_event(std::uint64_t h, const TraceEvent& event) {
+  h = digest64(std::to_string(event.time), h);
+  h = digest64(std::to_string(static_cast<int>(event.kind)), h);
+  h = digest64(std::to_string(event.a), h);
+  h = digest64(std::to_string(event.b), h);
+  h = digest64(std::to_string(event.c), h);
+  h = digest64(event.label, h);
+  return h;
+}
+
+/// Containment-relevant, partition-attributed event kinds. Port traffic is
+/// deliberately excluded: channels are *authorised* coupling, so a target
+/// partition's degraded output legitimately changes what its peers receive.
+bool containment_event(EventKind kind) {
+  switch (kind) {
+    case EventKind::kProcessDispatch:
+    case EventKind::kProcessStateChange:
+    case EventKind::kDeadlineRegistered:
+    case EventKind::kDeadlineRemoved:
+    case EventKind::kDeadlineMiss:
+    case EventKind::kHmError:
+    case EventKind::kHmAction:
+    case EventKind::kPartitionModeChange:
+    case EventKind::kScheduleChangeAction:
+    case EventKind::kSpatialViolation:
+    case EventKind::kClockParavirtTrap:
+    case EventKind::kUser:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t region_digest(system::Module& module, hal::PhysAddr base,
+                            std::size_t bytes) {
+  std::vector<std::byte> buffer(bytes);
+  module.machine().memory().read(base, buffer);
+  return digest_bytes(buffer);
+}
+
+const hm::ErrorReport* find_report(
+    const std::vector<hm::ErrorReport>& log, hm::ErrorCode code,
+    std::int32_t partition, Ticks from, Ticks to) {
+  for (const hm::ErrorReport& report : log) {
+    if (report.code != code) continue;
+    if (report.time < from || report.time > to) continue;
+    const std::int32_t p =
+        report.partition.valid() ? report.partition.value() : -1;
+    if (p != partition) continue;
+    return &report;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ModuleArtifacts collect_artifacts(system::Module& module, Ticks mtf) {
+  ModuleArtifacts art;
+  art.stopped = module.stopped();
+  art.end_time = module.now();
+  art.trace_digest = digest64(module.trace().to_text());
+  art.hm_log = module.health().log();
+  art.pmk_digest = region_digest(module, module.spatial().pmk_region(),
+                                 4096);  // covers the rogue-write target page
+
+  const std::size_t count = module.partition_count();
+  art.partitions.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const PartitionId id{static_cast<std::int32_t>(i)};
+    art.partitions[i].console = module.console(id);
+    art.partitions[i].event_digest = digest64("events");
+    art.partitions[i].window_digest = digest64("windows");
+    if (const pmk::PartitionSpace* space = module.spatial().space(id)) {
+      art.partitions[i].memory_digest =
+          region_digest(module, space->app_data, space->config.app_data_bytes);
+    }
+  }
+
+  for (const TraceEvent& event : module.trace().events()) {
+    if (event.kind == EventKind::kScheduleSwitch) {
+      if (mtf > 0 && event.time % mtf != 0) ++art.misaligned_switches;
+      continue;
+    }
+    const bool window_event = event.kind == EventKind::kPartitionDispatch ||
+                              event.kind == EventKind::kPartitionPreempt;
+    if (!window_event && !containment_event(event.kind)) continue;
+    if (event.a < 0 || static_cast<std::size_t>(event.a) >= count) continue;
+    PartitionArtifacts& partition =
+        art.partitions[static_cast<std::size_t>(event.a)];
+    if (window_event) {
+      partition.window_digest = fold_event(partition.window_digest, event);
+    } else {
+      partition.event_digest = fold_event(partition.event_digest, event);
+      if (event.kind == EventKind::kDeadlineMiss) ++partition.deadline_misses;
+    }
+  }
+  return art;
+}
+
+OracleConfig oracle_config_for(const FaultPlan& plan, Ticks mtf) {
+  OracleConfig config;
+  config.mtf = mtf;
+  for (const Injection& in : plan.injections) {
+    switch (in.fault) {
+      case FaultClass::kMemoryBitFlip:
+      case FaultClass::kRogueWrite:
+      case FaultClass::kProcessOverrun:
+      case FaultClass::kProcessStuck:
+      case FaultClass::kApplicationError:
+        if (in.target >= 0) config.target_partitions.insert(in.target);
+        break;
+      case FaultClass::kScheduleStorm:
+        config.relax_event_identity = true;
+        break;
+      case FaultClass::kBusFrameDrop:
+      case FaultClass::kBusFrameCorrupt:
+      case FaultClass::kBusFrameDelay:
+        config.exclude_remote_modules = true;
+        break;
+      case FaultClass::kClockTickDuplicate:
+      case FaultClass::kSpuriousInterrupt:
+        break;  // module-global, contained without partition-local effects
+    }
+  }
+  return config;
+}
+
+std::vector<Breach> compare_runs(const std::vector<ModuleArtifacts>& reference,
+                                 const std::vector<ModuleArtifacts>& faulted,
+                                 const OracleConfig& config) {
+  std::vector<Breach> breaches;
+  const auto note = [&breaches](std::string oracle, std::string detail) {
+    breaches.push_back({std::move(oracle), std::move(detail)});
+  };
+
+  for (std::size_t m = 0; m < reference.size() && m < faulted.size(); ++m) {
+    const ModuleArtifacts& ref = reference[m];
+    const ModuleArtifacts& fav = faulted[m];
+    const std::string mod = "module " + std::to_string(m);
+
+    // Liveness: the module must survive the plan and lose no time.
+    if (fav.stopped) note("liveness", mod + " stopped");
+    if (fav.end_time != ref.end_time) {
+      note("liveness", mod + " ended at " + std::to_string(fav.end_time) +
+                           " instead of " + std::to_string(ref.end_time));
+    }
+    if (fav.misaligned_switches != 0) {
+      note("temporal", mod + ": " +
+                           std::to_string(fav.misaligned_switches) +
+                           " schedule switch(es) off the MTF boundary");
+    }
+    if (fav.pmk_digest != ref.pmk_digest) {
+      note("spatial", mod + ": PMK memory region changed");
+    }
+
+    if (m > 0 && config.exclude_remote_modules) continue;
+
+    for (std::size_t p = 0;
+         p < ref.partitions.size() && p < fav.partitions.size(); ++p) {
+      if (m == 0 &&
+          config.target_partitions.count(static_cast<std::int32_t>(p)) > 0) {
+        continue;  // the plan's own victim; its state may change
+      }
+      const PartitionArtifacts& refp = ref.partitions[p];
+      const PartitionArtifacts& favp = fav.partitions[p];
+      const std::string where = mod + " partition " + std::to_string(p);
+      if (favp.console != refp.console) {
+        note("spatial", where + ": console output diverged");
+      }
+      if (favp.memory_digest != refp.memory_digest) {
+        note("spatial", where + ": memory content changed");
+      }
+      if (config.relax_event_identity) {
+        // Storms legitimately move windows module-wide; the claim left is
+        // that no healthy partition started missing deadlines.
+        if (favp.deadline_misses != refp.deadline_misses) {
+          note("temporal",
+               where + ": deadline misses " +
+                   std::to_string(favp.deadline_misses) + " vs " +
+                   std::to_string(refp.deadline_misses));
+        }
+        continue;
+      }
+      if (favp.event_digest != refp.event_digest) {
+        note("spatial", where + ": event sequence diverged");
+      }
+      if (favp.window_digest != refp.window_digest) {
+        note("temporal", where + ": partition windows perturbed");
+      }
+    }
+  }
+  return breaches;
+}
+
+std::vector<Breach> check_hm(const std::vector<InjectionRecord>& records,
+                             const ModuleArtifacts& faulted,
+                             const HmExpectations& expect, Ticks mtf) {
+  std::vector<Breach> breaches;
+  const auto note = [&breaches](std::string oracle, std::string detail) {
+    breaches.push_back({std::move(oracle), std::move(detail)});
+  };
+
+  for (const InjectionRecord& record : records) {
+    if (!record.applied) continue;
+    const std::string what = std::string{to_string(record.fault)} + " @" +
+                             std::to_string(record.tick);
+    switch (record.fault) {
+      case FaultClass::kRogueWrite: {
+        if (record.note == "write reached memory") {
+          note("spatial", what + ": cross-partition write was not blocked");
+          break;
+        }
+        const hm::ErrorReport* report =
+            find_report(faulted.hm_log, hm::ErrorCode::kMemoryViolation,
+                        record.target, record.tick, record.tick);
+        if (report == nullptr) {
+          note("hm", what + ": memory violation never reached the HM");
+        } else if (expect.handler_for_process_errors &&
+                   !report->handled_by_error_handler) {
+          note("hm", what + ": error bypassed the partition error handler");
+        }
+        break;
+      }
+      case FaultClass::kApplicationError: {
+        const hm::ErrorReport* report =
+            find_report(faulted.hm_log, hm::ErrorCode::kApplicationError,
+                        record.target, record.tick, record.tick);
+        if (report == nullptr) {
+          note("hm", what + ": application error never reached the HM");
+        } else if (expect.handler_for_process_errors &&
+                   !report->handled_by_error_handler) {
+          note("hm", what + ": error bypassed the partition error handler");
+        }
+        break;
+      }
+      case FaultClass::kSpuriousInterrupt: {
+        const hm::ErrorReport* report =
+            find_report(faulted.hm_log, hm::ErrorCode::kHardwareFault, -1,
+                        record.tick, record.tick);
+        if (report == nullptr) {
+          note("hm", what + ": hardware fault never reached the HM");
+        } else if (report->action_taken !=
+                   expect.spurious_interrupt_action) {
+          note("hm", what + ": module table answered '" +
+                         to_string(report->action_taken) + "' (expected '" +
+                         to_string(expect.spurious_interrupt_action) + "')");
+        }
+        break;
+      }
+      case FaultClass::kProcessOverrun: {
+        // Detection happens at the target's next dispatch (Algorithm 3),
+        // within its next scheduling window -- bounded by two MTFs.
+        const hm::ErrorReport* report =
+            find_report(faulted.hm_log, hm::ErrorCode::kDeadlineMissed,
+                        record.target, record.tick, record.tick + 2 * mtf);
+        if (report == nullptr) {
+          note("hm", what + ": forced deadline miss was never detected");
+        }
+        break;
+      }
+      default:
+        break;  // no HM contract for this class
+    }
+  }
+  return breaches;
+}
+
+}  // namespace air::fi

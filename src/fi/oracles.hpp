@@ -1,0 +1,102 @@
+// System-wide containment oracles.
+//
+// A fault campaign flies every mission twice -- once clean (the reference)
+// and once with the plan armed -- and compares fingerprints of everything a
+// *non-target* partition could observe. The oracles encode the paper's
+// robustness claims:
+//
+//  * spatial: a fault aimed at one partition leaves every other partition's
+//    console output, containment-relevant event sequence and memory content
+//    byte-identical to the fault-free run (and the PMK region untouched);
+//  * temporal: the partition scheduling windows (dispatch/preempt sequence)
+//    of healthy partitions are unperturbed; schedule switches only ever
+//    happen at MTF boundaries (Sect. 4.2);
+//  * hm: every injected error surfaces in the Health Monitor with the
+//    configured routing (process-level errors reach the partition's error
+//    handler, module-level hardware faults take the configured action);
+//  * liveness: the module neither stops nor loses ticks -- it reaches the
+//    same end time as the reference run.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fi/fault_plan.hpp"
+#include "fi/injector.hpp"
+#include "hm/health_monitor.hpp"
+#include "system/module.hpp"
+
+namespace air::fi {
+
+/// Per-partition observation fingerprint.
+struct PartitionArtifacts {
+  std::vector<std::string> console;
+  std::uint64_t event_digest{0};   // containment-relevant trace events
+  std::uint64_t window_digest{0};  // partition dispatch/preempt sequence
+  std::uint64_t memory_digest{0};  // app-data physical memory content
+  std::uint64_t deadline_misses{0};
+};
+
+/// Per-module observation fingerprint, taken after a mission completes.
+struct ModuleArtifacts {
+  bool stopped{false};
+  Ticks end_time{0};
+  std::uint64_t pmk_digest{0};            // PMK region memory content
+  std::uint64_t misaligned_switches{0};   // schedule switches off MTF edges
+  std::uint64_t trace_digest{0};          // full trace text (replay checks)
+  std::vector<PartitionArtifacts> partitions;
+  std::vector<hm::ErrorReport> hm_log;
+};
+
+[[nodiscard]] ModuleArtifacts collect_artifacts(system::Module& module,
+                                                Ticks mtf);
+
+/// One violated containment claim.
+struct Breach {
+  std::string oracle;  // "spatial" | "temporal" | "hm" | "liveness"
+  std::string detail;
+};
+
+/// What the plan authorises to differ from the reference run.
+struct OracleConfig {
+  Ticks mtf{1300};
+  /// Partitions of module 0 the plan targets: their own observables may
+  /// legitimately change; containment is about everyone else.
+  std::set<std::int32_t> target_partitions;
+  /// Plan carries bus faults: downstream modules receive a degraded frame
+  /// stream, so only liveness is asserted for modules > 0.
+  bool exclude_remote_modules{false};
+  /// Plan carries schedule storms: window layout legitimately changes
+  /// module-wide, so event/window identity is replaced by the invariants
+  /// "switches only at MTF boundaries" and "no new deadline misses".
+  bool relax_event_identity{false};
+};
+
+/// Derive the oracle configuration from a plan's injection list.
+[[nodiscard]] OracleConfig oracle_config_for(const FaultPlan& plan, Ticks mtf);
+
+/// Spatial + temporal + liveness: reference vs faulted fingerprints.
+[[nodiscard]] std::vector<Breach> compare_runs(
+    const std::vector<ModuleArtifacts>& reference,
+    const std::vector<ModuleArtifacts>& faulted, const OracleConfig& config);
+
+/// Expected Health-Monitor routing of injected errors (the *stock* policy;
+/// the campaign asserts it even against deliberately weakened configs --
+/// that is how a weakened config is flagged).
+struct HmExpectations {
+  /// Process-level injected errors must reach the partition error handler.
+  bool handler_for_process_errors{true};
+  /// Required module-table response to the spurious-interrupt hardware
+  /// fault (anything harsher kills the module).
+  hm::RecoveryAction spurious_interrupt_action{hm::RecoveryAction::kIgnore};
+};
+
+/// HM oracle: every applied injection with an error-routing contract must
+/// show up in the faulted run's HM log with the expected handling.
+[[nodiscard]] std::vector<Breach> check_hm(
+    const std::vector<InjectionRecord>& records,
+    const ModuleArtifacts& faulted, const HmExpectations& expect, Ticks mtf);
+
+}  // namespace air::fi

@@ -110,6 +110,16 @@ RecoveryAction HealthMonitor::report(Ticks now, ErrorCode code,
     auto it = partition_tables_.find(partition);
     if (it != partition_tables_.end()) table = &it->second;
   }
+  if (escalation_ && level == ErrorLevel::kPartition &&
+      !table->has(code, ErrorLevel::kPartition)) {
+    // No partition-level response configured anywhere: the error exceeds
+    // what the partition's policy can contain, so it is promoted to module
+    // level and the module table decides (ARINC 653 HM dispatch).
+    report.escalated = true;
+    report.level = ErrorLevel::kModule;
+    level = ErrorLevel::kModule;
+    table = &module_table_;
+  }
   const HmTableEntry entry = table->lookup(code, level);
 
   if (count < entry.log_threshold) {

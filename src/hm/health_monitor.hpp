@@ -71,6 +71,13 @@ class HmTable {
            std::uint32_t log_threshold = 1);
   [[nodiscard]] HmTableEntry lookup(ErrorCode code, ErrorLevel level) const;
 
+  /// True when the table has an *explicit* entry for (code, level) --
+  /// lookup() falls back to defaults, has() distinguishes configured
+  /// responses from fallbacks (the escalation rule needs the difference).
+  [[nodiscard]] bool has(ErrorCode code, ErrorLevel level) const {
+    return entries_.find({code, level}) != entries_.end();
+  }
+
   /// Explicitly configured entries (defaults are not listed).
   [[nodiscard]] const std::map<std::pair<ErrorCode, ErrorLevel>,
                                HmTableEntry>&
@@ -92,6 +99,10 @@ struct ErrorReport {
   RecoveryAction action_taken{RecoveryAction::kIgnore};
   bool handled_by_error_handler{false};
   bool deferred_by_threshold{false};
+  /// Partition-level error with no configured partition-level response:
+  /// promoted to module level and decided by the module table (`level` then
+  /// reads kModule -- the level the error was *handled* at).
+  bool escalated{false};
 };
 
 class HealthMonitor {
@@ -99,6 +110,14 @@ class HealthMonitor {
   /// Integration-time configuration.
   void set_module_table(HmTable table) { module_table_ = std::move(table); }
   void set_partition_table(PartitionId partition, HmTable table);
+
+  /// Escalation rule (ARINC 653 HM dispatch, Sect. 2.4): a partition-level
+  /// error for which neither the partition's nor the module's table holds a
+  /// partition-level entry is promoted to module level and decided there.
+  /// Off by default (raw monitors keep the contained partition-level
+  /// fallback); the system layer enables it for integrated modules.
+  void set_escalation(bool on) { escalation_ = on; }
+  [[nodiscard]] bool escalation() const { return escalation_; }
 
   /// Report an error. Returns the action that was carried out.
   RecoveryAction report(Ticks now, ErrorCode code, ErrorLevel level,
@@ -140,6 +159,7 @@ class HealthMonitor {
   void note(const ErrorReport& report);
   void note_span(const ErrorReport& report);
 
+  bool escalation_{false};
   HmTable module_table_;
   std::map<PartitionId, HmTable> partition_tables_;
   std::map<std::pair<PartitionId, ErrorCode>, std::uint32_t> occurrence_;

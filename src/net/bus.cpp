@@ -72,7 +72,40 @@ void Bus::tick(Ticks now) {
        i < config_.frames_per_slot && !owner.tx_queue.empty(); ++i) {
     Frame frame = std::move(owner.tx_queue.front());
     owner.tx_queue.pop_front();
-    in_flight_.push_back({std::move(frame), now + config_.propagation_delay});
+    Ticks deliver_at = now + config_.propagation_delay;
+    if (fault_hook_) {
+      const FaultDecision fault =
+          fault_hook_(transmit_seq_++, owner.module, frame.dest);
+      if (fault.drop) {
+        ++stats_.frames_fault_dropped;
+        if (spans_ != nullptr && frame.span != 0) {
+          spans_->end(frame.span, now, telemetry::SpanStatus::kAborted);
+        }
+        continue;
+      }
+      if (fault.corrupt && !frame.message.payload.empty()) {
+        // Flip every bit of the first payload byte. The routing metadata
+        // and the trace context are physically separate (frame header) and
+        // stay intact -- the fault is a payload upset, not a misroute.
+        frame.message.payload[0] =
+            static_cast<char>(~frame.message.payload[0]);
+        ++stats_.frames_fault_corrupted;
+      }
+      if (fault.extra_delay > 0) {
+        deliver_at += fault.extra_delay;
+        ++stats_.frames_fault_delayed;
+      }
+    } else {
+      ++transmit_seq_;
+    }
+    // Keep in_flight_ sorted by deliver_at (stable): the delivery loop and
+    // next_delivery() rely on the front being the earliest. Without fault
+    // delays every insert lands at the back (monotonic deliver_at).
+    auto at = in_flight_.end();
+    while (at != in_flight_.begin() && (at - 1)->deliver_at > deliver_at) {
+      --at;
+    }
+    in_flight_.insert(at, {std::move(frame), deliver_at});
   }
 }
 

@@ -30,6 +30,10 @@ struct BusStats {
   std::uint64_t frames_delivered{0};
   std::uint64_t frames_dropped{0};  // destination module not attached
   Ticks total_latency{0};           // sum over delivered frames (queue+prop)
+  // Fault-injection outcomes (src/fi): applied at the transmit point.
+  std::uint64_t frames_fault_dropped{0};
+  std::uint64_t frames_fault_corrupted{0};
+  std::uint64_t frames_fault_delayed{0};
 };
 
 class Bus {
@@ -81,6 +85,29 @@ class Bus {
   /// delivery/drop) in the World's bus recorder. nullptr = off.
   void set_spans(telemetry::SpanRecorder* spans) { spans_ = spans; }
 
+  // --- fault injection (src/fi) ---
+
+  /// What a fault hook may do to one frame at its transmit instant. The
+  /// payload is corrupted (never the routing or the trace context), and
+  /// extra delay postpones arrival -- later frames with shorter paths then
+  /// overtake it, which is how frame *reordering* is modelled.
+  struct FaultDecision {
+    bool drop{false};
+    bool corrupt{false};
+    Ticks extra_delay{0};
+  };
+
+  /// Consulted when the TDMA slot owner moves a frame onto the wire.
+  /// `transmit_seq` is the 0-based count of transmissions so far -- a
+  /// deterministic key that is identical under lockstep and the parallel
+  /// epoch driver (frames reach the transmit point in merged (tick,
+  /// attach-order)).
+  using FaultHook = std::function<FaultDecision(
+      std::uint64_t transmit_seq, ModuleId from, const ipc::RemotePortRef&)>;
+
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  [[nodiscard]] std::uint64_t transmit_seq() const { return transmit_seq_; }
+
  private:
   struct Frame {
     ipc::RemotePortRef dest;
@@ -103,9 +130,11 @@ class Bus {
 
   BusConfig config_;
   std::vector<Station> stations_;
-  std::deque<InFlight> in_flight_;
+  std::deque<InFlight> in_flight_;  // sorted by deliver_at (stable)
   BusStats stats_;
   telemetry::SpanRecorder* spans_{nullptr};
+  FaultHook fault_hook_;
+  std::uint64_t transmit_seq_{0};
 };
 
 }  // namespace air::net

@@ -175,7 +175,10 @@ Module::Module(ModuleConfig config)
     if (remote_send) remote_send(dest, message, kind);
   };
 
-  // Health Monitor policy tables and mechanisms.
+  // Health Monitor policy tables and mechanisms. Integrated modules use the
+  // full ARINC 653 dispatch: partition-level errors without a configured
+  // partition-level response escalate to module level.
+  health_.set_escalation(true);
   health_.set_module_table(config_.module_hm_table);
   for (std::size_t i = 0; i < config_.partitions.size(); ++i) {
     health_.set_partition_table(PartitionId{static_cast<std::int32_t>(i)},
@@ -448,6 +451,12 @@ void Module::tick_once() {
     // then run the partition's heir process for this tick.
     step_active_partition(d.active, d.elapsed);
   }
+
+  // Tick hook last: injected effects become visible from the next tick on,
+  // exactly like an asynchronous fault landing between two timer periods.
+  // warp_headroom() consults the hook's next_event(), so hooked ticks are
+  // always stepped -- never folded into a warp span.
+  if (tick_hook_ != nullptr && !stopped_) tick_hook_->on_tick(*this, now());
 }
 
 void Module::step_active_partition(PartitionId id, Ticks elapsed) {

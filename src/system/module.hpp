@@ -36,6 +36,24 @@
 
 namespace air::system {
 
+class Module;
+
+/// Per-tick observation/injection hook (fault injection, instrumentation).
+/// The module invokes on_tick() at the end of every *stepped* tick, and the
+/// time-warp engine bounds its fast-forward spans by next_event() so a hook
+/// never misses a tick it declared interesting -- which is what makes a
+/// hook's effects byte-identical under per-tick, warped, lockstep and
+/// parallel World execution.
+class TickHook {
+ public:
+  virtual ~TickHook() = default;
+  /// Earliest tick strictly greater than `now` that must be stepped (the
+  /// hook will act on it). kInfiniteTime = no constraint.
+  [[nodiscard]] virtual Ticks next_event(Ticks now) const = 0;
+  /// Invoked at the end of each stepped tick (module not stopped).
+  virtual void on_tick(Module& module, Ticks now) = 0;
+};
+
 class Module {
  public:
   explicit Module(ModuleConfig config);
@@ -96,6 +114,11 @@ class Module {
     return t < 0 ? 0 : t;
   }
   [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Install (or clear, with nullptr) the per-tick hook. Borrowed pointer;
+  /// the caller keeps ownership and must outlive the module's runs.
+  void set_tick_hook(TickHook* hook) { tick_hook_ = hook; }
+  [[nodiscard]] TickHook* tick_hook() const { return tick_hook_; }
 
   // --- component access ---
   [[nodiscard]] util::Trace& trace() { return trace_; }
@@ -209,6 +232,7 @@ class Module {
   bool stopped_{false};
   bool time_warp_{true};
   WarpStats warp_stats_;
+  TickHook* tick_hook_{nullptr};
 };
 
 }  // namespace air::system

@@ -63,6 +63,11 @@ Ticks Module::warp_headroom() const {
     next_event = std::min(next_event, p.next_attention_tick());
   }
 
+  // A tick hook (fault injector) must observe its event ticks stepped.
+  if (tick_hook_ != nullptr) {
+    next_event = std::min(next_event, tick_hook_->next_event(t));
+  }
+
   // Ticks t+1 .. next_event-1 are boring; the event tick itself is stepped.
   const Ticks headroom = next_event - t - 1;
   return headroom > 0 ? headroom : 0;

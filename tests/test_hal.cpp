@@ -144,6 +144,41 @@ TEST_F(MmuTest, UnmapRevokesAccess) {
                   .ok());
 }
 
+TEST_F(MmuTest, RemapInvalidatesCachedTranslation) {
+  mmu_.set_active_context(ctx_a_);
+  const auto before = mmu_.translate(0x0040'0123, AccessType::kRead,
+                                     ExecLevel::kApplication);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(*before.paddr, 0x1123u);
+  // Remap the page onto a different frame: the TLB entry caching the old
+  // frame must not survive, or the partition would keep touching freed
+  // memory.
+  mmu_.map(ctx_a_, 0x0040'0000, 0x9000, Mmu::kPageSize,
+           LevelRights::uniform(AccessRights::rw()));
+  const auto after = mmu_.translate(0x0040'0123, AccessType::kRead,
+                                    ExecLevel::kApplication);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after.paddr, 0x9123u) << "stale TLB entry served after remap";
+}
+
+TEST_F(MmuTest, RightsDowngradeTakesEffectImmediately) {
+  mmu_.set_active_context(ctx_a_);
+  ASSERT_TRUE(mmu_.translate(0x0040'0000, AccessType::kWrite,
+                             ExecLevel::kApplication)
+                  .ok());
+  // Downgrade the live page to read-only; the cached rw translation must
+  // not keep authorising writes.
+  mmu_.map(ctx_a_, 0x0040'0000, 0x1000, Mmu::kPageSize,
+           LevelRights::uniform(AccessRights::ro()));
+  const auto w = mmu_.translate(0x0040'0000, AccessType::kWrite,
+                                ExecLevel::kApplication);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.fault.kind, MmuFault::Kind::kProtection);
+  EXPECT_TRUE(mmu_.translate(0x0040'0000, AccessType::kRead,
+                             ExecLevel::kApplication)
+                  .ok());
+}
+
 TEST(Machine, CheckedAccessCrossesPages) {
   Machine machine(1 << 20);
   const MmuContextId ctx = machine.mmu().create_context();
@@ -184,6 +219,42 @@ TEST(Machine, TickRaisesTimerInterrupt) {
   EXPECT_TRUE(machine.interrupts().take(IrqLine::kTimer));
   EXPECT_FALSE(machine.interrupts().take(IrqLine::kTimer))
       << "interrupt is consumed by take()";
+}
+
+TEST(InterruptController, MaskedLineLatchesUntilReenabled) {
+  InterruptController irq;
+  irq.enable(IrqLine::kBus, false);
+  irq.raise(IrqLine::kBus);
+  EXPECT_FALSE(irq.take(IrqLine::kBus)) << "masked line delivers nothing";
+  irq.enable(IrqLine::kBus, true);
+  EXPECT_TRUE(irq.take(IrqLine::kBus))
+      << "pending state latched across the masked interval";
+  EXPECT_FALSE(irq.take(IrqLine::kBus));
+}
+
+TEST(InterruptController, ReRaiseWhileMaskedCollapsesToOneDelivery) {
+  InterruptController irq;
+  irq.enable(IrqLine::kBus, false);
+  irq.raise(IrqLine::kBus);
+  irq.raise(IrqLine::kBus);
+  irq.raise(IrqLine::kBus);
+  irq.enable(IrqLine::kBus, true);
+  EXPECT_TRUE(irq.take(IrqLine::kBus));
+  EXPECT_FALSE(irq.take(IrqLine::kBus))
+      << "a pending line is a level, not a counter";
+}
+
+TEST(InterruptController, MaskingOneLineDoesNotAffectOthers) {
+  Machine machine(1 << 16);
+  auto& irq = machine.interrupts();
+  irq.enable(IrqLine::kBus, false);
+  machine.tick();  // raises the timer line
+  irq.raise(IrqLine::kBus);
+  EXPECT_TRUE(irq.take(IrqLine::kTimer))
+      << "timer delivery is independent of the bus mask";
+  EXPECT_FALSE(irq.take(IrqLine::kBus));
+  irq.enable(IrqLine::kBus, true);
+  EXPECT_TRUE(irq.take(IrqLine::kBus));
 }
 
 }  // namespace

@@ -198,5 +198,57 @@ TEST(HmIntegration, LogThresholdDefersPartitionRestart) {
   EXPECT_TRUE(log[3].deferred_by_threshold) << "fresh life, fresh counting";
 }
 
+TEST(HmIntegration, UnconfiguredPartitionErrorEscalatesToModuleLevel) {
+  auto config = base_config();
+  config.partitions[0].processes.push_back(
+      proc("idle", ScriptBuilder{}.timed_wait(100).build()));
+  // Module-level routing exists for the code, partition-level does not:
+  // per the ARINC 653 HM dispatch the error exceeds the partition policy
+  // and must be decided by the module table.
+  config.module_hm_table.set(hm::ErrorCode::kConfigError,
+                             hm::ErrorLevel::kModule,
+                             hm::RecoveryAction::kStopModule);
+  system::Module module(std::move(config));
+  module.run(3);
+  module.health().report(module.now(), hm::ErrorCode::kConfigError,
+                         hm::ErrorLevel::kPartition, PartitionId{0},
+                         ProcessId::invalid(), "unroutable partition error");
+  const auto& log = module.health().log();
+  ASSERT_FALSE(log.empty());
+  const hm::ErrorReport& report = log.back();
+  EXPECT_TRUE(report.escalated);
+  EXPECT_EQ(report.level, hm::ErrorLevel::kModule)
+      << "the report carries the level the error was handled at";
+  EXPECT_EQ(report.action_taken, hm::RecoveryAction::kStopModule);
+  EXPECT_TRUE(module.stopped());
+}
+
+TEST(HmIntegration, ConfiguredPartitionErrorStaysAtPartitionLevel) {
+  auto config = base_config();
+  config.partitions[0].processes.push_back(
+      proc("boot_logger",
+           ScriptBuilder{}.log("partition up").timed_wait(100).build()));
+  // An explicit partition-level response suppresses the escalation.
+  config.partitions[0].hm_table.set(hm::ErrorCode::kConfigError,
+                                    hm::ErrorLevel::kPartition,
+                                    hm::RecoveryAction::kWarmRestartPartition);
+  system::Module module(std::move(config));
+  const PartitionId main = module.partition_id("MAIN");
+  module.run(3);
+  module.health().report(module.now(), hm::ErrorCode::kConfigError,
+                         hm::ErrorLevel::kPartition, main,
+                         ProcessId::invalid(), "contained partition error");
+  const auto& log = module.health().log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_FALSE(log.back().escalated);
+  EXPECT_EQ(log.back().level, hm::ErrorLevel::kPartition);
+  EXPECT_EQ(log.back().action_taken,
+            hm::RecoveryAction::kWarmRestartPartition);
+  EXPECT_FALSE(module.stopped());
+  module.run(3);
+  EXPECT_EQ(module.console(main).size(), 2u)
+      << "partition restarted (boot log of the new life), module survived";
+}
+
 }  // namespace
 }  // namespace air
