@@ -14,6 +14,8 @@
 //   4  metrics + flight recorder + tick profiler + streaming sink
 //   5  metrics + spans, trace off (span layer alone)
 //   6  metrics + flight recorder + spans (span mirror feeds the rings)
+//   7  metrics + online plane, trace off (windowed digests + watchdogs;
+//      bench/check_online_overhead.py gates mode 7 within 10% of mode 1)
 #include <benchmark/benchmark.h>
 
 #include "config/fig8.hpp"
@@ -41,8 +43,9 @@ void BM_TelemetryTick_Fig8(benchmark::State& state) {
   config.telemetry.flight_recorder_capacity =
       mode == 3 || mode == 4 || mode == 6 ? 4096 : 0;
   config.telemetry.profiler_enabled = mode == 4;
-  config.telemetry.spans_enabled = mode >= 5;
-  config.telemetry.spans_capacity = mode >= 5 ? 4096 : 0;
+  config.telemetry.spans_enabled = mode == 5 || mode == 6;
+  config.telemetry.spans_capacity = mode == 5 || mode == 6 ? 4096 : 0;
+  config.telemetry.online.enabled = mode == 7;
 
   system::Module module(std::move(config));
   NullSink sink;
@@ -53,13 +56,17 @@ void BM_TelemetryTick_Fig8(benchmark::State& state) {
   }
   state.counters["sim_ticks_per_second"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
-  if (mode >= 5) {
+  if (mode == 5 || mode == 6) {
     state.counters["spans_recorded"] = benchmark::Counter(
         static_cast<double>(module.spans().recorded_spans()));
   }
+  if (mode == 7 && module.online() != nullptr) {
+    state.counters["windows_closed"] = benchmark::Counter(
+        static_cast<double>(module.online()->windows_closed()));
+  }
   if (mode == 4) module.remove_trace_sink(&sink);
 }
-BENCHMARK(BM_TelemetryTick_Fig8)->DenseRange(0, 6);
+BENCHMARK(BM_TelemetryTick_Fig8)->DenseRange(0, 7);
 
 // Microcosts: one registry operation, enabled vs disabled, and one
 // snapshot of a populated registry.

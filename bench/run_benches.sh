@@ -10,6 +10,18 @@ build_dir=${1:?usage: run_benches.sh <build-dir> [out-dir] [extra args...]}
 out_dir=${2:-.}
 shift $(( $# >= 2 ? 2 : 1 ))
 
+# Numbers from an unoptimised tree are not a perf trajectory: stamp every
+# BENCH_*.json with the tree's actual CMAKE_BUILD_TYPE and warn loudly when
+# it is anything but Release (empty = default flags, i.e. no -O level).
+build_type=""
+if [[ -f "$build_dir/CMakeCache.txt" ]]; then
+  build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")
+fi
+if [[ "$build_type" != "Release" ]]; then
+  echo "WARNING: bench tree '$build_dir' has CMAKE_BUILD_TYPE='${build_type:-<unset>}'" >&2
+  echo "WARNING: numbers below are NOT comparable to Release baselines" >&2
+fi
+
 mkdir -p "$out_dir"
 found=0
 for bin in "$build_dir"/bench/bench_*; do
@@ -26,6 +38,19 @@ for bin in "$build_dir"/bench/bench_*; do
   fi
   # Sanity: the file must exist and be parseable JSON-ish (non-empty).
   [[ -s "$out" ]] || { echo "error: $out is empty" >&2; exit 1; }
+  # Stamp the build type into the document (top-level key), so a stray
+  # debug-tree run is self-incriminating instead of silently polluting the
+  # perf trajectory.
+  python3 - "$out" "$build_type" <<'EOF'
+import json, sys
+path, build_type = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+doc["cmake_build_type"] = build_type or "unset"
+with open(path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+EOF
   found=1
 done
 

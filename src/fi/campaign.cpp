@@ -76,6 +76,9 @@ MissionArtifacts fly_mission(const CampaignOptions& options,
   system::Module& prototype = world.add_module(std::move(fig8));
   system::Module& ground = world.add_module(campaign_ground_config());
   world.set_workers(options.workers);
+  // Bus plane with the same window as the module planes, so bus digests and
+  // module digests close on the same boundaries.
+  world.enable_online(prototype.config().telemetry.online);
 
   Injector injector(plan != nullptr ? *plan : FaultPlan{});
   BusInjector bus_injector(plan != nullptr ? *plan : FaultPlan{});
@@ -119,6 +122,8 @@ std::vector<Breach> breaches_for(const CampaignOptions& options,
   const std::vector<Breach> hm = check_hm(
       faulted.records, faulted.modules.front(), HmExpectations{}, kFig8Mtf);
   breaches.insert(breaches.end(), hm.begin(), hm.end());
+  const std::vector<Breach> wd = check_watchdogs(reference, faulted.modules);
+  breaches.insert(breaches.end(), wd.begin(), wd.end());
   if (faulted_out != nullptr) *faulted_out = std::move(faulted);
   return breaches;
 }
@@ -168,6 +173,14 @@ system::ModuleConfig campaign_fig8_config(bool weaken_hm) {
                                hm::ErrorLevel::kModule,
                                hm::RecoveryAction::kIgnore);
   }
+
+  // Every campaign mission flies with the online observability plane: the
+  // watchdog oracle asserts silence on clean flights and detection under
+  // faulted ones. 650 divides the Fig. 8 MTF (1300), so whole-MTF missions
+  // close their last window exactly at the final tick -- every deferred
+  // detection lands inside a closed window.
+  config.telemetry.online.enabled = true;
+  config.telemetry.online.window = 650;
   return config;
 }
 
@@ -197,6 +210,8 @@ system::ModuleConfig campaign_ground_config() {
   schedule.requirements = {{PartitionId{0}, kFig8Mtf, kFig8Mtf}};
   schedule.windows = {{PartitionId{0}, 0, kFig8Mtf}};
   config.schedules = {schedule};
+  config.telemetry.online.enabled = true;
+  config.telemetry.online.window = 650;
   return config;
 }
 
@@ -322,6 +337,52 @@ SeedResult run_seed(const CampaignOptions& options, std::uint64_t seed) {
   }
   result.report = report.str();
   return result;
+}
+
+std::vector<Breach> watchdog_selftest() {
+  std::vector<Breach> failures;
+  const auto fail = [&failures](std::string detail) {
+    failures.push_back({"selftest", std::move(detail)});
+  };
+
+  CampaignOptions options;
+  options.mtfs = 2;  // two major frames: inject in the first, detect early
+  FaultPlan plan;
+  plan.seed = 0;
+  plan.injections.push_back(
+      {/*tick=*/73, FaultClass::kProcessOverrun, /*target=*/0, /*a=*/0,
+       /*b=*/0});
+
+  const MissionArtifacts reference = fly_mission(options, false, nullptr);
+  const MissionArtifacts faulted = fly_mission(options, false, &plan);
+  const ModuleArtifacts& ref = reference.modules.front();
+  const ModuleArtifacts& fav = faulted.modules.front();
+
+  if (!ref.online_enabled || !fav.online_enabled) {
+    fail("campaign config flew without the online plane");
+    return failures;
+  }
+  if (ref.watchdog_breaches != 0) {
+    fail("clean flight raised " + std::to_string(ref.watchdog_breaches) +
+         " health event(s); watchdog thresholds are miscalibrated");
+  }
+  const telemetry::HealthEvent* deadline_event = nullptr;
+  for (const telemetry::HealthEvent& event : fav.health) {
+    if (event.kind == telemetry::Watchdog::kDeadlineMissRate &&
+        event.partition == 0) {
+      deadline_event = &event;
+      break;
+    }
+  }
+  if (deadline_event == nullptr) {
+    fail("forced deadline miss on partition 0 but no deadline watchdog "
+         "fired (" +
+         std::to_string(fav.health.size()) + " health event(s) total)");
+  } else if (deadline_event->cause == 0) {
+    fail("deadline watchdog fired without a causal span: breach is not "
+         "linked to the root-cause chain");
+  }
+  return failures;
 }
 
 CampaignResult run_campaign(const CampaignOptions& options) {

@@ -92,4 +92,11 @@ struct CampaignResult {
 
 [[nodiscard]] CampaignResult run_campaign(const CampaignOptions& options);
 
+/// End-to-end self-test of the online watchdog path: a clean Fig. 8 flight
+/// must raise zero health events, and a single forced deadline miss
+/// (kProcessOverrun) must light the deadline watchdog on exactly the target
+/// partition, causally linked (HealthEvent::cause != 0) to the root-cause
+/// chain of the miss. Returns the failures; empty = the detectors detect.
+[[nodiscard]] std::vector<Breach> watchdog_selftest();
+
 }  // namespace air::fi

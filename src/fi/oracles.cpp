@@ -85,6 +85,11 @@ ModuleArtifacts collect_artifacts(system::Module& module, Ticks mtf) {
   art.hm_log = module.health().log();
   art.pmk_digest = region_digest(module, module.spatial().pmk_region(),
                                  4096);  // covers the rogue-write target page
+  if (const telemetry::OnlinePlane* plane = module.online()) {
+    art.online_enabled = true;
+    art.watchdog_breaches = plane->breaches();
+    art.health = plane->events();
+  }
 
   const std::size_t count = module.partition_count();
   art.partitions.resize(count);
@@ -283,6 +288,63 @@ std::vector<Breach> check_hm(const std::vector<InjectionRecord>& records,
       }
       default:
         break;  // no HM contract for this class
+    }
+  }
+  return breaches;
+}
+
+std::vector<Breach> check_watchdogs(
+    const std::vector<ModuleArtifacts>& reference,
+    const std::vector<ModuleArtifacts>& faulted) {
+  std::vector<Breach> breaches;
+  const auto note = [&breaches](std::string detail) {
+    breaches.push_back({"watchdog", std::move(detail)});
+  };
+
+  for (std::size_t m = 0; m < reference.size(); ++m) {
+    const ModuleArtifacts& ref = reference[m];
+    if (!ref.online_enabled) continue;
+    // Silence: a clean flight that trips an SLO watchdog means either a
+    // miscalibrated threshold or a genuine timing debt -- both are campaign
+    // findings, not noise to average away.
+    if (ref.watchdog_breaches != 0) {
+      std::string detail = "module " + std::to_string(m) + ": clean flight " +
+                           "raised " + std::to_string(ref.watchdog_breaches) +
+                           " health event(s)";
+      if (!ref.health.empty()) {
+        detail += ", first " +
+                  std::string{telemetry::to_string(ref.health.front().kind)} +
+                  " @" + std::to_string(ref.health.front().tick);
+      }
+      note(std::move(detail));
+    }
+  }
+
+  // Completeness, on the injected module only (module 0 hosts the plan):
+  // every partition that started missing deadlines under the plan must be
+  // named by a deadline watchdog fire. A stopped module may have died before
+  // its next window boundary, so the claim only holds for survivors.
+  if (!faulted.empty() && !reference.empty()) {
+    const ModuleArtifacts& fav = faulted[0];
+    const ModuleArtifacts& ref = reference[0];
+    if (fav.online_enabled && !fav.stopped) {
+      const std::size_t count =
+          std::min(fav.partitions.size(), ref.partitions.size());
+      for (std::size_t p = 0; p < count; ++p) {
+        if (fav.partitions[p].deadline_misses <=
+            ref.partitions[p].deadline_misses) {
+          continue;
+        }
+        const auto named = [&fav, p](const telemetry::HealthEvent& event) {
+          return event.kind == telemetry::Watchdog::kDeadlineMissRate &&
+                 event.partition == static_cast<std::int32_t>(p);
+        };
+        if (std::none_of(fav.health.begin(), fav.health.end(), named)) {
+          note("module 0 partition " + std::to_string(p) +
+               " missed deadlines under the plan but no deadline watchdog "
+               "fired");
+        }
+      }
     }
   }
   return breaches;

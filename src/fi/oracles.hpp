@@ -48,6 +48,10 @@ struct ModuleArtifacts {
   std::uint64_t trace_digest{0};          // full trace text (replay checks)
   std::vector<PartitionArtifacts> partitions;
   std::vector<hm::ErrorReport> hm_log;
+  // Online observability plane (when the flown config enabled it).
+  bool online_enabled{false};
+  std::uint64_t watchdog_breaches{0};
+  std::vector<telemetry::HealthEvent> health;
 };
 
 [[nodiscard]] ModuleArtifacts collect_artifacts(system::Module& module,
@@ -98,5 +102,16 @@ struct HmExpectations {
 [[nodiscard]] std::vector<Breach> check_hm(
     const std::vector<InjectionRecord>& records,
     const ModuleArtifacts& faulted, const HmExpectations& expect, Ticks mtf);
+
+/// Watchdog oracle, for missions flown with the online plane enabled:
+///  * silence -- a clean reference flight must raise zero HealthEvents
+///    (any fire there means a miscalibrated threshold or a real SLO debt);
+///  * completeness -- every partition of module 0 that started missing
+///    deadlines under the plan must be named by a kDeadlineMissRate
+///    HealthEvent of the faulted run (the detectors detect).
+/// No-op for artifacts collected without the plane.
+[[nodiscard]] std::vector<Breach> check_watchdogs(
+    const std::vector<ModuleArtifacts>& reference,
+    const std::vector<ModuleArtifacts>& faulted);
 
 }  // namespace air::fi

@@ -36,7 +36,17 @@ void Bus::send(ModuleId from, const ipc::RemotePortRef& dest,
     frame.message.ctx.parent_span = frame.span;
   }
   s->tx_queue.push_back(std::move(frame));
+  ++s->sent;
   ++stats_.frames_sent;
+}
+
+std::vector<StationStats> Bus::station_stats() const {
+  std::vector<StationStats> out;
+  out.reserve(stations_.size());
+  for (const auto& s : stations_) {
+    out.push_back({s.module, s.sent, s.delivered, s.tx_queue.size()});
+  }
+  return out;
 }
 
 void Bus::tick(Ticks now) {
@@ -54,6 +64,7 @@ void Bus::tick(Ticks now) {
     }
     stats_.total_latency += now - flight.frame.enqueued_at;
     ++stats_.frames_delivered;
+    ++dest->delivered;
     if (spans_ != nullptr && flight.frame.span != 0) {
       spans_->end(flight.frame.span, now);
     }

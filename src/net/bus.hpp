@@ -25,6 +25,15 @@ struct BusConfig {
   Ticks propagation_delay{1};   // ticks from transmission to delivery
 };
 
+/// Per-station ("virtual link") counters, in attach order. Sampled by the
+/// World's online bus plane at digest-window boundaries.
+struct StationStats {
+  ModuleId module;
+  std::uint64_t frames_sent{0};       // enqueued by this station
+  std::uint64_t frames_delivered{0};  // delivered *into* this station
+  std::size_t backlog{0};             // tx queue depth at sampling time
+};
+
 struct BusStats {
   std::uint64_t frames_sent{0};
   std::uint64_t frames_delivered{0};
@@ -80,6 +89,8 @@ class Bus {
   [[nodiscard]] const BusConfig& config() const { return config_; }
   [[nodiscard]] const BusStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pending(ModuleId module) const;
+  /// Cumulative per-station counters, in attach order.
+  [[nodiscard]] std::vector<StationStats> station_stats() const;
 
   /// Record a transit span per traced frame (open at send, closed at
   /// delivery/drop) in the World's bus recorder. nullptr = off.
@@ -124,6 +135,8 @@ class Bus {
     ModuleId module;
     DeliverFn deliver;
     std::deque<Frame> tx_queue;
+    std::uint64_t sent{0};       // frames enqueued here
+    std::uint64_t delivered{0};  // frames delivered into this station
   };
 
   [[nodiscard]] Station* station(ModuleId module);

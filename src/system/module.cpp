@@ -46,6 +46,12 @@ Module::Module(ModuleConfig config)
     // the flood away from the critical ring.
     spans_.set_trace(&trace_);
   }
+  if (config_.telemetry.online.enabled && config_.telemetry.metrics_enabled) {
+    online_ = std::make_unique<telemetry::OnlinePlane>(
+        config_.telemetry.online, config_.name, config_.partitions.size());
+    if (config_.trace_enabled) online_->set_trace(&trace_);
+    if (config_.telemetry.spans_enabled) online_->set_spans(&spans_);
+  }
   AIR_ASSERT_MSG(!config_.partitions.empty(), "module has no partitions");
 
   // Normalise to the multicore representation: a single-core module is a
@@ -452,6 +458,14 @@ void Module::tick_once() {
     step_active_partition(d.active, d.elapsed);
   }
 
+  // Observability window boundary: close after this tick's detections (a
+  // miss detected on the boundary tick lands in the window it belongs to).
+  // warp_headroom() bounds spans by next_close_tick(), so boundary ticks
+  // are always stepped -- in every execution mode.
+  if (online_ != nullptr && !stopped_ && now() == online_->next_close_tick()) {
+    online_->close_window(now(), build_online_sample());
+  }
+
   // Tick hook last: injected effects become visible from the next tick on,
   // exactly like an asynchronous fault landing between two timer periods.
   // warp_headroom() consults the hook's next_event(), so hooked ticks are
@@ -601,6 +615,36 @@ telemetry::MetricsSnapshot Module::metrics_snapshot() {
   return metrics_.snapshot(now());
 }
 
+telemetry::OnlineSample Module::build_online_sample() const {
+  telemetry::OnlineSample sample;
+  sample.partitions.resize(partitions_.size());
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const auto index = static_cast<std::int32_t>(i);
+    telemetry::OnlinePartitionSample& ps = sample.partitions[i];
+    const pmk::PartitionControlBlock& pcb = pcbs_[i];
+    ps.busy_ticks = static_cast<std::uint64_t>(pcb.busy_ticks);
+    ps.slack_ticks = static_cast<std::uint64_t>(pcb.slack_ticks);
+    const pal::Pal& p = *partitions_[i].pal;
+    ps.deadline_checks = p.deadline_checks();
+    ps.deadline_misses = p.violations_detected();
+    ps.dispatches = p.kernel().dispatch_count();
+    ps.hm_errors =
+        metrics_.counter_value(telemetry::Metric::kHmErrors, index);
+    if (const telemetry::Histogram* slack =
+            metrics_.histogram(telemetry::Metric::kDeadlineSlack, index)) {
+      ps.deadline_slack = *slack;
+    }
+  }
+  sample.ipc_messages =
+      metrics_.counter_total(telemetry::Metric::kIpcMessages);
+  sample.ipc_bytes = metrics_.counter_total(telemetry::Metric::kIpcBytes);
+  sample.ipc_drops = metrics_.counter_total(telemetry::Metric::kIpcDrops);
+  sample.spans_dropped = spans_.dropped_spans();
+  sample.trace_dropped = trace_.dropped_events();
+  sample.trace_dropped_critical = trace_.dropped_critical_events();
+  return sample;
+}
+
 bool Module::start_process_by_name(PartitionId id, std::string_view name) {
   apex::Apex& a = apex(id);
   ProcessId pid;
@@ -668,6 +712,17 @@ std::string Module::status_report() {
                   spans_.open_count(), spans_.anomalies().size());
     out += line;
   }
+  if (config_.trace_enabled) {
+    std::snprintf(
+        line, sizeof line,
+        "  trace: recorded=%llu dropped=%llu dropped_critical=%llu%s\n",
+        static_cast<unsigned long long>(trace_.recorded_events()),
+        static_cast<unsigned long long>(trace_.dropped_events()),
+        static_cast<unsigned long long>(trace_.dropped_critical_events()),
+        trace_.flight_recorder() ? " [flight recorder]" : "");
+    out += line;
+  }
+  if (online_ != nullptr) out += online_->summary_line();
   if (metrics_.enabled()) {
     const telemetry::MetricsSnapshot snap = metrics_snapshot();
     std::snprintf(line, sizeof line, "  telemetry: %zu metric series\n",

@@ -29,6 +29,7 @@
 #include "pmk/spatial.hpp"
 #include "system/module_config.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/online.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/spans.hpp"
 #include "util/fixed_vector.hpp"
@@ -140,6 +141,14 @@ class Module {
   /// statistics) into the registry, then returns the ordered sample set.
   [[nodiscard]] telemetry::MetricsSnapshot metrics_snapshot();
 
+  /// In-flight observability plane (nullptr when config.telemetry.online
+  /// is disabled). Digests close on deterministic tick boundaries in every
+  /// execution mode; see telemetry/online.hpp.
+  [[nodiscard]] telemetry::OnlinePlane* online() { return online_.get(); }
+  [[nodiscard]] const telemetry::OnlinePlane* online() const {
+    return online_.get();
+  }
+
   /// Register/remove a streaming observer of trace events (vitral console,
   /// online monitors, tests). Sinks fire synchronously inside record().
   void add_trace_sink(util::TraceSink* sink) { trace_.add_sink(sink); }
@@ -215,12 +224,17 @@ class Module {
   /// deadline miss and attach the root-cause chain (Algorithm 3 hook).
   void build_miss_anomaly(PartitionId id, ProcessId pid, Ticks deadline,
                           Ticks detected_at);
+  /// Cumulative totals for the online plane at the end of the current tick
+  /// (direct layer/registry reads -- cheaper and snapshot-neutral, so
+  /// metrics snapshots stay byte-identical with the plane on or off).
+  [[nodiscard]] telemetry::OnlineSample build_online_sample() const;
 
   ModuleConfig config_;
   util::Trace trace_;
   telemetry::MetricsRegistry metrics_;
   telemetry::TickProfiler profiler_;
   telemetry::SpanRecorder spans_;
+  std::unique_ptr<telemetry::OnlinePlane> online_;
   hal::Machine machine_;
   pmk::SpatialManager spatial_;
   ipc::Router router_;

@@ -19,6 +19,7 @@
 #include "pmk/partition.hpp"
 #include "pmk/spatial.hpp"
 #include "pos/process.hpp"
+#include "telemetry/online.hpp"
 
 namespace air::system {
 
@@ -117,6 +118,10 @@ struct TelemetryConfig {
   /// Retained closed spans. 0 = unbounded; otherwise newest win and
   /// evictions are counted exactly (SpanRecorder::dropped_spans).
   std::size_t spans_capacity{0};
+  /// In-flight observability plane: windowed digests + online SLO
+  /// watchdogs (src/telemetry/online.hpp). Off by default; requires
+  /// metrics_enabled (the digests sample the registry).
+  telemetry::OnlineOptions online;
 };
 
 struct ModuleConfig {

@@ -68,6 +68,13 @@ Ticks Module::warp_headroom() const {
     next_event = std::min(next_event, tick_hook_->next_event(t));
   }
 
+  // The online plane closes a digest window at the end of its boundary
+  // tick; that tick must be stepped so every execution mode samples the
+  // same cumulative totals at the same instant.
+  if (online_ != nullptr) {
+    next_event = std::min(next_event, online_->next_close_tick());
+  }
+
   // Ticks t+1 .. next_event-1 are boring; the event tick itself is stepped.
   const Ticks headroom = next_event - t - 1;
   return headroom > 0 ? headroom : 0;

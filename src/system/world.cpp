@@ -50,6 +50,31 @@ Module& World::add_module(ModuleConfig config) {
   return module;
 }
 
+void World::enable_online(telemetry::OnlineOptions options) {
+  AIR_ASSERT_MSG(now_ == 0, "enable the bus plane before the first run");
+  bus_plane_ = std::make_unique<telemetry::BusPlane>(options, "bus");
+  bus_plane_->set_spans(&bus_spans_);
+}
+
+telemetry::BusSample World::sample_bus() const {
+  telemetry::BusSample sample;
+  const net::BusStats& stats = bus_.stats();
+  sample.frames_sent = stats.frames_sent;
+  sample.frames_delivered = stats.frames_delivered;
+  sample.backlog = bus_.pending_total();
+  sample.spans_dropped = bus_spans_.dropped_spans();
+  sample.stations.reserve(modules_.size());
+  for (const net::StationStats& s : bus_.station_stats()) {
+    telemetry::StationWindow w;
+    w.module = s.module.value();
+    w.frames_sent = static_cast<std::int64_t>(s.frames_sent);
+    w.frames_delivered = static_cast<std::int64_t>(s.frames_delivered);
+    w.backlog = static_cast<std::int64_t>(s.backlog);
+    sample.stations.push_back(w);
+  }
+  return sample;
+}
+
 void World::set_workers(std::size_t workers) {
   if (workers == 0) {
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -87,8 +112,16 @@ void World::merge_and_run_bus(Ticks start, Ticks ticks) {
   if (!any_staged && bus_.pending_total() == 0) {
     // Every earlier tick of the span is provably a no-op (no queued
     // frames, and the horizon placed the first possible arrival at the
-    // final tick): jump straight to the delivery edge.
+    // final tick): jump straight to the delivery edge. Digest boundaries
+    // inside the skipped prefix close with the frozen pre-delivery stats,
+    // exactly what per-tick replay would have sampled there.
+    if (bus_plane_ != nullptr && ticks > 1) {
+      bus_plane_->close_through(start + ticks - 2, sample_bus());
+    }
     bus_.tick(start + ticks - 1);
+    if (bus_plane_ != nullptr) {
+      bus_plane_->close_through(start + ticks - 1, sample_bus());
+    }
     return;
   }
   std::vector<std::size_t> cursor(staged_.size(), 0);
@@ -104,6 +137,9 @@ void World::merge_and_run_bus(Ticks start, Ticks ticks) {
       }
     }
     bus_.tick(u);
+    if (bus_plane_ != nullptr && bus_plane_->next_close_tick() == u) {
+      bus_plane_->close_through(u, sample_bus());
+    }
   }
   for (std::size_t i = 0; i < staged_.size(); ++i) {
     AIR_ASSERT_MSG(cursor[i] == staged_[i].size(),
@@ -191,6 +227,12 @@ void World::run_lockstep(Ticks ticks) {
     const Ticks n = lockstep_headroom(ticks - done);
     if (n > 0) {
       for (auto& module : modules_) module->warp_advance(n);
+      // Bus stats are provably frozen across the warped span (no queued
+      // frames, no delivery before its end), so boundaries inside it close
+      // with exactly the values per-tick stepping would have sampled.
+      if (bus_plane_ != nullptr) {
+        bus_plane_->close_through(now_ + n - 1, sample_bus());
+      }
       now_ += n;
       done += n;
       stats_.lockstep_warped += static_cast<std::uint64_t>(n);
@@ -208,6 +250,9 @@ void World::run_lockstep(Ticks ticks) {
       staged_[i].clear();
     }
     bus_.tick(now_);
+    if (bus_plane_ != nullptr && bus_plane_->next_close_tick() == now_) {
+      bus_plane_->close_through(now_, sample_bus());
+    }
     ++now_;
     ++done;
     ++stats_.lockstep_ticks;
@@ -254,6 +299,7 @@ std::string World::status_report() const {
                 static_cast<unsigned long long>(bus.frames_dropped),
                 static_cast<unsigned long long>(stats_.frames_merged));
   out += line;
+  if (bus_plane_ != nullptr) out += bus_plane_->summary_line();
   return out;
 }
 

@@ -74,6 +74,16 @@ class World {
   /// totals, mean epoch length, worker-pool feed ratio.
   [[nodiscard]] std::string status_report() const;
 
+  /// Enable the online bus plane: digest windows over the TDMA bus (per
+  /// station and global counters) plus the bus-side watchdogs (saturation,
+  /// backlog growth, span pressure). Call before the first run; module
+  /// planes are configured per module via TelemetryConfig.online.
+  void enable_online(telemetry::OnlineOptions options);
+  [[nodiscard]] telemetry::BusPlane* bus_plane() { return bus_plane_.get(); }
+  [[nodiscard]] const telemetry::BusPlane* bus_plane() const {
+    return bus_plane_.get();
+  }
+
   [[nodiscard]] Ticks now() const { return now_; }
   [[nodiscard]] net::Bus& bus() { return bus_; }
   /// Span recorder for bus transit legs (kMsgBusTransit).
@@ -110,10 +120,16 @@ class World {
   /// rescanning every module per tick.
   [[nodiscard]] Ticks lockstep_headroom(Ticks limit);
 
+  /// Cumulative bus totals for the online bus plane. Reads only bus and
+  /// bus-recorder state, which every driver mutates identically -- the
+  /// reason bus digests are byte-identical under lockstep and epochs.
+  [[nodiscard]] telemetry::BusSample sample_bus() const;
+
   static constexpr std::size_t kUnblocked = static_cast<std::size_t>(-1);
   static constexpr std::size_t kBusBlocked = static_cast<std::size_t>(-2);
 
   telemetry::SpanRecorder bus_spans_;
+  std::unique_ptr<telemetry::BusPlane> bus_plane_;
   net::Bus bus_;
   std::vector<std::unique_ptr<Module>> modules_;
   std::vector<std::vector<StagedFrame>> staged_;  // one queue per module

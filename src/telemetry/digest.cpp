@@ -1,0 +1,168 @@
+#include "telemetry/digest.hpp"
+
+#include <limits>
+
+#include "util/json.hpp"
+
+// Same GCC 12 -Wmaybe-uninitialized false positive as export.cpp (variant
+// move machinery inside json::Value at -O2).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace air::telemetry {
+
+namespace {
+
+using util::json::Array;
+using util::json::Object;
+using util::json::Value;
+
+/// Inclusive lower bound of bucket `b` (bucket 0 also absorbs clamped
+/// negative samples, so its lower bound is reported as 0).
+std::int64_t bucket_lower_bound(std::size_t b) {
+  return b == 0 ? 0 : Histogram::upper_bound(b - 1) + 1;
+}
+
+Value histogram_json(const Histogram& h) {
+  Object out;
+  out["count"] = Value{static_cast<std::int64_t>(h.count)};
+  out["sum"] = Value{h.sum};
+  if (h.count > 0) {
+    out["min"] = Value{h.min};
+    out["max"] = Value{h.max};
+    out["p50"] = Value{histogram_quantile(h, 500)};
+    out["p95"] = Value{histogram_quantile(h, 950)};
+    out["p99"] = Value{histogram_quantile(h, 990)};
+  }
+  Array buckets;
+  for (const std::uint64_t b : h.buckets) {
+    buckets.push_back(Value{static_cast<std::int64_t>(b)});
+  }
+  out["buckets"] = Value{std::move(buckets)};
+  return Value{std::move(out)};
+}
+
+}  // namespace
+
+Histogram histogram_delta(const Histogram& current, const Histogram& previous) {
+  Histogram delta;
+  delta.count = current.count - previous.count;
+  delta.sum = current.sum - previous.sum;
+  std::size_t lowest = Histogram::kBuckets;
+  std::size_t highest = Histogram::kBuckets;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    delta.buckets[b] = current.buckets[b] - previous.buckets[b];
+    if (delta.buckets[b] > 0) {
+      if (lowest == Histogram::kBuckets) lowest = b;
+      highest = b;
+    }
+  }
+  if (delta.count == 0) return delta;  // min/max stay at their sentinels
+  // Exact extremes when this window extended the cumulative ones (always
+  // the case for the first window); bucket bounds otherwise.
+  delta.min = (previous.count == 0 || current.min < previous.min)
+                  ? current.min
+                  : bucket_lower_bound(lowest);
+  delta.max = (previous.count == 0 || current.max > previous.max)
+                  ? current.max
+                  : Histogram::upper_bound(highest);
+  return delta;
+}
+
+std::int64_t histogram_quantile(const Histogram& histogram,
+                                unsigned permille) {
+  if (histogram.count == 0) return -1;
+  if (permille > 1000) permille = 1000;
+  // Rank of the requested sample, 1-based: ceil(permille/1000 * count),
+  // clamped to [1, count] so p0 is the first sample and p100 the last.
+  std::uint64_t rank =
+      (histogram.count * static_cast<std::uint64_t>(permille) + 999) / 1000;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    seen += histogram.buckets[b];
+    if (seen >= rank) return Histogram::upper_bound(b);
+  }
+  return Histogram::upper_bound(Histogram::kBuckets - 1);
+}
+
+std::string_view to_string(Watchdog watchdog) {
+  switch (watchdog) {
+    case Watchdog::kDeadlineMissRate: return "deadline_miss_rate";
+    case Watchdog::kJitterBudget: return "jitter_budget";
+    case Watchdog::kHmErrorStorm: return "hm_error_storm";
+    case Watchdog::kBusSaturation: return "bus_saturation";
+    case Watchdog::kBusBacklogGrowth: return "bus_backlog_growth";
+    case Watchdog::kSpanDropPressure: return "span_drop_pressure";
+    case Watchdog::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string digest_ndjson(std::string_view source,
+                          const WindowDigest& digest) {
+  Object out;
+  out["type"] = Value{"digest"};
+  out["source"] = Value{std::string{source}};
+  out["window"] = Value{static_cast<std::int64_t>(digest.index)};
+  out["start"] = Value{digest.start};
+  out["end"] = Value{digest.end};
+  if (!digest.partitions.empty()) {
+    Array partitions;
+    for (std::size_t p = 0; p < digest.partitions.size(); ++p) {
+      const PartitionWindow& pw = digest.partitions[p];
+      Object row;
+      row["partition"] = Value{static_cast<std::int64_t>(p)};
+      row["deadline_misses"] = Value{pw.deadline_misses};
+      row["deadline_checks"] = Value{pw.deadline_checks};
+      row["busy"] = Value{pw.busy_ticks};
+      row["slack"] = Value{pw.slack_ticks};
+      row["dispatches"] = Value{pw.dispatches};
+      row["hm_errors"] = Value{pw.hm_errors};
+      row["miss_rate_ewma_x65536"] = Value{pw.miss_rate_scaled};
+      row["deadline_slack"] = histogram_json(pw.deadline_slack);
+      partitions.push_back(Value{std::move(row)});
+    }
+    out["partitions"] = Value{std::move(partitions)};
+    out["ipc_messages"] = Value{digest.ipc_messages};
+    out["ipc_bytes"] = Value{digest.ipc_bytes};
+    out["ipc_drops"] = Value{digest.ipc_drops};
+  }
+  if (!digest.stations.empty()) {
+    Array stations;
+    for (const StationWindow& sw : digest.stations) {
+      Object row;
+      row["module"] = Value{static_cast<std::int64_t>(sw.module)};
+      row["frames_sent"] = Value{sw.frames_sent};
+      row["frames_delivered"] = Value{sw.frames_delivered};
+      row["backlog"] = Value{sw.backlog};
+      stations.push_back(Value{std::move(row)});
+    }
+    out["stations"] = Value{std::move(stations)};
+    out["bus_frames_sent"] = Value{digest.bus_frames_sent};
+    out["bus_frames_delivered"] = Value{digest.bus_frames_delivered};
+    out["bus_backlog"] = Value{digest.bus_backlog};
+  }
+  out["spans_dropped"] = Value{digest.spans_dropped};
+  out["trace_dropped"] = Value{digest.trace_dropped};
+  out["trace_dropped_critical"] = Value{digest.trace_dropped_critical};
+  return Value{std::move(out)}.dump(-1) + "\n";
+}
+
+std::string health_ndjson(std::string_view source, const HealthEvent& event) {
+  Object out;
+  out["type"] = Value{"health"};
+  out["source"] = Value{std::string{source}};
+  out["tick"] = Value{event.tick};
+  out["watchdog"] = Value{std::string{to_string(event.kind)}};
+  out["partition"] = Value{static_cast<std::int64_t>(event.partition)};
+  out["value"] = Value{event.value};
+  out["threshold"] = Value{event.threshold};
+  out["window"] = Value{static_cast<std::int64_t>(event.window_index)};
+  out["cause_span"] = Value{static_cast<std::int64_t>(event.cause)};
+  out["detail"] = Value{event.detail};
+  return Value{std::move(out)}.dump(-1) + "\n";
+}
+
+}  // namespace air::telemetry

@@ -27,6 +27,22 @@ const char* kind_name(MetricKind kind) {
 
 }  // namespace
 
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    return std::string{field};
+  }
+  // RFC 4180: wrap in double quotes, double every embedded quote.
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string to_json(const MetricsSnapshot& snapshot, int indent) {
   Array metrics;
   for (const MetricSample& s : snapshot.samples) {
@@ -70,7 +86,7 @@ std::string to_csv(const MetricsSnapshot& snapshot) {
   std::string out = "metric,index,kind,value,count,sum,min,max\n";
   char line[256];
   for (const MetricSample& s : snapshot.samples) {
-    const std::string name{to_string(s.metric)};
+    const std::string name = csv_escape(to_string(s.metric));
     switch (s.kind) {
       case MetricKind::kCounter:
         std::snprintf(line, sizeof line, "%s,%d,counter,%llu,,,,\n",

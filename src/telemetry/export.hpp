@@ -5,10 +5,16 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "telemetry/metrics.hpp"
 
 namespace air::telemetry {
+
+/// RFC 4180 field quoting: fields containing commas, quotes or newlines are
+/// wrapped in double quotes with embedded quotes doubled; anything else
+/// passes through verbatim.
+[[nodiscard]] std::string csv_escape(std::string_view field);
 
 /// JSON document:
 ///   {"time": T, "metrics": [{"name":..., "index":..., "kind":...,

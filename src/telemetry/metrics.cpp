@@ -146,6 +146,34 @@ void MetricsRegistry::observe(Metric metric, std::int32_t index,
   slot.histograms[i].observe(value);
 }
 
+std::uint64_t MetricsRegistry::counter_value(Metric metric,
+                                             std::int32_t index) const {
+  AIR_ASSERT(kind_of(metric) == MetricKind::kCounter);
+  const Slot& slot = slots_[static_cast<std::size_t>(metric)];
+  const std::size_t i = slot_index(index);
+  if (i >= slot.counters.size() || !slot.touched[i]) return 0;
+  return slot.counters[i];
+}
+
+std::uint64_t MetricsRegistry::counter_total(Metric metric) const {
+  AIR_ASSERT(kind_of(metric) == MetricKind::kCounter);
+  const Slot& slot = slots_[static_cast<std::size_t>(metric)];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < slot.counters.size(); ++i) {
+    if (slot.touched[i]) total += slot.counters[i];
+  }
+  return total;
+}
+
+const Histogram* MetricsRegistry::histogram(Metric metric,
+                                            std::int32_t index) const {
+  AIR_ASSERT(kind_of(metric) == MetricKind::kHistogram);
+  const Slot& slot = slots_[static_cast<std::size_t>(metric)];
+  const std::size_t i = slot_index(index);
+  if (i >= slot.histograms.size() || !slot.touched[i]) return nullptr;
+  return &slot.histograms[i];
+}
+
 MetricsSnapshot MetricsRegistry::snapshot(Ticks now) const {
   MetricsSnapshot snap;
   snap.time = now;

@@ -148,6 +148,17 @@ class MetricsRegistry {
   /// slots (never touched) omitted.
   [[nodiscard]] MetricsSnapshot snapshot(Ticks now) const;
 
+  // --- point reads (online plane sampling; cheaper than a full snapshot) ---
+
+  /// Current counter value; 0 when the slot was never touched.
+  [[nodiscard]] std::uint64_t counter_value(Metric metric,
+                                            std::int32_t index = -1) const;
+  /// Sum of a counter across all touched indices.
+  [[nodiscard]] std::uint64_t counter_total(Metric metric) const;
+  /// Histogram slot; nullptr when never touched.
+  [[nodiscard]] const Histogram* histogram(Metric metric,
+                                           std::int32_t index = -1) const;
+
   void clear();
 
  private:

@@ -22,6 +22,7 @@ std::string_view to_string(SpanKind kind) {
     case SpanKind::kMsgReceive: return "msg_receive";
     case SpanKind::kHmHandler: return "hm_handler";
     case SpanKind::kScheduleSwitch: return "schedule_switch";
+    case SpanKind::kHealth: return "health";
     case SpanKind::kCount: break;
   }
   return "unknown";

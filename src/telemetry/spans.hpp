@@ -49,6 +49,7 @@ enum class SpanKind : std::uint8_t {
   kMsgReceive,           // a = partition, b = port, c = payload bytes
   kHmHandler,            // a = partition, b = process, c = error code
   kScheduleSwitch,       // a = new schedule, b = old schedule
+  kHealth,               // a = partition (-1 wide), b = Watchdog, c = value
   kCount
 };
 

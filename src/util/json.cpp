@@ -336,8 +336,15 @@ void Value::dump_to(std::string& out, int indent, int depth) const {
   } else if (is_int()) {
     out += std::to_string(std::get<std::int64_t>(data_));
   } else if (is_double()) {
+    const double d = std::get<double>(data_);
+    if (!std::isfinite(d)) {
+      // JSON has no NaN/Infinity literals; "%g" would emit them and produce
+      // an unparseable document. null is the conventional lossy stand-in.
+      out += "null";
+      return;
+    }
     char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", std::get<double>(data_));
+    std::snprintf(buf, sizeof buf, "%.17g", d);
     out += buf;
   } else if (is_string()) {
     escape_string(as_string(), out);

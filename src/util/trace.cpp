@@ -26,6 +26,7 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kPartitionModeChange: return "partition_mode_change";
     case EventKind::kUser: return "user";
     case EventKind::kSpan: return "span";
+    case EventKind::kHealth: return "health";
   }
   return "unknown";
 }
@@ -43,6 +44,7 @@ Severity severity(EventKind kind) {
     case EventKind::kScheduleSwitch:
     case EventKind::kScheduleChangeAction:
     case EventKind::kPartitionModeChange:
+    case EventKind::kHealth:  // an SLO breach is evidence by definition
       return Severity::kCritical;
     // Normal operation landmarks.
     case EventKind::kPartitionDispatch:

@@ -11,6 +11,12 @@
 // Usage:
 //   air-faultcamp [--seeds N] [--first-seed S] [--mtfs M] [--weaken-hm]
 //                 [--workers W] [--no-world] [--out DIR] [--quiet]
+//                 [--watchdog-selftest]
+//
+// --watchdog-selftest skips the sweep and instead verifies the online
+// observability plane end to end: a clean flight must stay silent, and a
+// single forced deadline miss must light the deadline watchdog on the
+// target partition with a causal span link.
 //
 // Exit codes: 0 = all seeds contained, 2 = containment breach found,
 //             1 = usage error.
@@ -38,7 +44,7 @@ int usage() {
       stderr,
       "usage: air-faultcamp [--seeds N] [--first-seed S] [--mtfs M]\n"
       "                     [--weaken-hm] [--workers W] [--no-world]\n"
-      "                     [--out DIR] [--quiet]\n");
+      "                     [--out DIR] [--quiet] [--watchdog-selftest]\n");
   return 1;
 }
 
@@ -47,6 +53,7 @@ int usage() {
 int main(int argc, char** argv) {
   fi::CampaignOptions options;
   options.verbose = true;
+  bool watchdog_selftest = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     std::uint64_t value = 0;
@@ -70,9 +77,25 @@ int main(int argc, char** argv) {
       options.out_dir = argv[++i];
     } else if (std::strcmp(arg, "--quiet") == 0) {
       options.verbose = false;
+    } else if (std::strcmp(arg, "--watchdog-selftest") == 0) {
+      watchdog_selftest = true;
     } else {
       return usage();
     }
+  }
+
+  if (watchdog_selftest) {
+    const std::vector<fi::Breach> failures = fi::watchdog_selftest();
+    if (failures.empty()) {
+      std::printf("air-faultcamp: watchdog self-test passed (clean flight "
+                  "silent, forced miss detected and causally linked)\n");
+      return 0;
+    }
+    for (const fi::Breach& failure : failures) {
+      std::printf("air-faultcamp: [%s] %s\n", failure.oracle.c_str(),
+                  failure.detail.c_str());
+    }
+    return 2;
   }
 
   const fi::CampaignResult result = fi::run_campaign(options);

@@ -8,7 +8,15 @@
 // frames remotely -- so the recording contains at least one message flow
 // that crosses the bus.
 //
-// Usage: air-record [--no-warp] [out_dir]    (default out_dir: "flight")
+// Usage: air-record [--no-warp] [--clean] [--health] [--fail-on-breach]
+//                   [out_dir]                    (default out_dir: "flight")
+//
+// --clean omits the faulty process (the mission then has a zero-breach SLO:
+// the CI flight-health job asserts it). --health flies with the online
+// observability plane enabled on both modules and the bus, streaming
+// windowed digests and watchdog breaches to <out_dir>/health.ndjson -- the
+// file tools/air-top renders. --fail-on-breach exits 2 when any watchdog
+// fired.
 //
 // Writes per module: <name>_trace.json, <name>_metrics.json,
 // <name>_spans.json; plus bus_spans.json and meta.json (the manifest
@@ -22,6 +30,7 @@
 #include "config/fig8.hpp"
 #include "system/world.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/online.hpp"
 #include "telemetry/spans.hpp"
 #include "util/json.hpp"
 #include "util/trace_export.hpp"
@@ -73,41 +82,23 @@ bool write_file(const std::filesystem::path& path, const std::string& text) {
 
 int main(int argc, char** argv) {
   bool warp = true;
+  bool clean = false;
+  bool health = false;
+  bool fail_on_breach = false;
   std::string out_dir = "flight";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-warp") == 0) {
       warp = false;
+    } else if (std::strcmp(argv[i], "--clean") == 0) {
+      clean = true;
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      health = true;
+    } else if (std::strcmp(argv[i], "--fail-on-breach") == 0) {
+      fail_on_breach = true;
     } else {
       out_dir = argv[i];
     }
   }
-
-  // Module 0: the Fig. 8 prototype, with the payload's science channel
-  // additionally fanning out to the ground module over the bus.
-  system::ModuleConfig fig8 = scenarios::fig8_config();
-  fig8.id = ModuleId{0};
-  for (ipc::ChannelConfig& channel : fig8.channels) {
-    if (channel.kind == ipc::ChannelKind::kQueuing) {
-      channel.remote_destinations.push_back(
-          {ModuleId{1}, PartitionId{0}, "SCI_IN"});
-    }
-  }
-
-  system::World world(
-      {.slot_length = 10, .frames_per_slot = 2, .propagation_delay = 2});
-  system::Module& prototype = world.add_module(std::move(fig8));
-  system::Module& ground = world.add_module(ground_module());
-  prototype.set_time_warp(warp);
-  ground.set_time_warp(warp);
-
-  // Sect. 6 mission: inject the faulty process on P1, fly 500 ticks under
-  // chi_1, request the switch to chi_2, fly five more major time frames.
-  prototype.start_process_by_name(prototype.partition_id("AOCS"),
-                                  scenarios::kFaultyProcessName);
-  world.run(500);
-  (void)prototype.apex(prototype.partition_id("AOCS"))
-      .set_module_schedule(ScheduleId{1});
-  world.run(5 * scenarios::kFig8Mtf);
 
   const std::filesystem::path dir{out_dir};
   std::error_code ec;
@@ -117,6 +108,66 @@ int main(int argc, char** argv) {
                  ec.message().c_str());
     return 1;
   }
+
+  // Online observability: window 500 divides the 7000-tick mission exactly,
+  // so the last window closes on the final tick and the stream covers the
+  // whole flight.
+  telemetry::OnlineOptions online;
+  online.enabled = true;
+  online.window = 500;
+
+  // Module 0: the Fig. 8 prototype, with the payload's science channel
+  // additionally fanning out to the ground module over the bus.
+  system::ModuleConfig fig8 =
+      scenarios::fig8_config({.with_faulty_process = !clean});
+  fig8.id = ModuleId{0};
+  for (ipc::ChannelConfig& channel : fig8.channels) {
+    if (channel.kind == ipc::ChannelKind::kQueuing) {
+      channel.remote_destinations.push_back(
+          {ModuleId{1}, PartitionId{0}, "SCI_IN"});
+    }
+  }
+  system::ModuleConfig ground_config = ground_module();
+  if (health) {
+    fig8.telemetry.online = online;
+    ground_config.telemetry.online = online;
+  }
+
+  system::World world(
+      {.slot_length = 10, .frames_per_slot = 2, .propagation_delay = 2});
+  system::Module& prototype = world.add_module(std::move(fig8));
+  system::Module& ground = world.add_module(std::move(ground_config));
+  prototype.set_time_warp(warp);
+  ground.set_time_warp(warp);
+
+  std::ofstream health_file;
+  if (health) {
+    health_file.open(dir / "health.ndjson", std::ios::binary);
+    if (!health_file) {
+      std::fprintf(stderr, "air-record: cannot write %s\n",
+                   (dir / "health.ndjson").c_str());
+      return 1;
+    }
+    const auto sink = [&health_file](const std::string& line) {
+      health_file << line;
+    };
+    prototype.online()->set_sink(sink);
+    ground.online()->set_sink(sink);
+    world.enable_online(online);
+    world.bus_plane()->set_sink(sink);
+  }
+
+  // Sect. 6 mission: inject the faulty process on P1 (unless --clean), fly
+  // 500 ticks under chi_1, request the switch to chi_2, fly five more major
+  // time frames.
+  if (!clean) {
+    prototype.start_process_by_name(prototype.partition_id("AOCS"),
+                                    scenarios::kFaultyProcessName);
+  }
+  world.run(500);
+  (void)prototype.apex(prototype.partition_id("AOCS"))
+      .set_module_schedule(ScheduleId{1});
+  world.run(5 * scenarios::kFig8Mtf);
 
   util::json::Array modules;
   for (std::size_t i = 0; i < world.module_count(); ++i) {
@@ -143,9 +194,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   util::json::Object meta;
-  meta["mission"] = util::json::Value{"fig8+ground"};
+  meta["mission"] = util::json::Value{clean ? "fig8+ground (clean)"
+                                            : "fig8+ground"};
   meta["modules"] = util::json::Value{std::move(modules)};
   meta["bus_spans"] = util::json::Value{"bus_spans.json"};
+  if (health) meta["health"] = util::json::Value{"health.ndjson"};
   if (!write_file(dir / "meta.json", util::json::Value{std::move(meta)}.dump(2))) {
     return 1;
   }
@@ -158,5 +211,20 @@ int main(int argc, char** argv) {
               static_cast<std::size_t>(ground.spans().recorded_spans()),
               static_cast<std::size_t>(world.bus_spans().recorded_spans()),
               dir.c_str());
+
+  std::size_t breaches = 0;
+  if (health) {
+    health_file.close();
+    breaches = prototype.online()->events().size() +
+               ground.online()->events().size() +
+               world.bus_plane()->events().size();
+    std::printf("health: %zu watchdog breach(es) streamed to %s\n", breaches,
+                (dir / "health.ndjson").c_str());
+  }
+  if (fail_on_breach && breaches > 0) {
+    std::fprintf(stderr, "air-record: watchdog breach on a %s flight\n",
+                 clean ? "clean" : "faulty");
+    return 2;
+  }
   return 0;
 }

@@ -1,0 +1,224 @@
+// air-top: live flight deck over a streaming NDJSON health file.
+//
+// Consumes the stream the online observability plane writes (one compact
+// JSON object per line: {"type":"digest",...} window summaries and
+// {"type":"health",...} watchdog breaches -- see src/telemetry/digest.hpp)
+// and renders a per-source deck: the latest window's partition table (busy
+// ticks, dispatches, deadline misses, EWMA miss rate, slack percentiles),
+// the bus-station table for the "bus" source, and the tail of the health
+// event log. With --follow it re-reads and re-renders until interrupted,
+// which turns `air-record --health` plus `air-top --follow` into a live
+// view of a flying mission.
+//
+// Usage: air-top [--follow] [--interval-ms N] [--fail-on-breach]
+//                [--tail N] [health.ndjson]
+//
+// Exit codes: 0 = rendered (no breach, or --fail-on-breach unset),
+//             2 = --fail-on-breach and the stream contains a health event,
+//             1 = usage or I/O error.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+using air::util::json::Value;
+
+namespace {
+
+struct SourceDeck {
+  Value last_digest;                // most recent digest line of the source
+  std::uint64_t windows{0};         // digest lines seen
+  std::vector<Value> health;        // every health line, in stream order
+};
+
+struct Deck {
+  // std::map: deterministic source ordering in the rendered output.
+  std::map<std::string, SourceDeck> sources;
+  std::size_t lines{0};
+  std::size_t bad_lines{0};
+};
+
+bool load(const std::string& path, Deck& deck) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  deck = Deck{};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++deck.lines;
+    air::util::json::ParseResult parsed = air::util::json::parse(line);
+    if (!parsed.ok() || !parsed.value->is_object()) {
+      ++deck.bad_lines;
+      continue;
+    }
+    Value value = std::move(*parsed.value);
+    const std::string type = value.get_string("type", "");
+    const std::string source = value.get_string("source", "?");
+    SourceDeck& sd = deck.sources[source];
+    if (type == "digest") {
+      sd.last_digest = std::move(value);
+      ++sd.windows;
+    } else if (type == "health") {
+      sd.health.push_back(std::move(value));
+    } else {
+      ++deck.bad_lines;
+    }
+  }
+  return true;
+}
+
+std::string quantiles(const Value& histogram) {
+  if (histogram.get_int("count", 0) == 0) return "-";
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "%lld/%lld/%lld",
+                static_cast<long long>(histogram.get_int("p50", -1)),
+                static_cast<long long>(histogram.get_int("p95", -1)),
+                static_cast<long long>(histogram.get_int("p99", -1)));
+  return buffer;
+}
+
+void render_source(const std::string& name, const SourceDeck& sd) {
+  const Value& d = sd.last_digest;
+  std::printf("== %s  windows=%llu  breaches=%zu", name.c_str(),
+              static_cast<unsigned long long>(sd.windows), sd.health.size());
+  if (sd.windows > 0) {
+    std::printf("  window %lld [%lld,%lld)",
+                static_cast<long long>(d.get_int("window", -1)),
+                static_cast<long long>(d.get_int("start", -1)),
+                static_cast<long long>(d.get_int("end", -1)));
+  }
+  std::printf("\n");
+  if (sd.windows == 0) return;
+
+  if (const Value* partitions = d.find("partitions")) {
+    std::printf("  %-4s %6s %6s %6s %6s %8s %14s\n", "part", "busy",
+                "disp", "miss", "hm", "ewma", "slack p50/95/99");
+    for (const Value& row : partitions->as_array()) {
+      const double ewma =
+          static_cast<double>(row.get_int("miss_rate_ewma_x65536", 0)) /
+          65536.0;
+      std::string slack = "-";
+      if (const Value* h = row.find("deadline_slack")) slack = quantiles(*h);
+      std::printf("  P%-3lld %6lld %6lld %6lld %6lld %8.3f %14s\n",
+                  static_cast<long long>(row.get_int("partition", -1)),
+                  static_cast<long long>(row.get_int("busy", 0)),
+                  static_cast<long long>(row.get_int("dispatches", 0)),
+                  static_cast<long long>(row.get_int("deadline_misses", 0)),
+                  static_cast<long long>(row.get_int("hm_errors", 0)), ewma,
+                  slack.c_str());
+    }
+    std::printf("  ipc: messages=%lld bytes=%lld drops=%lld\n",
+                static_cast<long long>(d.get_int("ipc_messages", 0)),
+                static_cast<long long>(d.get_int("ipc_bytes", 0)),
+                static_cast<long long>(d.get_int("ipc_drops", 0)));
+  }
+  if (const Value* stations = d.find("stations")) {
+    std::printf("  %-8s %10s %12s %8s\n", "station", "sent", "delivered",
+                "backlog");
+    for (const Value& row : stations->as_array()) {
+      std::printf("  M%-7lld %10lld %12lld %8lld\n",
+                  static_cast<long long>(row.get_int("module", -1)),
+                  static_cast<long long>(row.get_int("frames_sent", 0)),
+                  static_cast<long long>(row.get_int("frames_delivered", 0)),
+                  static_cast<long long>(row.get_int("backlog", 0)));
+    }
+    std::printf("  bus: sent=%lld delivered=%lld backlog=%lld\n",
+                static_cast<long long>(d.get_int("bus_frames_sent", 0)),
+                static_cast<long long>(d.get_int("bus_frames_delivered", 0)),
+                static_cast<long long>(d.get_int("bus_backlog", 0)));
+  }
+  std::printf("  telemetry: spans_dropped=%lld trace_dropped=%lld "
+              "critical=%lld\n",
+              static_cast<long long>(d.get_int("spans_dropped", 0)),
+              static_cast<long long>(d.get_int("trace_dropped", 0)),
+              static_cast<long long>(d.get_int("trace_dropped_critical", 0)));
+}
+
+std::size_t render(const Deck& deck, std::size_t tail) {
+  std::size_t breaches = 0;
+  for (const auto& [name, sd] : deck.sources) {
+    render_source(name, sd);
+    breaches += sd.health.size();
+  }
+  if (breaches > 0) {
+    std::printf("-- health events (%zu total, last %zu per source) --\n",
+                breaches, tail);
+    for (const auto& [name, sd] : deck.sources) {
+      const std::size_t first =
+          sd.health.size() > tail ? sd.health.size() - tail : 0;
+      for (std::size_t i = first; i < sd.health.size(); ++i) {
+        const Value& e = sd.health[i];
+        std::printf("  [%s] @%lld %s partition=%lld value=%lld "
+                    "threshold=%lld cause=%lld  %s\n",
+                    name.c_str(),
+                    static_cast<long long>(e.get_int("tick", -1)),
+                    e.get_string("watchdog", "?").c_str(),
+                    static_cast<long long>(e.get_int("partition", -1)),
+                    static_cast<long long>(e.get_int("value", 0)),
+                    static_cast<long long>(e.get_int("threshold", 0)),
+                    static_cast<long long>(e.get_int("cause_span", 0)),
+                    e.get_string("detail", "").c_str());
+      }
+    }
+  }
+  if (deck.bad_lines > 0) {
+    std::printf("-- %zu unparseable line(s) skipped --\n", deck.bad_lines);
+  }
+  return breaches;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: air-top [--follow] [--interval-ms N] "
+               "[--fail-on-breach] [--tail N] [health.ndjson]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool follow = false;
+  bool fail_on_breach = false;
+  long interval_ms = 500;
+  std::size_t tail = 8;
+  std::string path = "flight/health.ndjson";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--follow") == 0) {
+      follow = true;
+    } else if (std::strcmp(arg, "--fail-on-breach") == 0) {
+      fail_on_breach = true;
+    } else if (std::strcmp(arg, "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+      if (interval_ms <= 0) return usage();
+    } else if (std::strcmp(arg, "--tail") == 0 && i + 1 < argc) {
+      tail = static_cast<std::size_t>(std::strtol(argv[++i], nullptr, 10));
+      if (tail == 0) return usage();
+    } else if (arg[0] == '-') {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+
+  std::size_t breaches = 0;
+  for (;;) {
+    Deck deck;
+    if (!load(path, deck)) {
+      std::fprintf(stderr, "air-top: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    if (follow) std::printf("\033[2J\033[H");  // clear, home
+    breaches = render(deck, tail);
+    std::fflush(stdout);
+    if (!follow) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return fail_on_breach && breaches > 0 ? 2 : 0;
+}
