@@ -2,25 +2,56 @@
 # Run every bench_* binary in --json mode, writing one BENCH_<name>.json per
 # binary -- the machine-readable perf trajectory the ROADMAP asks for.
 #
-# Usage: bench/run_benches.sh <build-dir> [out-dir] [extra bench args...]
-# Example: bench/run_benches.sh build perf --benchmark_min_time=0.1s
+# Usage: bench/run_benches.sh [--allow-debug] [build-dir] [out-dir] [extra bench args...]
+# Example: bench/run_benches.sh                      # Release tree, CWD output
+#          bench/run_benches.sh build-release perf --benchmark_min_time=0.1
+#
+# With no build-dir (or the default "build-release") the script *owns* the
+# tree: it configures it as CMAKE_BUILD_TYPE=Release with
+# CMAKE_INTERPROCEDURAL_OPTIMIZATION=ON and (re)builds the bench binaries
+# before running them, so every number in a BENCH_*.json comes from an
+# optimised, LTO'd build -- the Release contract (DESIGN.md §11).
+#
+# Pointing it at an existing non-Release tree is an error: debug timings
+# silently poisoning the checked-in baselines is exactly the failure mode
+# this script exists to prevent. --allow-debug is the escape hatch for local
+# smoke runs (the JSON is still stamped with the real build type, so a stray
+# debug artifact remains self-incriminating).
 set -euo pipefail
 
-build_dir=${1:?usage: run_benches.sh <build-dir> [out-dir] [extra args...]}
-out_dir=${2:-.}
-shift $(( $# >= 2 ? 2 : 1 ))
+allow_debug=0
+if [[ "${1:-}" == "--allow-debug" ]]; then
+  allow_debug=1
+  shift
+fi
 
-# Numbers from an unoptimised tree are not a perf trajectory: stamp every
-# BENCH_*.json with the tree's actual CMAKE_BUILD_TYPE and warn loudly when
-# it is anything but Release (empty = default flags, i.e. no -O level).
-build_type=""
-if [[ -f "$build_dir/CMakeCache.txt" ]]; then
-  build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-build-release}
+out_dir=${2:-.}
+if [[ $# -ge 2 ]]; then shift 2; elif [[ $# -ge 1 ]]; then shift 1; fi
+
+# Configure the dedicated Release tree on first use. An existing cache is
+# reused as-is (incremental rebuild below); a foreign tree is only checked,
+# never reconfigured behind its owner's back.
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+  echo "== configuring Release bench tree: $build_dir"
+  cmake -S "$repo_root" -B "$build_dir" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_INTERPROCEDURAL_OPTIMIZATION=ON >/dev/null
 fi
+
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")
 if [[ "$build_type" != "Release" ]]; then
-  echo "WARNING: bench tree '$build_dir' has CMAKE_BUILD_TYPE='${build_type:-<unset>}'" >&2
-  echo "WARNING: numbers below are NOT comparable to Release baselines" >&2
+  echo "error: bench tree '$build_dir' has CMAKE_BUILD_TYPE='${build_type:-<unset>}'" >&2
+  echo "error: baselines must come from a Release tree; re-run with no" >&2
+  echo "error: build-dir argument to use the managed 'build-release' tree," >&2
+  echo "error: or pass --allow-debug for a local (non-baseline) smoke run" >&2
+  [[ $allow_debug -eq 1 ]] || exit 1
+  echo "WARNING: --allow-debug: numbers below are NOT comparable to Release baselines" >&2
 fi
+
+echo "== building bench binaries in $build_dir (${build_type:-unset})"
+cmake --build "$build_dir" -j"$(nproc)" >/dev/null
 
 mkdir -p "$out_dir"
 found=0

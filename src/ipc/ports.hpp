@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "ipc/payload.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/types.hpp"
 
@@ -25,7 +26,7 @@ enum class PortDirection : std::uint8_t { kSource, kDestination };
 enum class QueuingDiscipline : std::uint8_t { kFifo, kPriority };
 
 struct Message {
-  std::string payload;
+  Payload payload;
   Ticks sent_at{0};
   PartitionId from_partition;
   TraceContext ctx;  // causal span context; zero when tracing is off

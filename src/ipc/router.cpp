@@ -7,15 +7,52 @@ namespace air::ipc {
 void Router::add_sampling_port(PartitionId partition, SamplingPort* port) {
   AIR_ASSERT(port != nullptr);
   sampling_[{partition, port->name()}] = port;
+  rebuild_resolved();
 }
 
 void Router::add_queuing_port(PartitionId partition, QueuingPort* port) {
   AIR_ASSERT(port != nullptr);
   queuing_[{partition, port->name()}] = port;
+  rebuild_resolved();
 }
 
 void Router::add_channel(ChannelConfig config) {
   channels_.push_back(std::move(config));
+  traffic_.emplace_back();
+  rebuild_resolved();
+}
+
+void Router::rebuild_resolved() {
+  // Integration-time work (once per add_* call): resolve every channel's
+  // source and destination ports so the per-tick pump never consults the
+  // string-keyed maps.
+  resolved_.clear();
+  resolved_.reserve(channels_.size());
+  source_to_resolved_.clear();
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const ChannelConfig& channel = channels_[i];
+    ResolvedChannel rc;
+    rc.index = i;
+    rc.config = &channel;
+    if (channel.kind == ChannelKind::kQueuing) {
+      rc.src_queue = queuing_port(channel.source);
+      for (const PortRef& dest : channel.local_destinations) {
+        if (QueuingPort* port = queuing_port(dest)) {
+          rc.queuing_dests.emplace_back(port, &dest);
+        }
+      }
+    } else {
+      for (const PortRef& dest : channel.local_destinations) {
+        if (SamplingPort* port = sampling_port(dest)) {
+          rc.sampling_dests.emplace_back(port, &dest);
+        }
+      }
+    }
+    const auto [it, inserted] =
+        source_to_resolved_.emplace(channel.source, i);
+    rc.pump_alias = it->second;  // first channel with this source
+    resolved_.push_back(std::move(rc));
+  }
 }
 
 SamplingPort* Router::sampling_port(const PortRef& ref) {
@@ -26,13 +63,6 @@ SamplingPort* Router::sampling_port(const PortRef& ref) {
 QueuingPort* Router::queuing_port(const PortRef& ref) {
   auto it = queuing_.find(ref);
   return it != queuing_.end() ? it->second : nullptr;
-}
-
-const ChannelConfig* Router::channel_for_source(const PortRef& source) const {
-  for (const auto& channel : channels_) {
-    if (channel.source == source) return &channel;
-  }
-  return nullptr;
 }
 
 Message Router::traced_hop(const Message& message, std::int64_t channel,
@@ -49,12 +79,14 @@ Message Router::traced_hop(const Message& message, std::int64_t channel,
 
 void Router::propagate_sampling(const PortRef& source,
                                 const Message& message) {
-  const ChannelConfig* channel = channel_for_source(source);
-  if (channel == nullptr) return;  // unconnected port: message stays local
-  if (metrics_ != nullptr) {
-    metrics_->add(telemetry::Metric::kIpcMessages, channel->id.value());
-    metrics_->add(telemetry::Metric::kIpcBytes, channel->id.value(),
-                  message.payload.size());
+  const auto it = source_to_resolved_.find(source);
+  if (it == source_to_resolved_.end()) return;  // unconnected port
+  ResolvedChannel& rc = resolved_[it->second];
+  const ChannelConfig* channel = rc.config;
+  if (metrics_ != nullptr && metrics_->enabled()) {
+    Traffic& traffic = traffic_[rc.index];
+    ++traffic.messages;
+    traffic.bytes += message.payload.size();
   }
   const Message* delivered = &message;
   Message traced;
@@ -65,11 +97,9 @@ void Router::propagate_sampling(const PortRef& source,
                             channel->remote_destinations.size()));
     delivered = &traced;
   }
-  for (const PortRef& dest : channel->local_destinations) {
-    if (SamplingPort* port = sampling_port(dest)) {
-      (void)port->write(*delivered);  // sampling writes always overwrite
-      if (on_delivery) on_delivery(dest);
-    }
+  for (const auto& [port, dest] : rc.sampling_dests) {
+    (void)port->write(*delivered);  // sampling writes always overwrite
+    if (on_delivery) on_delivery(*dest);
   }
   for (const RemotePortRef& dest : channel->remote_destinations) {
     if (remote_send) remote_send(dest, *delivered, ChannelKind::kSampling);
@@ -77,18 +107,25 @@ void Router::propagate_sampling(const PortRef& source,
 }
 
 void Router::pump(const PortRef& source) {
-  const ChannelConfig* channel = channel_for_source(source);
-  if (channel == nullptr || channel->kind != ChannelKind::kQueuing) return;
-  QueuingPort* src = queuing_port(source);
+  const auto it = source_to_resolved_.find(source);
+  if (it == source_to_resolved_.end()) return;
+  ResolvedChannel& rc = resolved_[it->second];
+  if (rc.config->kind != ChannelKind::kQueuing) return;
+  pump_resolved(rc);
+}
+
+void Router::pump_resolved(ResolvedChannel& rc) {
+  const ChannelConfig* channel = rc.config;
+  QueuingPort* src = rc.src_queue;
   if (src == nullptr) return;
+  const bool counting = metrics_ != nullptr && metrics_->enabled();
 
   bool moved_any = false;
   while (!src->empty()) {
     // Atomic multicast: move only when every local destination has space.
     bool all_have_space = true;
-    for (const PortRef& dest : channel->local_destinations) {
-      QueuingPort* port = queuing_port(dest);
-      if (port != nullptr && port->full()) {
+    for (const auto& [port, dest] : rc.queuing_dests) {
+      if (port->full()) {
         all_have_space = false;
         break;
       }
@@ -103,16 +140,14 @@ void Router::pump(const PortRef& source) {
                                 channel->local_destinations.size() +
                                 channel->remote_destinations.size()));
     }
-    if (metrics_ != nullptr) {
-      metrics_->add(telemetry::Metric::kIpcMessages, channel->id.value());
-      metrics_->add(telemetry::Metric::kIpcBytes, channel->id.value(),
-                    message->payload.size());
+    if (counting) {
+      Traffic& traffic = traffic_[rc.index];
+      ++traffic.messages;
+      traffic.bytes += message->payload.size();
     }
-    for (const PortRef& dest : channel->local_destinations) {
-      if (QueuingPort* port = queuing_port(dest)) {
-        (void)port->send(*message);
-        if (on_delivery) on_delivery(dest);
-      }
+    for (const auto& [port, dest] : rc.queuing_dests) {
+      (void)port->send(*message);
+      if (on_delivery) on_delivery(*dest);
     }
     for (const RemotePortRef& dest : channel->remote_destinations) {
       if (remote_send) remote_send(dest, *message, ChannelKind::kQueuing);
@@ -125,27 +160,27 @@ void Router::pump(const PortRef& source) {
     metrics_->set(telemetry::Metric::kIpcQueueDepth, channel->id.value(),
                   static_cast<std::int64_t>(src->depth()));
   }
-  if (moved_any && on_source_space) on_source_space(source);
+  if (moved_any && on_source_space) on_source_space(channel->source);
 }
 
 void Router::pump_all() {
-  for (const auto& channel : channels_) {
-    if (channel.kind == ChannelKind::kQueuing) pump(channel.source);
+  for (ResolvedChannel& rc : resolved_) {
+    if (rc.config->kind != ChannelKind::kQueuing) continue;
+    // Route through the first channel sharing this source, exactly as the
+    // per-source pump(source) call used to resolve it.
+    pump_resolved(resolved_[rc.pump_alias]);
   }
 }
 
 bool Router::quiescent() const {
-  for (const auto& channel : channels_) {
-    if (channel.kind != ChannelKind::kQueuing) continue;
-    auto it = queuing_.find(channel.source);
-    if (it == queuing_.end()) continue;
-    const QueuingPort* src = it->second;
-    if (src->empty()) continue;
+  for (const ResolvedChannel& rc : resolved_) {
+    if (rc.config->kind != ChannelKind::kQueuing) continue;
+    const QueuingPort* src = rc.src_queue;
+    if (src == nullptr || src->empty()) continue;
     // A backlog exists: pump would either move a message right now...
     bool all_have_space = true;
-    for (const PortRef& dest : channel.local_destinations) {
-      auto dit = queuing_.find(dest);
-      if (dit != queuing_.end() && dit->second->full()) {
+    for (const auto& [port, dest] : rc.queuing_dests) {
+      if (port->full()) {
         all_have_space = false;
         break;
       }
@@ -174,13 +209,40 @@ void Router::deliver_remote(const PortRef& destination, const Message& message,
     if (QueuingPort* port = queuing_port(destination)) {
       if (port->send(*delivered) == QueuingPort::SendStatus::kOk) {
         if (on_delivery) on_delivery(destination);
-      } else if (metrics_ != nullptr) {
+      } else if (metrics_ != nullptr && metrics_->enabled()) {
         // Remote arrival lost on a full destination queue: the one place a
         // queuing message can drop (local channels hold at the source).
-        metrics_->add(telemetry::Metric::kIpcDrops, -1);
+        ++remote_drops_;
       }
     }
   }
+}
+
+void Router::scrape_traffic() {
+  if (metrics_ == nullptr) return;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const Traffic& traffic = traffic_[i];
+    if (traffic.messages == 0) continue;
+    const std::int32_t id = channels_[i].id.value();
+    metrics_->set_counter(telemetry::Metric::kIpcMessages, id,
+                          traffic.messages);
+    metrics_->set_counter(telemetry::Metric::kIpcBytes, id, traffic.bytes);
+  }
+  if (remote_drops_ > 0) {
+    metrics_->set_counter(telemetry::Metric::kIpcDrops, -1, remote_drops_);
+  }
+}
+
+std::uint64_t Router::total_messages() const {
+  std::uint64_t total = 0;
+  for (const Traffic& traffic : traffic_) total += traffic.messages;
+  return total;
+}
+
+std::uint64_t Router::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const Traffic& traffic : traffic_) total += traffic.bytes;
+  return total;
 }
 
 }  // namespace air::ipc

@@ -99,10 +99,24 @@ class Router {
 
   /// Publish per-channel traffic metrics (messages, bytes, queue depth,
   /// drops) keyed by channel id; remote arrivals (no local channel) are
-  /// keyed -1. nullptr = off.
+  /// keyed -1. nullptr = off. Counters (messages/bytes/drops) accumulate in
+  /// router-local totals and reach the registry only via scrape_traffic()
+  /// (batched telemetry, DESIGN.md §11); the depth *gauge* still samples
+  /// per pump -- gauges count observations, so batching would be visible.
   void set_metrics(telemetry::MetricsRegistry* metrics) {
     metrics_ = metrics;
   }
+
+  /// Write the accumulated per-channel message/byte totals (and remote
+  /// drops, keyed -1) into the registry. Touches exactly the slots the
+  /// retired per-message `add` calls would have touched: channels that
+  /// moved at least one message, and the drop slot after the first drop.
+  void scrape_traffic();
+
+  // --- local traffic totals (online-plane point reads) ---
+  [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::uint64_t total_drops() const { return remote_drops_; }
 
   /// Record a router-hop span per traced message moved through a channel
   /// (and re-parent the delivered copies so the flow stays connected).
@@ -114,8 +128,32 @@ class Router {
   }
 
  private:
-  [[nodiscard]] const ChannelConfig* channel_for_source(
-      const PortRef& source) const;
+  /// Per-message counters accumulated locally; index-parallel to channels_.
+  struct Traffic {
+    std::uint64_t messages{0};
+    std::uint64_t bytes{0};
+  };
+
+  /// Hot-path cache: channel config plus the port pointers its source and
+  /// destinations resolve to, computed once per wiring change instead of a
+  /// string-compare scan plus string-keyed map lookups per pump per tick.
+  struct ResolvedChannel {
+    std::size_t index{0};  // into channels_ / traffic_
+    const ChannelConfig* config{nullptr};
+    QueuingPort* src_queue{nullptr};  // kQueuing channels only
+    // Destination port plus its PortRef (for the on_delivery hook).
+    // Unregistered destination ports are dropped here, matching the null
+    // checks the uncached delivery loops performed.
+    std::vector<std::pair<SamplingPort*, const PortRef*>> sampling_dests;
+    std::vector<std::pair<QueuingPort*, const PortRef*>> queuing_dests;
+    // First resolved channel with the same source port: pump(source)
+    // historically resolved to the first matching channel, so pump_all
+    // routes through this alias to stay faithful on duplicate sources.
+    std::size_t pump_alias{0};
+  };
+
+  void rebuild_resolved();
+  void pump_resolved(ResolvedChannel& rc);
 
   /// Hop span for a traced message; returns the message to deliver (the
   /// original, or a re-parented copy when the hop was recorded).
@@ -125,6 +163,10 @@ class Router {
   std::map<PortRef, SamplingPort*> sampling_;
   std::map<PortRef, QueuingPort*> queuing_;
   std::vector<ChannelConfig> channels_;
+  std::vector<Traffic> traffic_;  // parallel to channels_
+  std::uint64_t remote_drops_{0};
+  std::vector<ResolvedChannel> resolved_;           // parallel to channels_
+  std::map<PortRef, std::size_t> source_to_resolved_;  // first index wins
   telemetry::MetricsRegistry* metrics_{nullptr};
   telemetry::SpanRecorder* spans_{nullptr};
   std::function<Ticks()> now_;

@@ -9,6 +9,7 @@ namespace air::pal {
 Pal::Pal(std::unique_ptr<pos::IKernel> kernel, RegistryKind registry_kind)
     : kernel_(std::move(kernel)) {
   AIR_ASSERT(kernel_ != nullptr);
+  fast_.bind(kernel_.get());
   switch (registry_kind) {
     case RegistryKind::kLinkedList:
       registry_ = std::make_unique<ListDeadlineRegistry>();
@@ -24,7 +25,7 @@ Pal::Pal(std::unique_ptr<pos::IKernel> kernel, RegistryKind registry_kind)
 
 void Pal::announce_ticks(Ticks now, Ticks elapsed) {
   // Algorithm 3, line 1: *POS_CLOCKTICKANNOUNCE(elapsedTicks).
-  kernel_->tick_announce(now, elapsed);
+  fast_.tick_announce(now, elapsed);
 
   // Algorithm 3, lines 2-8: check deadlines in ascending order, stopping at
   // the first that has not been violated. Retrieval of the earliest is O(1).
@@ -79,7 +80,7 @@ void Pal::announce_ticks(Ticks now, Ticks elapsed) {
 }
 
 Ticks Pal::next_attention_tick() const {
-  Ticks next = kernel_->next_wake();
+  Ticks next = fast_.next_wake();
   const DeadlineRecord* rec = registry_->earliest();
   if (rec != nullptr && rec->deadline != kInfiniteTime) {
     // First announce(now) with now > deadline treats it as violated.
@@ -102,7 +103,7 @@ void Pal::advance_idle(Ticks now, Ticks elapsed) {
                  "time-warp span would skip a slack sample");
   // One announce to the end of the span is state-identical to `elapsed`
   // single-tick announces when no timed wait expires inside it.
-  kernel_->tick_announce(now, elapsed);
+  fast_.tick_announce(now, elapsed);
   // Algorithm 3's steady-state path retrieves the earliest deadline exactly
   // once per announce.
   deadline_checks_ += static_cast<std::uint64_t>(elapsed);

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "pal/deadline_registry.hpp"
+#include "pos/dispatch.hpp"
 #include "pos/kernel.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/spans.hpp"
@@ -33,6 +34,11 @@ class Pal {
 
   [[nodiscard]] pos::IKernel& kernel() { return *kernel_; }
   [[nodiscard]] const pos::IKernel& kernel() const { return *kernel_; }
+
+  /// Sealed fast path over the wrapped kernel (pos/dispatch.hpp); the
+  /// per-tick execution layers route their kernel calls through this.
+  [[nodiscard]] pos::KernelDispatch& dispatch() { return fast_; }
+  [[nodiscard]] const pos::KernelDispatch& dispatch() const { return fast_; }
 
   /// Surrogate clock tick announcement (Algorithm 3). Invoked by the
   /// partition dispatch path with the module time `now` and the number of
@@ -71,7 +77,7 @@ class Pal {
   /// cancel its deadline.
   void unregister_deadline(ProcessId pid);
 
-  [[nodiscard]] Ticks current_time() const { return kernel_->now(); }
+  [[nodiscard]] Ticks current_time() const { return fast_.now(); }
 
   [[nodiscard]] IDeadlineRegistry& registry() { return *registry_; }
 
@@ -123,6 +129,7 @@ class Pal {
   void close_job_span(ProcessId pid, Ticks at, telemetry::SpanStatus status);
 
   std::unique_ptr<pos::IKernel> kernel_;
+  pos::KernelDispatch fast_;  // bound to *kernel_ at construction
   std::unique_ptr<IDeadlineRegistry> registry_;
   std::uint64_t deadline_checks_{0};
   std::uint64_t violations_{0};

@@ -37,16 +37,6 @@ PartitionDispatcher::DispatchResult PartitionDispatcher::dispatch(
   const PartitionId previous = active_;
   active_ = heir;
   ++switches_;
-  if (metrics_ != nullptr) {
-    if (heir.valid()) {
-      metrics_->add(telemetry::Metric::kPartitionContextSwitches,
-                    heir.value());
-    }
-    if (previous.valid()) {
-      metrics_->add(telemetry::Metric::kPartitionPreemptions,
-                    previous.value());
-    }
-  }
 
   // Window spans bracket the context switch: the outgoing partition's
   // window ends at this tick and the heir's begins (idle slots, invalid

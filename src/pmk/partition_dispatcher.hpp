@@ -22,7 +22,6 @@
 
 #include "hal/mmu.hpp"
 #include "pmk/partition.hpp"
-#include "telemetry/metrics.hpp"
 #include "telemetry/spans.hpp"
 #include "util/types.hpp"
 
@@ -56,14 +55,12 @@ class PartitionDispatcher {
   [[nodiscard]] PartitionId active_partition() const { return active_; }
 
   // --- instrumentation (E6) ---
+  // Per-partition switch/preemption counts live in the PCBs
+  // (context_restores / context_saves); the module scrapes those into the
+  // telemetry registry at snapshot time instead of the dispatcher paying a
+  // registry write per context switch (batched telemetry, DESIGN.md §11).
   [[nodiscard]] std::uint64_t dispatch_count() const { return dispatches_; }
   [[nodiscard]] std::uint64_t context_switches() const { return switches_; }
-
-  /// Publish per-partition context-switch / preemption counters to the
-  /// telemetry registry (nullptr = off).
-  void set_metrics(telemetry::MetricsRegistry* metrics) {
-    metrics_ = metrics;
-  }
 
   /// Record a partition-window span per context switch: the previous
   /// window closes and the heir's opens. nullptr = off.
@@ -83,7 +80,6 @@ class PartitionDispatcher {
   PartitionId active_{PartitionId::invalid()};
   std::uint64_t dispatches_{0};
   std::uint64_t switches_{0};
-  telemetry::MetricsRegistry* metrics_{nullptr};
   telemetry::SpanRecorder* spans_{nullptr};
   telemetry::SpanId window_span_{0};  // open span of the active window
 };

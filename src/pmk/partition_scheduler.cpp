@@ -52,9 +52,6 @@ bool PartitionScheduler::tick() {
   // most frequent case this comparison is false and we are done.
   if (sched->table[table_iterator_].tick != phase) return false;
   ++points_hit_;
-  if (metrics_ != nullptr) {
-    metrics_->add(telemetry::Metric::kSchedulePreemptionPoints, -1);
-  }
 
   // Lines 3-7: make a pending schedule switch effective at the MTF boundary.
   if (current_ != next_ && phase == 0) {
@@ -65,9 +62,7 @@ bool PartitionScheduler::tick() {
     table_iterator_ = 0;              // line 6
     current_sched_ = &schedules_.at(current_);
     sched = current_sched_;
-    if (metrics_ != nullptr) {
-      metrics_->add(telemetry::Metric::kScheduleSwitches, -1);
-    }
+    ++switches_;
     if (on_schedule_switch) on_schedule_switch(current_, old);
   }
 

@@ -22,7 +22,6 @@
 #include <map>
 
 #include "pmk/schedule.hpp"
-#include "telemetry/metrics.hpp"
 #include "util/types.hpp"
 
 namespace air::pmk {
@@ -75,16 +74,14 @@ class PartitionScheduler {
   [[nodiscard]] const RuntimeSchedule* schedule(ScheduleId id) const;
 
   // --- instrumentation (E5) ---
+  // Plain local counters; the module scrapes them into the telemetry
+  // registry at snapshot time (batched-telemetry contract, DESIGN.md §11),
+  // so Algorithm 1's ISR path never touches the registry.
   [[nodiscard]] std::uint64_t tick_count() const { return tick_calls_; }
   [[nodiscard]] std::uint64_t preemption_points_hit() const {
     return points_hit_;
   }
-
-  /// Publish preemption points and schedule switches to the telemetry
-  /// registry (nullptr = off; observability layer, PR telemetry).
-  void set_metrics(telemetry::MetricsRegistry* metrics) {
-    metrics_ = metrics;
-  }
+  [[nodiscard]] std::uint64_t schedule_switches() const { return switches_; }
 
   /// Invoked right after a schedule switch becomes effective (line 4-6),
   /// with (new, old); the module uses it to arm per-partition
@@ -109,7 +106,7 @@ class PartitionScheduler {
 
   std::uint64_t tick_calls_{0};
   std::uint64_t points_hit_{0};
-  telemetry::MetricsRegistry* metrics_{nullptr};
+  std::uint64_t switches_{0};
 };
 
 }  // namespace air::pmk

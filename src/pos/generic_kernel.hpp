@@ -15,7 +15,9 @@
 
 namespace air::pos {
 
-class GenericKernel : public KernelBase {
+// `final` seals the class for the KernelDispatch fast path (pos/dispatch.hpp)
+// and lets LTO devirtualize through GenericKernel* references.
+class GenericKernel final : public KernelBase {
  public:
   [[nodiscard]] std::string_view kind() const override { return "generic"; }
 

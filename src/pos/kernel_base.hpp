@@ -10,46 +10,50 @@
 
 namespace air::pos {
 
+// The overrides below are `final`: subclasses customise *policy* through
+// the protected ready-queue hooks (plus kind/schedule/set_priority), never
+// the table/time machinery itself. Sealing it lets calls through a
+// KernelBase* -- notably the KernelDispatch fast path -- devirtualize.
 class KernelBase : public IKernel {
  public:
-  ProcessId create_process(ProcessAttributes attrs) override;
-  [[nodiscard]] ProcessControlBlock* pcb(ProcessId id) override;
-  [[nodiscard]] const ProcessControlBlock* pcb(ProcessId id) const override;
-  [[nodiscard]] std::size_t process_count() const override {
+  ProcessId create_process(ProcessAttributes attrs) final;
+  [[nodiscard]] ProcessControlBlock* pcb(ProcessId id) final;
+  [[nodiscard]] const ProcessControlBlock* pcb(ProcessId id) const final;
+  [[nodiscard]] std::size_t process_count() const final {
     return table_.size();
   }
-  [[nodiscard]] ProcessId find_process(std::string_view name) const override;
+  [[nodiscard]] ProcessId find_process(std::string_view name) const final;
 
-  void make_ready(ProcessId id) override;
-  void make_dormant(ProcessId id) override;
-  void block(ProcessId id, WaitReason reason, Ticks wake_time) override;
-  void wake(ProcessId id, WakeResult result) override;
-  void suspend(ProcessId id, Ticks wake_time) override;
-  void resume(ProcessId id) override;
+  void make_ready(ProcessId id) final;
+  void make_dormant(ProcessId id) final;
+  void block(ProcessId id, WaitReason reason, Ticks wake_time) final;
+  void wake(ProcessId id, WakeResult result) final;
+  void suspend(ProcessId id, Ticks wake_time) final;
+  void resume(ProcessId id) final;
 
-  void tick_announce(Ticks now, Ticks elapsed) override;
-  [[nodiscard]] Ticks now() const override { return now_; }
-  [[nodiscard]] Ticks next_wake() const override;
+  void tick_announce(Ticks now, Ticks elapsed) final;
+  [[nodiscard]] Ticks now() const final { return now_; }
+  [[nodiscard]] Ticks next_wake() const final;
 
-  [[nodiscard]] ProcessId current() const override { return current_; }
+  [[nodiscard]] ProcessId current() const final { return current_; }
 
-  void lock_preemption() override { ++preemption_lock_; }
-  void unlock_preemption() override {
+  void lock_preemption() final { ++preemption_lock_; }
+  void unlock_preemption() final {
     if (preemption_lock_ > 0) --preemption_lock_;
   }
-  [[nodiscard]] bool preemption_locked() const override {
+  [[nodiscard]] bool preemption_locked() const final {
     return preemption_lock_ > 0;
   }
 
-  void reset_all() override;
+  void reset_all() final;
 
-  [[nodiscard]] std::uint64_t dispatch_count() const override {
+  [[nodiscard]] std::uint64_t dispatch_count() const final {
     return dispatches_;
   }
-  [[nodiscard]] std::uint64_t process_switches() const override {
+  [[nodiscard]] std::uint64_t process_switches() const final {
     return process_switches_;
   }
-  [[nodiscard]] std::size_t ready_depth() const override;
+  [[nodiscard]] std::size_t ready_depth() const final;
 
  protected:
   /// Subclass schedule() bookkeeping: an heir was selected; `switched`

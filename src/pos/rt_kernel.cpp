@@ -1,6 +1,7 @@
 #include "pos/rt_kernel.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/assert.hpp"
 
@@ -9,18 +10,28 @@ namespace air::pos {
 void RtKernel::enqueue_ready(ProcessControlBlock& pcb) {
   AIR_ASSERT(pcb.current_priority >= 0 &&
              pcb.current_priority < kPriorityLevels);
-  ready_[static_cast<std::size_t>(pcb.current_priority)].push_back(pcb.id);
+  const auto priority = static_cast<std::size_t>(pcb.current_priority);
+  ready_[priority].push_back(pcb.id);
+  occupancy_[priority >> 6] |= std::uint64_t{1} << (priority & 63);
 }
 
 void RtKernel::dequeue_ready(ProcessControlBlock& pcb) {
-  auto& queue = ready_[static_cast<std::size_t>(pcb.current_priority)];
+  const auto priority = static_cast<std::size_t>(pcb.current_priority);
+  auto& queue = ready_[priority];
   auto it = std::find(queue.begin(), queue.end(), pcb.id);
   if (it != queue.end()) queue.erase(it);
+  if (queue.empty()) {
+    occupancy_[priority >> 6] &= ~(std::uint64_t{1} << (priority & 63));
+  }
 }
 
 ProcessId RtKernel::pick_heir() {
-  for (const auto& queue : ready_) {
-    if (!queue.empty()) return queue.front();
+  for (std::size_t word = 0; word < kWords; ++word) {
+    if (occupancy_[word] != 0) {
+      const auto bit =
+          static_cast<std::size_t>(std::countr_zero(occupancy_[word]));
+      return ready_[(word << 6) | bit].front();
+    }
   }
   return ProcessId::invalid();
 }

@@ -8,13 +8,16 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <deque>
 
 #include "pos/kernel_base.hpp"
 
 namespace air::pos {
 
-class RtKernel : public KernelBase {
+// `final` seals the class for the KernelDispatch fast path (pos/dispatch.hpp)
+// and lets LTO devirtualize through RtKernel* references.
+class RtKernel final : public KernelBase {
  public:
   /// Valid priority range [0, kPriorityLevels).
   static constexpr Priority kPriorityLevels = 256;
@@ -34,6 +37,11 @@ class RtKernel : public KernelBase {
   // its queue: it entered the ready state before every process behind it,
   // so eq. (14)'s age tie-break is the queue order itself.
   std::array<std::deque<ProcessId>, kPriorityLevels> ready_;
+  // Occupancy bitmap over ready_: bit p set iff ready_[p] is non-empty.
+  // pick_heir() runs per simulated tick; find-first-set over four words
+  // replaces a scan of 256 deque headers (DESIGN.md §11).
+  static constexpr std::size_t kWords = kPriorityLevels / 64;
+  std::array<std::uint64_t, kWords> occupancy_{};
 };
 
 }  // namespace air::pos

@@ -1,0 +1,28 @@
+#include "system/build_info.hpp"
+
+#include <string_view>
+
+// Stamped by src/system/CMakeLists.txt from the configuring tree.
+#ifndef AIR_CMAKE_BUILD_TYPE
+#define AIR_CMAKE_BUILD_TYPE ""
+#endif
+
+namespace air::system {
+
+const char* build_type() {
+  return AIR_CMAKE_BUILD_TYPE[0] != '\0' ? AIR_CMAKE_BUILD_TYPE : "unset";
+}
+
+bool release_build() {
+  return std::string_view{AIR_CMAKE_BUILD_TYPE} == "Release";
+}
+
+bool lto_build() {
+#ifdef AIR_LTO
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace air::system

@@ -1,0 +1,24 @@
+// Build-type self-description (the "Release contract", DESIGN.md §11).
+//
+// Every perf number this repo records -- BENCH_*.json baselines, the warp
+// speedup, flight-report ticks/s -- is only meaningful when measured from an
+// optimised Release tree. These helpers let binaries say which tree they
+// came from, so reports and bench JSONs are self-incriminating instead of
+// silently mixing debug and Release timings.
+#pragma once
+
+namespace air::system {
+
+/// CMAKE_BUILD_TYPE the binary was configured with ("unset" when the tree
+/// was configured without one, i.e. no -O level at all).
+[[nodiscard]] const char* build_type();
+
+/// True only for CMAKE_BUILD_TYPE=Release -- the one configuration whose
+/// timings are comparable to the checked-in bench baselines.
+[[nodiscard]] bool release_build();
+
+/// True when the tree was configured with interprocedural optimisation
+/// (CMAKE_INTERPROCEDURAL_OPTIMIZATION), which the bench harness enables.
+[[nodiscard]] bool lto_build();
+
+}  // namespace air::system

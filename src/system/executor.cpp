@@ -184,7 +184,10 @@ OpOutcome apply_service(Module& module, apex::Apex& apex,
 
 bool Executor::step(Module& module, PartitionId id, Ticks now) {
   auto& apex = module.apex(id);
-  pos::IKernel& kernel = apex.kernel();
+  // Sealed fast path over the partition's kernel: schedule() + pcb() run
+  // once per simulated tick, so they go through the devirtualized dispatch
+  // bound at PAL construction rather than the vtable.
+  pos::KernelDispatch& kernel = module.pal(id).dispatch();
 
   bool did_work = false;
   int budget = kMaxServicesPerTick;

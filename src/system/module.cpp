@@ -7,6 +7,7 @@
 #include "model/validation.hpp"
 #include "pos/generic_kernel.hpp"
 #include "pos/rt_kernel.hpp"
+#include "system/build_info.hpp"
 #include "system/executor.hpp"
 #include "util/assert.hpp"
 
@@ -117,10 +118,6 @@ Module::Module(ModuleConfig config)
     core.scheduler.set_initial_schedule(core_config.initial_schedule);
     core.dispatcher =
         std::make_unique<pmk::PartitionDispatcher>(pcbs_, &machine_.mmu());
-    if (config_.telemetry.metrics_enabled) {
-      core.scheduler.set_metrics(&metrics_);
-      core.dispatcher->set_metrics(&metrics_);
-    }
     if (config_.telemetry.spans_enabled) {
       core.dispatcher->set_spans(&spans_);
     }
@@ -597,6 +594,40 @@ telemetry::MetricsSnapshot Module::metrics_snapshot() {
       metrics_.set(telemetry::Metric::kReadyQueueDepth, index,
                    static_cast<std::int64_t>(k.ready_depth()));
     }
+    // Partition context switches / preemptions: the dispatcher already
+    // counts them in the PCBs, so the context-switch path pays no registry
+    // write; the totals land here. A zero total stays unwritten -- the
+    // per-event adds never touched those slots either.
+    for (std::size_t i = 0; i < partitions_.size(); ++i) {
+      const auto index = static_cast<std::int32_t>(i);
+      const pmk::PartitionControlBlock& pcb = pcbs_[i];
+      if (pcb.context_restores > 0) {
+        metrics_.set_counter(telemetry::Metric::kPartitionContextSwitches,
+                             index, pcb.context_restores);
+      }
+      if (pcb.context_saves > 0) {
+        metrics_.set_counter(telemetry::Metric::kPartitionPreemptions, index,
+                             pcb.context_saves);
+      }
+    }
+    // Partition-scheduler counters, summed across cores (all cores share
+    // the module-wide -1 slot, as the per-event adds did).
+    std::uint64_t points = 0;
+    std::uint64_t switches = 0;
+    for (const Core& core : cores_) {
+      points += core.scheduler.preemption_points_hit();
+      switches += core.scheduler.schedule_switches();
+    }
+    if (points > 0) {
+      metrics_.set_counter(telemetry::Metric::kSchedulePreemptionPoints, -1,
+                           points);
+    }
+    if (switches > 0) {
+      metrics_.set_counter(telemetry::Metric::kScheduleSwitches, -1,
+                           switches);
+    }
+    // Router traffic counters (messages/bytes per channel, remote drops).
+    router_.scrape_traffic();
     const hal::MmuStats& mmu = machine_.mmu().stats();
     metrics_.set_counter(telemetry::Metric::kTlbHits, -1, mmu.tlb_hits);
     metrics_.set_counter(telemetry::Metric::kTlbMisses, -1, mmu.tlb_misses);
@@ -635,10 +666,13 @@ telemetry::OnlineSample Module::build_online_sample() const {
       ps.deadline_slack = *slack;
     }
   }
-  sample.ipc_messages =
-      metrics_.counter_total(telemetry::Metric::kIpcMessages);
-  sample.ipc_bytes = metrics_.counter_total(telemetry::Metric::kIpcBytes);
-  sample.ipc_drops = metrics_.counter_total(telemetry::Metric::kIpcDrops);
+  // Router-local totals, not registry reads: traffic counters reach the
+  // registry only at snapshot time (scrape_traffic), and the router
+  // accumulates them under the same metrics-enabled condition the retired
+  // per-message adds used -- so these values are unchanged.
+  sample.ipc_messages = router_.total_messages();
+  sample.ipc_bytes = router_.total_bytes();
+  sample.ipc_drops = router_.total_drops();
   sample.spans_dropped = spans_.dropped_spans();
   sample.trace_dropped = trace_.dropped_events();
   sample.trace_dropped_critical = trace_.dropped_critical_events();
@@ -658,6 +692,13 @@ std::string Module::status_report() {
   std::snprintf(line, sizeof line, "module %s  t=%lld%s  cores=%zu\n",
                 config_.name.c_str(), static_cast<long long>(now()),
                 stopped_ ? "  [STOPPED]" : "", cores_.size());
+  out += line;
+  // Measurement conditions up front: timings in this report are only
+  // comparable to the checked-in baselines when taken from a Release tree.
+  std::snprintf(line, sizeof line, "  build: %s%s%s\n", build_type(),
+                lto_build() ? " +lto" : "",
+                release_build() ? "" : "  [non-Release: timings not "
+                                       "comparable to Release baselines]");
   out += line;
   for (std::size_t c = 0; c < cores_.size(); ++c) {
     const auto status = cores_[c].scheduler.status();

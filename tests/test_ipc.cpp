@@ -165,7 +165,7 @@ TEST_F(RouterTest, RemoteDestinationsGoThroughTheHook) {
                             ChannelKind kind) {
     EXPECT_EQ(kind, ChannelKind::kQueuing);
     EXPECT_EQ(dest.module, ModuleId{1});
-    sent.push_back(m.payload);
+    sent.push_back(m.payload.str());
   };
   ASSERT_EQ(rout.send({"hello", 0, PartitionId{2}}),
             QueuingPort::SendStatus::kOk);

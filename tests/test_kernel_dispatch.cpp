@@ -1,0 +1,321 @@
+// KernelDispatch fast-path equivalence (pos/dispatch.hpp).
+//
+// The sealed enum-switch dispatch is an optimization, never a semantic
+// fork: binding a KernelDispatch to a concrete kernel (fast path) and to
+// the same kernel hidden behind an opaque IKernel wrapper (virtual
+// fallback) must produce byte-identical behaviour. These tests drive both
+// paths through long randomized operation sequences -- timed waits,
+// suspend/resume edges, priority changes, preemption locking, dormant
+// restarts (the kernel-level shape of a mode switch) -- and assert the
+// schedules, wakes, state-change streams and clock probes never diverge,
+// for both stock kernel kinds. A Pal-level run does the same for deadline
+// verdicts (Algorithm 3 announces through the dispatch).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pal/pal.hpp"
+#include "pos/dispatch.hpp"
+#include "pos/generic_kernel.hpp"
+#include "pos/rt_kernel.hpp"
+
+namespace air::pos {
+namespace {
+
+// Implements IKernel directly (KernelBase is sealed) by forwarding every
+// call to an inner concrete kernel. KernelDispatch cannot classify it, so
+// it takes the kVirtual fallback -- the pre-devirtualization code path.
+class ForwardingKernel : public IKernel {
+ public:
+  explicit ForwardingKernel(std::unique_ptr<IKernel> inner)
+      : inner_(std::move(inner)) {
+    inner_->on_state_change = [this](ProcessId pid, ProcessState state) {
+      if (on_state_change) on_state_change(pid, state);
+    };
+  }
+
+  [[nodiscard]] std::string_view kind() const override {
+    return inner_->kind();
+  }
+  ProcessId create_process(ProcessAttributes attrs) override {
+    return inner_->create_process(std::move(attrs));
+  }
+  [[nodiscard]] ProcessControlBlock* pcb(ProcessId id) override {
+    return inner_->pcb(id);
+  }
+  [[nodiscard]] const ProcessControlBlock* pcb(ProcessId id) const override {
+    return static_cast<const IKernel&>(*inner_).pcb(id);
+  }
+  [[nodiscard]] std::size_t process_count() const override {
+    return inner_->process_count();
+  }
+  [[nodiscard]] ProcessId find_process(std::string_view name) const override {
+    return inner_->find_process(name);
+  }
+  void make_ready(ProcessId id) override { inner_->make_ready(id); }
+  void make_dormant(ProcessId id) override { inner_->make_dormant(id); }
+  void block(ProcessId id, WaitReason reason, Ticks wake_time) override {
+    inner_->block(id, reason, wake_time);
+  }
+  void wake(ProcessId id, WakeResult result) override {
+    inner_->wake(id, result);
+  }
+  void set_priority(ProcessId id, Priority priority) override {
+    inner_->set_priority(id, priority);
+  }
+  void suspend(ProcessId id, Ticks wake_time) override {
+    inner_->suspend(id, wake_time);
+  }
+  void resume(ProcessId id) override { inner_->resume(id); }
+  void tick_announce(Ticks now, Ticks elapsed) override {
+    inner_->tick_announce(now, elapsed);
+  }
+  [[nodiscard]] Ticks now() const override { return inner_->now(); }
+  [[nodiscard]] Ticks next_wake() const override {
+    return inner_->next_wake();
+  }
+  ProcessId schedule() override { return inner_->schedule(); }
+  [[nodiscard]] ProcessId current() const override {
+    return inner_->current();
+  }
+  void lock_preemption() override { inner_->lock_preemption(); }
+  void unlock_preemption() override { inner_->unlock_preemption(); }
+  [[nodiscard]] bool preemption_locked() const override {
+    return inner_->preemption_locked();
+  }
+  [[nodiscard]] std::uint64_t dispatch_count() const override {
+    return inner_->dispatch_count();
+  }
+  [[nodiscard]] std::uint64_t process_switches() const override {
+    return inner_->process_switches();
+  }
+  [[nodiscard]] std::size_t ready_depth() const override {
+    return inner_->ready_depth();
+  }
+  void reset_all() override { inner_->reset_all(); }
+
+ private:
+  std::unique_ptr<IKernel> inner_;
+};
+
+enum class Flavour { kRt, kGeneric };
+
+std::unique_ptr<IKernel> make_kernel(Flavour flavour) {
+  if (flavour == Flavour::kRt) return std::make_unique<RtKernel>();
+  return std::make_unique<GenericKernel>();
+}
+
+// One side of the comparison: a kernel driven through a KernelDispatch,
+// logging everything observable into a text journal.
+struct Side {
+  explicit Side(std::unique_ptr<IKernel> k) : kernel(std::move(k)) {
+    dispatch.bind(kernel.get());
+    kernel->on_state_change = [this](ProcessId pid, ProcessState state) {
+      journal << "state p" << pid.value() << "=" << to_string(state) << "\n";
+    };
+  }
+
+  std::unique_ptr<IKernel> kernel;
+  KernelDispatch dispatch;
+  std::ostringstream journal;
+};
+
+// Drives both sides through the same seeded operation sequence and returns
+// (fast journal, virtual journal). Any divergence shows up as a text diff.
+std::pair<std::string, std::string> run_campaign(Flavour flavour,
+                                                 std::uint32_t seed) {
+  Side fast{make_kernel(flavour)};
+  Side slow{std::make_unique<ForwardingKernel>(make_kernel(flavour))};
+  EXPECT_EQ(fast.dispatch.kind(),
+            flavour == Flavour::kRt ? KernelKind::kRt : KernelKind::kGeneric);
+  EXPECT_EQ(slow.dispatch.kind(), KernelKind::kVirtual);
+
+  constexpr int kProcesses = 6;
+  std::mt19937 rng(seed);
+  for (int i = 0; i < kProcesses; ++i) {
+    ProcessAttributes attrs;
+    attrs.name = "p" + std::to_string(i);
+    attrs.priority = static_cast<Priority>(rng() % 32);
+    for (Side* side : {&fast, &slow}) {
+      const ProcessId pid = side->kernel->create_process(attrs);
+      side->kernel->pcb(pid)->current_priority = attrs.priority;
+    }
+  }
+
+  Ticks now = 0;
+  const auto pick = [&rng] {
+    return ProcessId{static_cast<int>(rng() % kProcesses)};
+  };
+  for (int step = 0; step < 4000; ++step) {
+    // Every random draw happens before the per-side loop: both sides must
+    // receive literally the same call sequence.
+    const std::uint32_t op = rng() % 12;
+    const ProcessId pid = pick();
+    const Ticks horizon = now + 1 + static_cast<Ticks>(rng() % 17);
+    const bool timed_suspend = (rng() % 2) != 0;
+    const auto new_priority = static_cast<Priority>(rng() % 32);
+    const Ticks elapsed = 1 + static_cast<Ticks>(rng() % 5);
+    // block() requires a schedulable process; both sides hold identical
+    // states, so deciding off the fast side keeps the sequences in lockstep.
+    const bool can_block = fast.kernel->pcb(pid)->schedulable();
+    for (Side* side : {&fast, &slow}) {
+      IKernel& k = *side->kernel;
+      KernelDispatch& d = side->dispatch;
+      switch (op) {
+        case 0:
+        case 1:
+          k.make_ready(pid);
+          break;
+        case 2:
+          // Timed-wait edge: expiry lands exactly on a future announce.
+          if (can_block) k.block(pid, WaitReason::kDelay, horizon);
+          break;
+        case 3:
+          if (can_block) k.block(pid, WaitReason::kSemaphore, kInfiniteTime);
+          break;
+        case 4:
+          k.wake(pid, WakeResult::kOk);
+          break;
+        case 5:
+          // Suspend edge: with and without a resume timeout.
+          k.suspend(pid, timed_suspend ? horizon : kInfiniteTime);
+          break;
+        case 6:
+          k.resume(pid);
+          break;
+        case 7:
+          k.set_priority(pid, new_priority);
+          break;
+        case 8:
+          if (k.preemption_locked()) {
+            k.unlock_preemption();
+          } else {
+            k.lock_preemption();
+          }
+          break;
+        case 9:
+          // Kernel-level shape of a mode switch: stop a process cold; it
+          // is later restarted by a make_ready.
+          k.make_dormant(pid);
+          break;
+        default:
+          // Advance time through the dispatch (the Algorithm 3 path).
+          d.tick_announce(now + elapsed, elapsed);
+          break;
+      }
+      const ProcessId heir = d.schedule();
+      side->journal << "t" << d.now() << " heir=" << heir.value()
+                    << " cur=" << d.current().value()
+                    << " wake=" << d.next_wake()
+                    << " depth=" << k.ready_depth() << "\n";
+      if (ProcessControlBlock* pcb = d.pcb(pid)) {
+        side->journal << "  p" << pid.value() << " st="
+                      << to_string(pcb->state) << " pri="
+                      << pcb->current_priority << " wk=" << pcb->wake_time
+                      << "\n";
+      }
+    }
+    if (op >= 10) {
+      // Keep the driver's clock in sync with what both sides announced.
+      now = fast.dispatch.now();
+    }
+  }
+  fast.journal << "dispatches=" << fast.kernel->dispatch_count()
+               << " switches=" << fast.kernel->process_switches() << "\n";
+  slow.journal << "dispatches=" << slow.kernel->dispatch_count()
+               << " switches=" << slow.kernel->process_switches() << "\n";
+  return {fast.journal.str(), slow.journal.str()};
+}
+
+TEST(KernelDispatch, ClassifiesSealedKernelsAndFallsBackForForeignOnes) {
+  RtKernel rt;
+  GenericKernel generic;
+  ForwardingKernel foreign{std::make_unique<RtKernel>()};
+  EXPECT_EQ(KernelDispatch{&rt}.kind(), KernelKind::kRt);
+  EXPECT_EQ(KernelDispatch{&generic}.kind(), KernelKind::kGeneric);
+  EXPECT_EQ(KernelDispatch{&foreign}.kind(), KernelKind::kVirtual);
+  EXPECT_EQ(KernelDispatch{&rt}.get(), &rt);
+}
+
+TEST(KernelDispatch, RandomizedFastVsVirtualEquivalenceRt) {
+  for (std::uint32_t seed : {1u, 7u, 42u, 1234u}) {
+    auto [fast, slow] = run_campaign(Flavour::kRt, seed);
+    ASSERT_EQ(fast, slow) << "rt kernel diverged at seed " << seed;
+  }
+}
+
+TEST(KernelDispatch, RandomizedFastVsVirtualEquivalenceGeneric) {
+  for (std::uint32_t seed : {1u, 7u, 42u, 1234u}) {
+    auto [fast, slow] = run_campaign(Flavour::kGeneric, seed);
+    ASSERT_EQ(fast, slow) << "generic kernel diverged at seed " << seed;
+  }
+}
+
+// Algorithm 3 through the dispatch: identical deadline verdicts whether
+// the Pal wraps a sealed kernel or an opaque IKernel implementation.
+TEST(KernelDispatch, PalDeadlineVerdictsMatchAcrossDispatchPaths) {
+  for (std::uint32_t seed : {3u, 99u}) {
+    std::ostringstream fast_log;
+    std::ostringstream slow_log;
+    pal::Pal fast_pal{std::make_unique<RtKernel>()};
+    pal::Pal slow_pal{
+        std::make_unique<ForwardingKernel>(std::make_unique<RtKernel>())};
+    EXPECT_EQ(fast_pal.dispatch().kind(), KernelKind::kRt);
+    EXPECT_EQ(slow_pal.dispatch().kind(), KernelKind::kVirtual);
+
+    struct Bound {
+      pal::Pal* pal;
+      std::ostringstream* log;
+      ProcessId pid;
+    };
+    std::vector<Bound> sides;
+    for (auto [pal, log] : {std::pair{&fast_pal, &fast_log},
+                            std::pair{&slow_pal, &slow_log}}) {
+      ProcessAttributes attrs;
+      attrs.name = "job";
+      const ProcessId pid = pal->kernel().create_process(attrs);
+      pal->kernel().make_ready(pid);
+      pal->on_deadline_violation = [log](ProcessId p, Ticks deadline,
+                                         Ticks at) {
+        *log << "violation p" << p.value() << " d=" << deadline << " at=" << at
+             << "\n";
+      };
+      sides.push_back({pal, log, pid});
+    }
+
+    std::mt19937 rng(seed);
+    Ticks now = 0;
+    for (int step = 0; step < 500; ++step) {
+      const std::uint32_t op = rng() % 4;
+      const Ticks deadline = now + 1 + static_cast<Ticks>(rng() % 9);
+      for (Bound& side : sides) {
+        switch (op) {
+          case 0:
+            side.pal->register_deadline(side.pid, deadline);
+            break;
+          case 1:
+            side.pal->unregister_deadline(side.pid);
+            break;
+          default:
+            side.pal->announce_ticks(now + 1, 1);
+            break;
+        }
+        *side.log << "t" << side.pal->current_time()
+                  << " next=" << side.pal->next_attention_tick()
+                  << " checks=" << side.pal->deadline_checks()
+                  << " misses=" << side.pal->violations_detected() << "\n";
+      }
+      if (op >= 2) ++now;
+    }
+    ASSERT_EQ(fast_log.str(), slow_log.str())
+        << "deadline verdicts diverged at seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace air::pos

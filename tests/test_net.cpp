@@ -19,7 +19,9 @@ TEST(Bus, DeliversAfterPropagationDelay) {
                              const ipc::Message&, ipc::ChannelKind) {});
   bus.attach(ModuleId{1},
              [&](PartitionId, const std::string& port, const ipc::Message& m,
-                 ipc::ChannelKind) { received.push_back(port + ":" + m.payload); });
+                 ipc::ChannelKind) {
+               received.push_back(port + ":" + m.payload.str());
+             });
 
   bus.send(ModuleId{0}, {ModuleId{1}, PartitionId{0}, "IN"},
            {"hello", 0, PartitionId{0}}, ipc::ChannelKind::kQueuing, 0);

@@ -9,18 +9,22 @@
 // that crosses the bus.
 //
 // Usage: air-record [--no-warp] [--clean] [--health] [--fail-on-breach]
-//                   [out_dir]                    (default out_dir: "flight")
+//                   [--status] [out_dir]         (default out_dir: "flight")
 //
 // --clean omits the faulty process (the mission then has a zero-breach SLO:
 // the CI flight-health job asserts it). --health flies with the online
 // observability plane enabled on both modules and the bus, streaming
 // windowed digests and watchdog breaches to <out_dir>/health.ndjson -- the
 // file tools/air-top renders. --fail-on-breach exits 2 when any watchdog
-// fired.
+// fired. --status skips the mission: it prints the binary's build type and
+// a one-line ticks/s self-measurement (a wall-clocked clean Fig. 8 flight),
+// so a shell can tell at a glance whether its timings mean anything
+// (DESIGN.md §11).
 //
 // Writes per module: <name>_trace.json, <name>_metrics.json,
 // <name>_spans.json; plus bus_spans.json and meta.json (the manifest
 // air-analyze loads).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -28,6 +32,7 @@
 #include <string>
 
 #include "config/fig8.hpp"
+#include "system/build_info.hpp"
 #include "system/world.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/online.hpp"
@@ -78,6 +83,35 @@ bool write_file(const std::filesystem::path& path, const std::string& text) {
   return true;
 }
 
+// --status: say which tree this binary came from and how fast it actually
+// ticks here, in one line each. The self-measurement flies a clean Fig. 8
+// module (warp off, so every tick is executed) for a fixed tick budget and
+// wall-clocks it -- crude, but enough to spot a debug binary (an order of
+// magnitude slower) or a loaded host at a glance.
+int print_status() {
+  std::printf("air-record: build %s%s\n", system::build_type(),
+              system::lto_build() ? " +lto" : "");
+  constexpr Ticks kTicks = 20 * scenarios::kFig8Mtf;
+  system::Module module(
+      scenarios::fig8_config({.with_faulty_process = false}));
+  module.set_time_warp(false);
+  const auto start = std::chrono::steady_clock::now();
+  module.run(kTicks);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(kTicks) / elapsed
+                                    : 0.0;
+  std::printf(
+      "air-record: self-measure %llu ticks in %.1f ms -> %.2fM ticks/s "
+      "(clean fig8, warp off)%s\n",
+      static_cast<unsigned long long>(kTicks), elapsed * 1e3, rate / 1e6,
+      system::release_build()
+          ? ""
+          : "  [non-Release: not comparable to Release baselines]");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,6 +129,8 @@ int main(int argc, char** argv) {
       health = true;
     } else if (std::strcmp(argv[i], "--fail-on-breach") == 0) {
       fail_on_breach = true;
+    } else if (std::strcmp(argv[i], "--status") == 0) {
+      return print_status();
     } else {
       out_dir = argv[i];
     }
