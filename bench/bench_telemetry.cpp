@@ -16,6 +16,9 @@
 //   6  metrics + flight recorder + spans (span mirror feeds the rings)
 //   7  metrics + online plane, trace off (windowed digests + watchdogs;
 //      bench/check_online_overhead.py gates mode 7 within 10% of mode 1)
+//   8  metrics + host profiler at the default sampling stride, trace off
+//      (the always-on cost-attribution configuration;
+//      bench/check_profiler_overhead.py gates mode 8 within 10% of mode 1)
 #include <benchmark/benchmark.h>
 
 #include "config/fig8.hpp"
@@ -42,7 +45,7 @@ void BM_TelemetryTick_Fig8(benchmark::State& state) {
   config.telemetry.metrics_enabled = mode >= 1;
   config.telemetry.flight_recorder_capacity =
       mode == 3 || mode == 4 || mode == 6 ? 4096 : 0;
-  config.telemetry.profiler_enabled = mode == 4;
+  config.telemetry.profiler_enabled = mode == 4 || mode == 8;
   config.telemetry.spans_enabled = mode == 5 || mode == 6;
   config.telemetry.spans_capacity = mode == 5 || mode == 6 ? 4096 : 0;
   config.telemetry.online.enabled = mode == 7;
@@ -64,9 +67,13 @@ void BM_TelemetryTick_Fig8(benchmark::State& state) {
     state.counters["windows_closed"] = benchmark::Counter(
         static_cast<double>(module.online()->windows_closed()));
   }
+  if (mode == 4 || mode == 8) {
+    state.counters["sampled_ticks"] = benchmark::Counter(
+        static_cast<double>(module.profiler().ticks()));
+  }
   if (mode == 4) module.remove_trace_sink(&sink);
 }
-BENCHMARK(BM_TelemetryTick_Fig8)->DenseRange(0, 7);
+BENCHMARK(BM_TelemetryTick_Fig8)->DenseRange(0, 8);
 
 // Microcosts: one registry operation, enabled vs disabled, and one
 // snapshot of a populated registry.

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""CI gate: the always-on host profiler must stay cheap.
+
+Reads a Google Benchmark JSON file containing BM_TelemetryTick_Fig8/1
+(metrics only) and BM_TelemetryTick_Fig8/8 (metrics + hierarchical host
+profiler at the default sampling stride) and fails unless the mode-8
+sim_ticks_per_second is at least MIN_RATIO of the mode-1 rate
+(default 0.90, i.e. stride sampling amortises the clock reads to at most
+10% of the tick -- the DESIGN.md section 12 contract).
+
+Usage: check_profiler_overhead.py BENCH_telemetry.json [min_ratio]
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    min_ratio = float(sys.argv[2]) if len(sys.argv) > 2 else 0.90
+
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+
+    rates = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith("BM_TelemetryTick_Fig8/"):
+            continue
+        if bench.get("run_type") == "aggregate":
+            continue
+        arg = name.split("/")[1]
+        rate = bench.get("sim_ticks_per_second")
+        if rate is not None:
+            # Keep the best repetition per arg (minimum-noise estimate).
+            rates[arg] = max(rates.get(arg, 0.0), float(rate))
+
+    if "1" not in rates or "8" not in rates:
+        print(f"error: {path} lacks BM_TelemetryTick_Fig8/1 and /8 "
+              f"(found: {sorted(rates)})", file=sys.stderr)
+        return 2
+
+    base, profiled = rates["1"], rates["8"]
+    ratio = profiled / base if base > 0 else float("inf")
+    print(f"telemetry tick rate: metrics-only {base:.3e}, +host profiler "
+          f"{profiled:.3e} -> ratio {ratio:.3f} (gate: >= {min_ratio})")
+    if ratio < min_ratio:
+        print("error: host profiler overhead above the gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,11 @@ Per-benchmark overrides (--tolerance-for) exist for benchmarks whose inner
 loop is microseconds-long and scheduler-noise-bound; the default tolerance
 covers the rest. New benchmarks present only in the fresh run pass (they
 have no baseline yet); improvements always pass.
+
+On every run (pass or fail) the per-benchmark percent-delta table is
+printed; when $GITHUB_STEP_SUMMARY is set the same table is appended there
+as Markdown, so the CI job summary shows the drift of every benchmark, not
+just the ones that breached the gate.
 """
 import argparse
 import glob
@@ -69,6 +74,7 @@ def main() -> int:
         return 2
 
     failures = []
+    rows = []  # (name, fresh_cpu, base_cpu, unit, delta_frac, tol, verdict)
     compared = 0
     for base_path in baselines:
         fname = os.path.basename(base_path)
@@ -100,14 +106,38 @@ def main() -> int:
             limit = base_cpu * (1.0 + tol)
             ratio = fresh_cpu / base_cpu if base_cpu > 0 else float("inf")
             verdict = "ok" if fresh_cpu <= limit else "REGRESSED"
-            print(f"{verdict:>9}  {name}: {fresh_cpu:.1f} vs {base_cpu:.1f} "
-                  f"{base_unit} ({ratio:.2f}x, tol {tol:.0%})")
+            rows.append((name, fresh_cpu, base_cpu, base_unit,
+                         ratio - 1.0, tol, verdict))
             compared += 1
             if fresh_cpu > limit:
                 failures.append(
                     f"{fname}: {name} cpu_time {fresh_cpu:.1f} {base_unit} vs "
                     f"baseline {base_cpu:.1f} {base_unit} "
                     f"(+{(ratio - 1):.0%} > {tol:.0%})")
+
+    # Percent-delta table: negative = faster than baseline. Printed on pass
+    # too -- slow drift inside the tolerance band is invisible otherwise.
+    if rows:
+        width = max(len(name) for name, *_ in rows)
+        print(f"{'verdict':>9}  {'benchmark':<{width}} {'fresh':>12} "
+              f"{'baseline':>12} {'delta':>8} {'tol':>5}")
+        for name, fresh_cpu, base_cpu, unit, delta, tol, verdict in rows:
+            print(f"{verdict:>9}  {name:<{width}} {fresh_cpu:>10.1f}{unit} "
+                  f"{base_cpu:>10.1f}{unit} {delta:>+7.1%} {tol:>5.0%}")
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path and rows:
+        with open(summary_path, "a", encoding="utf-8") as fh:
+            fh.write("### Bench regression gate\n\n")
+            fh.write("| benchmark | fresh | baseline | delta | tol | verdict |\n")
+            fh.write("|---|---:|---:|---:|---:|---|\n")
+            for name, fresh_cpu, base_cpu, unit, delta, tol, verdict in rows:
+                marker = "✅" if verdict == "ok" else "❌"
+                fh.write(f"| `{name}` | {fresh_cpu:.1f} {unit} "
+                         f"| {base_cpu:.1f} {unit} | {delta:+.1%} "
+                         f"| {tol:.0%} | {marker} {verdict} |\n")
+            fh.write(f"\ncompared {compared} benchmark(s) across "
+                     f"{len(baselines)} file(s)\n")
 
     print(f"compared {compared} benchmark(s) across {len(baselines)} file(s)")
     if failures:

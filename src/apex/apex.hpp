@@ -156,10 +156,13 @@ class Apex {
   ReturnCode create_sampling_port(std::string_view name, PortId& out) const;
   ReturnCode create_queuing_port(std::string_view name, PortId& out) const;
 
-  ReturnCode write_sampling_message(PortId port, std::string message);
+  // Send legs take a view: the bytes land straight in the pooled
+  // ipc::Payload (inline up to Payload::kInlineBytes), so the steady-state
+  // hot path never copies through a heap std::string.
+  ReturnCode write_sampling_message(PortId port, std::string_view message);
   ReturnCode read_sampling_message(PortId port, std::string& out,
                                    bool& valid);
-  ServiceResult send_queuing_message(PortId port, std::string message,
+  ServiceResult send_queuing_message(PortId port, std::string_view message,
                                      Ticks timeout, bool resumed);
   ServiceResult receive_queuing_message(PortId port, Ticks timeout,
                                         std::string& out, bool resumed);

@@ -67,7 +67,7 @@ ReturnCode Apex::create_queuing_port(std::string_view name,
 
 // ---------- sampling services ----------
 
-ReturnCode Apex::write_sampling_message(PortId id, std::string message) {
+ReturnCode Apex::write_sampling_message(PortId id, std::string_view message) {
   if (!id.valid() ||
       static_cast<std::size_t>(id.value()) >= sampling_ports_.size()) {
     return ReturnCode::kInvalidParam;
@@ -77,7 +77,7 @@ ReturnCode Apex::write_sampling_message(PortId id, std::string message) {
   if (port.direction() != ipc::PortDirection::kSource) {
     return ReturnCode::kInvalidMode;
   }
-  ipc::Message msg{std::move(message), now_fn_(), partition_};
+  ipc::Message msg{ipc::Payload{message}, now_fn_(), partition_};
   if (msg.payload.size() > port.max_message_bytes()) {
     return ReturnCode::kInvalidParam;  // too large (port.write would refuse)
   }
@@ -125,7 +125,7 @@ ReturnCode Apex::read_sampling_message(PortId id, std::string& out,
 
 // ---------- queuing services ----------
 
-ServiceResult Apex::send_queuing_message(PortId id, std::string message,
+ServiceResult Apex::send_queuing_message(PortId id, std::string_view message,
                                          Ticks timeout, bool resumed) {
   if (!id.valid() ||
       static_cast<std::size_t>(id.value()) >= queuing_ports_.size()) {
@@ -142,7 +142,7 @@ ServiceResult Apex::send_queuing_message(PortId id, std::string message,
     purge_waiter(obj.senders, self->id);
     return ServiceResult::error(ReturnCode::kTimedOut);
   }
-  ipc::Message msg{std::move(message), now_fn_(), partition_};
+  ipc::Message msg{ipc::Payload{message}, now_fn_(), partition_};
   if (spans_ != nullptr && !obj.port->full() &&
       msg.payload.size() <= obj.port->max_message_bytes()) {
     // Root the flow only for a message that will actually enqueue; refused

@@ -306,6 +306,10 @@ LoadResult load_module_config(std::string_view json_text) {
           telemetry->get_bool("metrics", true);
       config.telemetry.profiler_enabled =
           telemetry->get_bool("profiler", false);
+      config.telemetry.profiler_stride =
+          static_cast<std::uint32_t>(telemetry->get_int(
+              "profiler_stride",
+              telemetry::HostProfiler::kDefaultStride));
       config.telemetry.flight_recorder_capacity = static_cast<std::size_t>(
           telemetry->get_int("flight_recorder_capacity", 0));
       config.telemetry.flight_recorder_critical_capacity =

@@ -24,8 +24,16 @@ Pal::Pal(std::unique_ptr<pos::IKernel> kernel, RegistryKind registry_kind)
 }
 
 void Pal::announce_ticks(Ticks now, Ticks elapsed) {
-  // Algorithm 3, line 1: *POS_CLOCKTICKANNOUNCE(elapsedTicks).
-  fast_.tick_announce(now, elapsed);
+  // Algorithm 3, line 1: *POS_CLOCKTICKANNOUNCE(elapsedTicks). Attributed
+  // to the sealed kernel fast path (pos/dispatch.hpp) so the host profile
+  // separates "pal;kernel_dispatch" from the PAL's own deadline walk.
+  if (profiler_ != nullptr) {
+    telemetry::HostProfiler::Scope scope(
+        *profiler_, telemetry::ProfilePoint::kKernelDispatch);
+    fast_.tick_announce(now, elapsed);
+  } else {
+    fast_.tick_announce(now, elapsed);
+  }
 
   // Algorithm 3, lines 2-8: check deadlines in ascending order, stopping at
   // the first that has not been violated. Retrieval of the earliest is O(1).
@@ -67,10 +75,10 @@ void Pal::announce_ticks(Ticks now, Ticks elapsed) {
       // the recovery action may stop the process, whose unregister must not
       // re-close it -- and latch it as the cause of the imminent HM report.
       const auto it = job_spans_.find(pid);
-      if (it != job_spans_.end()) {
+      if (it != job_spans_.end() && it->second != 0) {
         spans_->set_pending_cause(it->second);
         spans_->end(it->second, now, telemetry::SpanStatus::kDeadlineMiss);
-        job_spans_.erase(it);
+        it->second = 0;  // keep the node: erase+reinsert would allocate
       }
     }
     if (on_deadline_violation) {
@@ -137,10 +145,12 @@ void Pal::unregister_deadline(ProcessId pid) {
 
 void Pal::reset() {
   if (spans_ != nullptr) {
-    for (const auto& [pid, span] : job_spans_) {
-      spans_->end(span, current_time(), telemetry::SpanStatus::kAborted);
+    for (auto& [pid, span] : job_spans_) {
+      if (span != 0) {
+        spans_->end(span, current_time(), telemetry::SpanStatus::kAborted);
+      }
+      span = 0;
     }
-    job_spans_.clear();
   }
   registry_->clear();
   kernel_->reset_all();
@@ -153,9 +163,9 @@ void Pal::close_job_span(ProcessId pid, Ticks at,
                          telemetry::SpanStatus status) {
   if (spans_ == nullptr) return;
   const auto it = job_spans_.find(pid);
-  if (it == job_spans_.end()) return;
+  if (it == job_spans_.end() || it->second == 0) return;
   spans_->end(it->second, at, status);
-  job_spans_.erase(it);
+  it->second = 0;  // SpanId 0 = no open episode; the node itself is reused
 }
 
 void Pal::note_registry_depth() {

@@ -18,6 +18,7 @@
 #include "pos/dispatch.hpp"
 #include "pos/kernel.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/spans.hpp"
 #include "util/types.hpp"
 
@@ -116,6 +117,13 @@ class Pal {
     partition_index_span_ = partition;
   }
 
+  /// Attribute the sealed kernel fast path (tick announce) to the host
+  /// profiler's kKernelDispatch point (nullptr = off). Borrowed; host-time
+  /// only, never touches deterministic state.
+  void set_profiler(telemetry::HostProfiler* profiler) {
+    profiler_ = profiler;
+  }
+
   /// Open job span of `pid` (0 = none) -- the causal parent for work the
   /// process initiates (message sends, mode-change requests).
   [[nodiscard]] telemetry::SpanId job_span(ProcessId pid) const {
@@ -135,6 +143,7 @@ class Pal {
   std::uint64_t violations_{0};
   telemetry::MetricsRegistry* metrics_{nullptr};
   std::int32_t partition_index_{-1};
+  telemetry::HostProfiler* profiler_{nullptr};
   telemetry::SpanRecorder* spans_{nullptr};
   std::int32_t partition_index_span_{-1};
   std::map<ProcessId, telemetry::SpanId> job_spans_;  // open deadline episodes

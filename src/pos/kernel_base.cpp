@@ -126,26 +126,26 @@ void KernelBase::tick_announce(Ticks now, Ticks elapsed) {
   now_ = now;
 
   // Wake expired timed waits in deterministic (wake_time, id) order.
-  struct Due {
-    Ticks when;
-    ProcessId id;
-  };
-  std::vector<Due> due;
+  // due_scratch_ keeps its capacity across announces: the steady state
+  // sweeps without touching the heap.
+  due_scratch_.clear();
   for (const auto& p : table_) {
     if (p.state == ProcessState::kWaiting && !p.suspended &&
         p.wake_time != kInfiniteTime && p.wake_time <= now_) {
-      due.push_back({p.wake_time, p.id});
+      due_scratch_.emplace_back(p.wake_time, p.id);
     }
   }
-  std::sort(due.begin(), due.end(), [](const Due& a, const Due& b) {
-    return a.when != b.when ? a.when < b.when : a.id < b.id;
-  });
-  for (const Due& d : due) {
-    ProcessControlBlock& p = pcb_ref(d.id);
+  std::sort(due_scratch_.begin(), due_scratch_.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+  for (const auto& d : due_scratch_) {
+    ProcessControlBlock& p = pcb_ref(d.second);
     const bool timeoutish = p.wait_reason == WaitReason::kDelay ||
                             p.wait_reason == WaitReason::kNextRelease ||
                             p.wait_reason == WaitReason::kDelayedStart;
-    wake(d.id, timeoutish ? WakeResult::kOk : WakeResult::kTimeout);
+    wake(d.second, timeoutish ? WakeResult::kOk : WakeResult::kTimeout);
   }
 
   // Suspended-with-timeout processes whose timeout expired.

@@ -74,6 +74,9 @@ class KernelBase : public IKernel {
   [[nodiscard]] ProcessControlBlock& pcb_ref(ProcessId id);
 
   std::vector<ProcessControlBlock> table_;
+  // Scratch for tick_announce's due-timer sweep; a member so the steady
+  // state reuses its capacity instead of allocating per expiry.
+  std::vector<std::pair<Ticks, ProcessId>> due_scratch_;
   ProcessId current_{ProcessId::invalid()};
   Ticks now_{0};
   std::uint64_t ready_counter_{0};

@@ -23,6 +23,10 @@ OpOutcome apply_service(Module& module, apex::Apex& apex,
                         pos::ProcessControlBlock& pcb, const pos::Op& op,
                         PartitionId partition, Ticks now, bool resumed) {
   OpOutcome outcome;
+  // Receive-style ops copy the message into this scratch; thread_local so
+  // its capacity survives across calls (per worker thread under the
+  // parallel driver) and the steady state never reallocates it.
+  thread_local std::string message_scratch;
   auto done = [&](apex::ReturnCode code) {
     pcb.last_status = static_cast<std::int32_t>(code);
   };
@@ -75,14 +79,16 @@ OpOutcome apply_service(Module& module, apex::Apex& apex,
           service(apex.send_buffer(BufferId{o.buffer}, o.message, o.timeout,
                                    resumed));
         } else if constexpr (std::is_same_v<T, pos::OpBufferReceive>) {
-          std::string message;
+          std::string& message = message_scratch;
+          message.clear();
           service(
               apex.receive_buffer(BufferId{o.buffer}, o.timeout, message,
                                   resumed));
         } else if constexpr (std::is_same_v<T, pos::OpBlackboardDisplay>) {
           done(apex.display_blackboard(BlackboardId{o.blackboard}, o.message));
         } else if constexpr (std::is_same_v<T, pos::OpBlackboardRead>) {
-          std::string message;
+          std::string& message = message_scratch;
+          message.clear();
           service(apex.read_blackboard(BlackboardId{o.blackboard}, o.timeout,
                                        message, resumed));
         } else if constexpr (std::is_same_v<T, pos::OpSamplingWrite>) {
@@ -91,7 +97,8 @@ OpOutcome apply_service(Module& module, apex::Apex& apex,
                                 o.port,
                                 static_cast<std::int64_t>(o.message.size()));
         } else if constexpr (std::is_same_v<T, pos::OpSamplingRead>) {
-          std::string message;
+          std::string& message = message_scratch;
+          message.clear();
           bool valid = false;
           done(apex.read_sampling_message(PortId{o.port}, message, valid));
           module.trace().record(now, EventKind::kPortReceive,
@@ -106,7 +113,8 @@ OpOutcome apply_service(Module& module, apex::Apex& apex,
                 static_cast<std::int64_t>(o.message.size()));
           }
         } else if constexpr (std::is_same_v<T, pos::OpQueuingReceive>) {
-          std::string message;
+          std::string& message = message_scratch;
+          message.clear();
           service(apex.receive_queuing_message(PortId{o.port}, o.timeout,
                                                message, resumed));
           if (!outcome.blocked) {
@@ -192,7 +200,14 @@ bool Executor::step(Module& module, PartitionId id, Ticks now) {
   bool did_work = false;
   int budget = kMaxServicesPerTick;
   while (budget-- > 0) {
-    const ProcessId pid = kernel.schedule();
+    ProcessId pid;
+    {
+      // Attribute the heir-election fast path (O(1) bitmap scan) under the
+      // executor: "tick;executor;kernel_dispatch" in the host profile.
+      telemetry::HostProfiler::Scope scope(
+          module.profiler_, telemetry::ProfilePoint::kKernelDispatch);
+      pid = kernel.schedule();
+    }
     if (!pid.valid()) return did_work;  // nothing schedulable: window slack
 
     did_work = true;

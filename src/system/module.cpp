@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "ipc/payload.hpp"
 #include "model/validation.hpp"
 #include "pos/generic_kernel.hpp"
 #include "pos/rt_kernel.hpp"
@@ -30,9 +31,17 @@ Module::Module(ModuleConfig config)
       machine_(config_.memory_bytes),
       spatial_(machine_) {
   time_warp_ = config_.time_warp;
+  // Arena wiring first: boot-time events recorded later in this ctor must
+  // already intern their labels into the module-owned arena.
+  trace_.set_arena(&arena_);
+  spans_.set_arena(&arena_);
   trace_.enable(config_.trace_enabled);
   metrics_.enable(config_.telemetry.metrics_enabled);
   profiler_.enable(config_.telemetry.profiler_enabled);
+  profiler_.set_stride(config_.telemetry.profiler_stride);
+  profiler_.set_arena_probe(&arena_);
+  profiler_.set_heap_probe(
+      [] { return ipc::Payload::pool_stats().heap_allocs; });
   if (config_.telemetry.flight_recorder_capacity > 0) {
     trace_.set_flight_recorder(
         config_.telemetry.flight_recorder_capacity,
@@ -143,6 +152,9 @@ Module::Module(ModuleConfig config)
                                         pc.deadline_registry);
     if (config_.telemetry.metrics_enabled) {
       rt.pal->set_metrics(&metrics_, static_cast<std::int32_t>(i));
+    }
+    if (config_.telemetry.profiler_enabled) {
+      rt.pal->set_profiler(&profiler_);
     }
     rt.apex = std::make_unique<apex::Apex>(
         id, pcbs_[i], *rt.pal, router_, health_,
@@ -408,6 +420,9 @@ void Module::apply_pending_change_action(PartitionId id) {
 void Module::tick_once() {
   if (stopped_) return;
   ++warp_stats_.stepped_ticks;
+  profiler_.begin_tick();
+  telemetry::HostProfiler::Scope tick_scope(profiler_,
+                                            telemetry::ProfilePoint::kTick);
 
   // Timer interrupt.
   machine_.tick();
@@ -423,12 +438,12 @@ void Module::tick_once() {
   util::FixedVector<Dispatched, 16> dispatched;
   for (Core& core : cores_) {
     {
-      telemetry::TickProfiler::Scope scope(profiler_,
-                                           telemetry::TickPhase::kScheduler);
+      telemetry::HostProfiler::Scope scope(
+          profiler_, telemetry::ProfilePoint::kScheduler);
       (void)core.scheduler.tick();
     }
-    telemetry::TickProfiler::Scope scope(profiler_,
-                                         telemetry::TickPhase::kDispatcher);
+    telemetry::HostProfiler::Scope scope(
+        profiler_, telemetry::ProfilePoint::kDispatcher);
     const auto result = core.dispatcher->dispatch(
         core.scheduler.heir_partition(), core.scheduler.ticks());
     if (result.active.valid()) {
@@ -439,8 +454,8 @@ void Module::tick_once() {
   // PMK channel service: queuing channels progress regardless of which
   // partitions are active.
   {
-    telemetry::TickProfiler::Scope scope(profiler_,
-                                         telemetry::TickPhase::kRouter);
+    telemetry::HostProfiler::Scope scope(profiler_,
+                                         telemetry::ProfilePoint::kRouter);
     router_.pump_all();
   }
 
@@ -460,6 +475,8 @@ void Module::tick_once() {
   // warp_headroom() bounds spans by next_close_tick(), so boundary ticks
   // are always stepped -- in every execution mode.
   if (online_ != nullptr && !stopped_ && now() == online_->next_close_tick()) {
+    telemetry::HostProfiler::Scope scope(
+        profiler_, telemetry::ProfilePoint::kOnlineClose);
     online_->close_window(now(), build_online_sample());
   }
 
@@ -481,14 +498,14 @@ void Module::step_active_partition(PartitionId id, Ticks elapsed) {
     machine_.mmu().set_active_context(pcb.mmu_context);
   }
   {
-    telemetry::TickProfiler::Scope scope(profiler_,
-                                         telemetry::TickPhase::kPal);
+    telemetry::HostProfiler::Scope scope(profiler_,
+                                         telemetry::ProfilePoint::kPal);
     rt.pal->announce_ticks(now(), elapsed);
   }
   if (stopped_) return;
   if (pcb.mode != pmk::OperatingMode::kNormal) return;  // HM intervened
-  telemetry::TickProfiler::Scope scope(profiler_,
-                                       telemetry::TickPhase::kExecutor);
+  telemetry::HostProfiler::Scope scope(profiler_,
+                                       telemetry::ProfilePoint::kExecutor);
   // Busy/slack telemetry is scraped from the PCB accounting at snapshot
   // time; the per-tick path pays only the two increments it always did.
   if (Executor::step(*this, id, now())) {
@@ -570,6 +587,11 @@ const std::vector<std::string>& Module::console(PartitionId id) const {
 }
 
 telemetry::MetricsSnapshot Module::metrics_snapshot() {
+  // The scrape is host work on behalf of observability; attribute it to
+  // the telemetry plane itself. Wall-clock readings stay out of the
+  // snapshot, which must remain deterministic.
+  telemetry::HostProfiler::Scope profile_scope(
+      profiler_, telemetry::ProfilePoint::kTelemetryScrape);
   if (metrics_.enabled()) {
     // Scrape the totals that layers count locally (cheap increments on
     // members they own) rather than publishing per event: PAL deadline
@@ -763,6 +785,43 @@ std::string Module::status_report() {
         trace_.flight_recorder() ? " [flight recorder]" : "");
     out += line;
   }
+  // Pooled-memory observability (PR 7 pools + the label arena): these are
+  // the counters the zero-allocation steady-state claim rests on.
+  {
+    const ipc::Payload::PoolStats pool = ipc::Payload::pool_stats();
+    std::snprintf(line, sizeof line,
+                  "  payload pool: heap_allocs=%llu reuses=%llu "
+                  "returns=%llu free=%zu\n",
+                  static_cast<unsigned long long>(pool.heap_allocs),
+                  static_cast<unsigned long long>(pool.pool_reuses),
+                  static_cast<unsigned long long>(pool.pool_returns),
+                  pool.free_blocks);
+    out += line;
+    const telemetry::StringArena::Stats& arena = arena_.stats();
+    std::snprintf(line, sizeof line,
+                  "  label arena: symbols=%zu blocks=%zu bytes=%zu "
+                  "high_water=%zu hits=%llu misses=%llu trims=%llu\n",
+                  arena.symbols, arena.blocks, arena.bytes_used,
+                  arena.high_water,
+                  static_cast<unsigned long long>(arena.hits),
+                  static_cast<unsigned long long>(arena.misses),
+                  static_cast<unsigned long long>(arena.trims));
+    out += line;
+  }
+  if (profiler_.enabled() && profiler_.ticks() > 0) {
+    const telemetry::HostProfiler::PathStats tick =
+        profiler_.point_stats(telemetry::ProfilePoint::kTick);
+    std::snprintf(line, sizeof line,
+                  "  profile: sampled=%llu ticks (stride %u), "
+                  "mean tick=%.1f ns, max=%llu ns\n",
+                  static_cast<unsigned long long>(profiler_.ticks()),
+                  profiler_.stride(),
+                  tick.calls > 0 ? static_cast<double>(tick.total_ns) /
+                                       static_cast<double>(tick.calls)
+                                 : 0.0,
+                  static_cast<unsigned long long>(tick.max_ns));
+    out += line;
+  }
   if (online_ != nullptr) out += online_->summary_line();
   if (metrics_.enabled()) {
     const telemetry::MetricsSnapshot snap = metrics_snapshot();
@@ -833,19 +892,20 @@ void Module::build_miss_anomaly(PartitionId id, ProcessId pid, Ticks deadline,
   const bool job_matches =
       job.id != 0 && job.a == id.value() && job.b == pid.value() &&
       job.status == telemetry::SpanStatus::kDeadlineMiss;
-  anomaly.chain.push_back({"deadline_miss", job_matches ? job.id : 0,
-                           detected_at,
-                           "deadline " + std::to_string(deadline) +
-                               " expired for process " +
-                               std::to_string(pid.value())});
+  anomaly.chain.push_back({spans_.intern("deadline_miss"),
+                           job_matches ? job.id : 0, detected_at,
+                           spans_.intern("deadline " +
+                                         std::to_string(deadline) +
+                                         " expired for process " +
+                                         std::to_string(pid.value()))});
   if (!job_matches) {
     spans_.add_anomaly(std::move(anomaly));
     return;
   }
   anomaly.chain.push_back(
-      {"job_released", job.id, job.start,
-       "job released at " + std::to_string(job.start) + " in partition " +
-           std::to_string(id.value())});
+      {spans_.intern("job_released"), job.id, job.start,
+       spans_.intern("job released at " + std::to_string(job.start) +
+                     " in partition " + std::to_string(id.value()))});
 
   // Was the partition's window closed between release and detection? Then
   // the miss was (at least partly) a preemption blackout: the partition
@@ -855,12 +915,14 @@ void Module::build_miss_anomaly(PartitionId id, ProcessId pid, Ticks deadline,
   if (w.id != 0 && w.end > job.start && w.end <= detected_at) {
     causal_link = true;
     anomaly.chain.push_back(
-        {"window_end_preemption", w.id, w.end,
-         "partition window closed at " + std::to_string(w.end)});
+        {spans_.intern("window_end_preemption"), w.id, w.end,
+         spans_.intern("partition window closed at " +
+                       std::to_string(w.end))});
     if (deadline >= w.end) {
       anomaly.chain.push_back(
-          {"partition_inactive", 0, detected_at,
-           "deadline expired while the partition was not scheduled"});
+          {spans_.intern("partition_inactive"), 0, detected_at,
+           spans_.intern(
+               "deadline expired while the partition was not scheduled")});
     }
     // Did a schedule switch take effect in that gap? Then the blackout came
     // from mode change, and its parent span says who requested it.
@@ -868,14 +930,15 @@ void Module::build_miss_anomaly(PartitionId id, ProcessId pid, Ticks deadline,
         spans_.last_ended(telemetry::SpanKind::kScheduleSwitch);
     if (sw.id != 0 && sw.end > job.start && sw.end <= detected_at) {
       anomaly.chain.push_back(
-          {"schedule_switch", sw.id, sw.end,
-           "schedule " + std::to_string(sw.b) + " -> " +
-               std::to_string(sw.a) + " took effect at " +
-               std::to_string(sw.end)});
+          {spans_.intern("schedule_switch"), sw.id, sw.end,
+           spans_.intern("schedule " + std::to_string(sw.b) + " -> " +
+                         std::to_string(sw.a) + " took effect at " +
+                         std::to_string(sw.end))});
       if (sw.parent != 0) {
         anomaly.chain.push_back(
-            {"requested_by", sw.parent, sw.start,
-             "SET_MODULE_SCHEDULE issued at " + std::to_string(sw.start)});
+            {spans_.intern("requested_by"), sw.parent, sw.start,
+             spans_.intern("SET_MODULE_SCHEDULE issued at " +
+                           std::to_string(sw.start))});
       }
     }
   }
@@ -883,9 +946,10 @@ void Module::build_miss_anomaly(PartitionId id, ProcessId pid, Ticks deadline,
     // No external event stole the processor: the job simply ran past its
     // time capacity inside its own window.
     anomaly.chain.push_back(
-        {"capacity_overrun", job.id, detected_at,
-         "no preemption between release and miss; job exceeded its time "
-         "capacity"});
+        {spans_.intern("capacity_overrun"), job.id, detected_at,
+         spans_.intern(
+             "no preemption between release and miss; job exceeded its "
+             "time capacity")});
   }
   spans_.add_anomaly(std::move(anomaly));
 }

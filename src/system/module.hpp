@@ -128,7 +128,14 @@ class Module {
   [[nodiscard]] const telemetry::MetricsRegistry& metrics() const {
     return metrics_;
   }
-  [[nodiscard]] telemetry::TickProfiler& profiler() { return profiler_; }
+  [[nodiscard]] telemetry::HostProfiler& profiler() { return profiler_; }
+  [[nodiscard]] const telemetry::HostProfiler& profiler() const {
+    return profiler_;
+  }
+  /// Arena backing span/trace labels and root-cause strings. Module-owned
+  /// so both recorders share symbols and its stats() describe the whole
+  /// telemetry plane (status_report, profiler allocation attribution).
+  [[nodiscard]] const telemetry::StringArena& arena() const { return arena_; }
   /// Causal span recorder (windows, jobs, message legs, HM handlers,
   /// root-cause chains). Export with telemetry::spans_to_json.
   [[nodiscard]] telemetry::SpanRecorder& spans() { return spans_; }
@@ -230,9 +237,14 @@ class Module {
   [[nodiscard]] telemetry::OnlineSample build_online_sample() const;
 
   ModuleConfig config_;
+  // Declared before every consumer: label symbols must outlive the trace,
+  // the span recorder and anything retaining InternedStrings from them.
+  telemetry::StringArena arena_;
   util::Trace trace_;
   telemetry::MetricsRegistry metrics_;
-  telemetry::TickProfiler profiler_;
+  // Mutable: the warp scan (const warp_headroom()) carries a profiler
+  // scope; host-time accounting is not module state.
+  mutable telemetry::HostProfiler profiler_;
   telemetry::SpanRecorder spans_;
   std::unique_ptr<telemetry::OnlinePlane> online_;
   hal::Machine machine_;

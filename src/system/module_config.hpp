@@ -20,6 +20,7 @@
 #include "pmk/spatial.hpp"
 #include "pos/process.hpp"
 #include "telemetry/online.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace air::system {
 
@@ -106,6 +107,10 @@ struct CoreConfig {
 struct TelemetryConfig {
   bool metrics_enabled{true};
   bool profiler_enabled{false};
+  /// Host profiler sampling stride: measure one tick in N. The default
+  /// keeps always-on overhead inside the bench_telemetry mode 8 gate;
+  /// air-record --profile sets 1 for exact offline capture.
+  std::uint32_t profiler_stride{telemetry::HostProfiler::kDefaultStride};
   /// Flight recorder: bounded trace storage. 0 = unbounded vector.
   std::size_t flight_recorder_capacity{0};
   /// Separate retention for critical events (deadline misses, HM reports,

@@ -27,9 +27,12 @@ namespace air::system {
 
 Ticks Module::warp_headroom() const {
   if (stopped_) return 0;
-  // The host-side profiler observes every stepped tick; warping would
-  // change its (intentionally non-deterministic) report, so step.
-  if (profiler_.enabled()) return 0;
+  // The scan itself is a per-tick host cost worth attributing: run it
+  // under a profiler scope even though an enabled profiler then forces
+  // stepping (below) -- warping would skip ticks the profiler wants to
+  // observe, changing its (intentionally non-deterministic) report.
+  telemetry::HostProfiler::Scope profile_scope(
+      profiler_, telemetry::ProfilePoint::kWarpScan);
   // Boot tick not executed yet: the time-0 preemption point is ahead.
   const Ticks t = cores_.front().scheduler.ticks();
   if (t < 0) return 0;
@@ -74,6 +77,10 @@ Ticks Module::warp_headroom() const {
   if (online_ != nullptr) {
     next_event = std::min(next_event, online_->next_close_tick());
   }
+
+  // An enabled profiler observes every stepped tick; report zero headroom
+  // *after* the scan so the scan's own cost is still attributed.
+  if (profiler_.enabled()) return 0;
 
   // Ticks t+1 .. next_event-1 are boring; the event tick itself is stepped.
   const Ticks headroom = next_event - t - 1;

@@ -136,7 +136,11 @@ void World::merge_and_run_bus(Ticks start, Ticks ticks) {
         ++next;
       }
     }
-    bus_.tick(u);
+    {
+      telemetry::HostProfiler::Scope scope(profiler_,
+                                           telemetry::ProfilePoint::kBusPump);
+      bus_.tick(u);
+    }
     if (bus_plane_ != nullptr && bus_plane_->next_close_tick() == u) {
       bus_plane_->close_through(u, sample_bus());
     }
@@ -159,6 +163,13 @@ void World::run(Ticks ticks) {
       pool_ != nullptr && pool_->thread_count() > 0 && modules_.size() > 1;
   Ticks done = 0;
   while (done < ticks) {
+    // One epoch round is the World profiler's sampling unit. The scopes
+    // attribute the cross-module machinery only; module-interior cost
+    // lands in each module's own profiler tree (which workers advance
+    // concurrently -- a shared tree would race).
+    profiler_.begin_tick();
+    telemetry::HostProfiler::Scope epoch_scope(
+        profiler_, telemetry::ProfilePoint::kEpoch);
     const Ticks span = epoch_horizon(ticks - done);
     const Ticks start = now_;
     std::uint64_t active = 0;
@@ -171,7 +182,11 @@ void World::run(Ticks ticks) {
     } else {
       for (auto& module : modules_) module->run(span);
     }
-    merge_and_run_bus(start, span);
+    {
+      telemetry::HostProfiler::Scope barrier_scope(
+          profiler_, telemetry::ProfilePoint::kEpochBarrier);
+      merge_and_run_bus(start, span);
+    }
     now_ += span;
     done += span;
     ++stats_.epochs;
@@ -239,6 +254,7 @@ void World::run_lockstep(Ticks ticks) {
       ++stats_.lockstep_spans;
       continue;
     }
+    profiler_.begin_tick();
     for (auto& module : modules_) module->tick_once();
     // Inject this tick's staged frames in module attach order -- exactly
     // where the modules' direct Bus::send calls used to land.
@@ -249,7 +265,11 @@ void World::run_lockstep(Ticks ticks) {
       }
       staged_[i].clear();
     }
-    bus_.tick(now_);
+    {
+      telemetry::HostProfiler::Scope scope(profiler_,
+                                           telemetry::ProfilePoint::kBusPump);
+      bus_.tick(now_);
+    }
     if (bus_plane_ != nullptr && bus_plane_->next_close_tick() == now_) {
       bus_plane_->close_through(now_, sample_bus());
     }
@@ -299,6 +319,27 @@ std::string World::status_report() const {
                 static_cast<unsigned long long>(bus.frames_dropped),
                 static_cast<unsigned long long>(stats_.frames_merged));
   out += line;
+  const telemetry::StringArena::Stats& arena = arena_.stats();
+  std::snprintf(line, sizeof line,
+                "  bus arena: symbols=%zu blocks=%zu bytes=%zu "
+                "high_water=%zu trims=%llu\n",
+                arena.symbols, arena.blocks, arena.bytes_used,
+                arena.high_water,
+                static_cast<unsigned long long>(arena.trims));
+  out += line;
+  if (profiler_.enabled() && profiler_.ticks() > 0) {
+    const telemetry::HostProfiler::PathStats epoch =
+        profiler_.point_stats(telemetry::ProfilePoint::kEpoch);
+    std::snprintf(line, sizeof line,
+                  "  profile: sampled=%llu rounds (stride %u), "
+                  "mean epoch=%.1f ns\n",
+                  static_cast<unsigned long long>(profiler_.ticks()),
+                  profiler_.stride(),
+                  epoch.calls > 0 ? static_cast<double>(epoch.total_ns) /
+                                        static_cast<double>(epoch.calls)
+                                  : 0.0);
+    out += line;
+  }
   if (bus_plane_ != nullptr) out += bus_plane_->summary_line();
   return out;
 }

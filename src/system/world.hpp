@@ -35,8 +35,12 @@ class World {
     // The bus gets its own recorder (origin 0xFFFF) so transit spans are
     // deterministically numbered regardless of module count; export it
     // alongside the per-module streams for cross-module flow stitching.
+    // Its labels intern into a World-owned arena (transit spans are
+    // unlabelled today, but the storage contract matches the modules').
+    bus_spans_.set_arena(&arena_);
     bus_spans_.set_origin(telemetry::SpanRecorder::kBusOrigin);
     bus_.set_spans(&bus_spans_);
+    profiler_.set_arena_probe(&arena_);
   }
   ~World();
 
@@ -84,6 +88,22 @@ class World {
     return bus_plane_.get();
   }
 
+  /// Enable the World-level host profiler (epoch driver, merge barrier,
+  /// bus pump). Per-module trees live in each module's own profiler; this
+  /// one attributes the cross-module machinery. `stride` as in
+  /// TelemetryConfig::profiler_stride (sampling unit: one epoch/tick round).
+  void enable_profiler(
+      std::uint32_t stride = telemetry::HostProfiler::kDefaultStride) {
+    profiler_.enable(true);
+    profiler_.set_stride(stride);
+  }
+  [[nodiscard]] telemetry::HostProfiler& profiler() { return profiler_; }
+  [[nodiscard]] const telemetry::HostProfiler& profiler() const {
+    return profiler_;
+  }
+  /// Arena backing the bus recorder's labels (status_report stats).
+  [[nodiscard]] const telemetry::StringArena& arena() const { return arena_; }
+
   [[nodiscard]] Ticks now() const { return now_; }
   [[nodiscard]] net::Bus& bus() { return bus_; }
   /// Span recorder for bus transit legs (kMsgBusTransit).
@@ -128,6 +148,8 @@ class World {
   static constexpr std::size_t kUnblocked = static_cast<std::size_t>(-1);
   static constexpr std::size_t kBusBlocked = static_cast<std::size_t>(-2);
 
+  telemetry::StringArena arena_;  // outlives bus_spans_ (declared first)
+  telemetry::HostProfiler profiler_;
   telemetry::SpanRecorder bus_spans_;
   std::unique_ptr<telemetry::BusPlane> bus_plane_;
   net::Bus bus_;

@@ -1,0 +1,15 @@
+// telemetry::StringArena -- the issue-facing name for the interned-string
+// arena. The implementation lives in util/ because util::Trace (a lower
+// layer than air_telemetry) stores interned labels too; re-exporting here
+// keeps the telemetry plane's public vocabulary in one namespace.
+#pragma once
+
+#include "util/arena.hpp"
+
+namespace air::telemetry {
+
+using StringArena = util::StringArena;
+using InternedString = util::InternedString;
+using Sym = util::Sym;
+
+}  // namespace air::telemetry

@@ -81,7 +81,7 @@ void OnlinePlane::close_window(Ticks now, const OnlineSample& sample) {
             break;
           }
         }
-        if (it->chain.size() > 1) via = " via " + it->chain.back().what;
+        if (it->chain.size() > 1) via = " via " + it->chain.back().what.str();
         break;
       }
     }

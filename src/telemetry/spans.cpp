@@ -49,16 +49,37 @@ bool is_message_kind(SpanKind kind) {
 
 void SpanRecorder::set_capacity(std::size_t capacity) {
   capacity_ = capacity;
-  if (capacity_ == 0) return;
-  while (closed_.size() > capacity_) {
-    closed_.pop_front();
-    ++dropped_;
+  if (capacity_ == 0) {
+    // Back to unbounded: materialise the ring into the vector and drop it.
+    if (ring_ != nullptr) {
+      closed();  // refresh the view
+      ring_.reset();
+      view_dirty_ = false;
+    }
+    return;
   }
+  auto ring = std::make_unique<util::RingBuffer<Span>>(capacity_);
+  for (const Span& span : closed()) {
+    if (ring->push_overwrite(span)) ++dropped_;
+  }
+  ring_ = std::move(ring);
+  closed_.clear();
+  view_dirty_ = true;
+}
+
+InternedString SpanRecorder::intern(std::string_view text) {
+  if (text.empty()) return {};
+  if (arena_ == nullptr) {
+    owned_arena_ = std::make_unique<StringArena>();
+    arena_ = owned_arena_.get();
+  }
+  return {arena_, arena_->intern(text)};
 }
 
 SpanId SpanRecorder::begin(SpanKind kind, Ticks start, SpanId parent,
                            std::uint64_t trace_id, std::int64_t a,
-                           std::int64_t b, std::int64_t c, std::string label) {
+                           std::int64_t b, std::int64_t c,
+                           std::string_view label) {
   if (!enabled_) return 0;
   Span span;
   span.id = ((static_cast<std::uint64_t>(origin_) + 1) << 32) | ++seq_;
@@ -72,12 +93,21 @@ SpanId SpanRecorder::begin(SpanKind kind, Ticks start, SpanId parent,
   span.a = a;
   span.b = b;
   span.c = c;
-  span.label = std::move(label);
+  span.label = intern(label);
   if (kind == SpanKind::kPartitionWindow) {
-    current_window_[static_cast<std::int32_t>(a)] = span.id;
+    const auto partition = static_cast<std::int32_t>(a);
+    const SpanId id = span.id;
+    auto it = std::find_if(
+        current_window_.begin(), current_window_.end(),
+        [partition](const auto& e) { return e.first == partition; });
+    if (it != current_window_.end()) {
+      it->second = id;
+    } else {
+      current_window_.emplace_back(partition, id);
+    }
   }
   const SpanId id = span.id;
-  open_.push_back(std::move(span));
+  open_.push_back(span);
   return id;
 }
 
@@ -109,21 +139,24 @@ void SpanRecorder::end(SpanId id, Ticks end, SpanStatus status) {
 SpanId SpanRecorder::instant(SpanKind kind, Ticks at, SpanId parent,
                              std::uint64_t trace_id, std::int64_t a,
                              std::int64_t b, std::int64_t c,
-                             std::string label) {
-  const SpanId id =
-      begin(kind, at, parent, trace_id, a, b, c, std::move(label));
+                             std::string_view label) {
+  const SpanId id = begin(kind, at, parent, trace_id, a, b, c, label);
   end(id, at, SpanStatus::kOk);
   return id;
 }
 
 SpanId SpanRecorder::current_window(std::int32_t partition) const {
-  const auto it = current_window_.find(partition);
-  return it != current_window_.end() ? it->second : 0;
+  for (const auto& [key, id] : current_window_) {
+    if (key == partition) return id;
+  }
+  return 0;
 }
 
 Span SpanRecorder::last_window(std::int32_t partition) const {
-  const auto it = last_window_.find(partition);
-  return it != last_window_.end() ? it->second : Span{};
+  for (const auto& [key, span] : last_window_) {
+    if (key == partition) return span;
+  }
+  return Span{};
 }
 
 Span SpanRecorder::last_ended(SpanKind kind) const {
@@ -148,6 +181,10 @@ void SpanRecorder::clear() {
   seq_ = 0;
   open_.clear();
   closed_.clear();
+  if (ring_ != nullptr) {
+    ring_->clear();
+    view_dirty_ = false;
+  }
   closed_total_ = 0;
   dropped_ = 0;
   last_ended_.fill(Span{});
@@ -158,14 +195,38 @@ void SpanRecorder::clear() {
   anomalies_.clear();
 }
 
+const std::vector<Span>& SpanRecorder::closed() const {
+  if (ring_ != nullptr && view_dirty_) {
+    closed_.clear();
+    closed_.reserve(ring_->size());
+    for (std::size_t i = 0; i < ring_->size(); ++i) {
+      closed_.push_back(ring_->at(i));
+    }
+    view_dirty_ = false;
+  }
+  return closed_;
+}
+
 void SpanRecorder::retire(Span span) {
   if (span.kind == SpanKind::kPartitionWindow) {
     const auto partition = static_cast<std::int32_t>(span.a);
-    const auto it = current_window_.find(partition);
-    if (it != current_window_.end() && it->second == span.id) {
-      current_window_.erase(it);
+    for (auto& [key, id] : current_window_) {
+      if (key == partition) {
+        // Entries are reset, never erased: the partition set is fixed at
+        // configuration time, so the cache stops allocating after warm-up.
+        if (id == span.id) id = 0;
+        break;
+      }
     }
-    last_window_[partition] = span;
+    bool found = false;
+    for (auto& [key, cached] : last_window_) {
+      if (key == partition) {
+        cached = span;
+        found = true;
+        break;
+      }
+    }
+    if (!found) last_window_.emplace_back(partition, span);
   }
   last_ended_[static_cast<std::size_t>(span.kind)] = span;
   if (trace_ != nullptr) {
@@ -174,11 +235,12 @@ void SpanRecorder::retire(Span span) {
                    static_cast<std::int64_t>(span.id));
   }
   ++closed_total_;
-  closed_.push_back(std::move(span));
-  if (capacity_ != 0 && closed_.size() > capacity_) {
-    closed_.pop_front();
-    ++dropped_;
+  if (ring_ != nullptr) {
+    if (ring_->push_overwrite(span)) ++dropped_;
+    view_dirty_ = true;
+    return;
   }
+  closed_.push_back(span);
 }
 
 namespace {
@@ -199,7 +261,7 @@ Value span_to_value(const Span& span) {
   row["a"] = Value{span.a};
   row["b"] = Value{span.b};
   row["c"] = Value{span.c};
-  if (!span.label.empty()) row["label"] = Value{span.label};
+  if (!span.label.empty()) row["label"] = Value{span.label.str()};
   return Value{std::move(row)};
 }
 
@@ -212,10 +274,10 @@ Value anomaly_to_value(const Anomaly& anomaly) {
   Array chain;
   for (const CauseLink& link : anomaly.chain) {
     Object step;
-    step["what"] = Value{link.what};
+    step["what"] = Value{link.what.str()};
     step["span"] = Value{static_cast<std::int64_t>(link.span)};
     step["at"] = Value{link.at};
-    if (!link.detail.empty()) step["detail"] = Value{link.detail};
+    if (!link.detail.empty()) step["detail"] = Value{link.detail.str()};
     chain.push_back(Value{std::move(step)});
   }
   row["chain"] = Value{std::move(chain)};

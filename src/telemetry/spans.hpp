@@ -21,12 +21,14 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "telemetry/arena.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/trace.hpp"
 #include "util/types.hpp"
 
@@ -75,17 +77,20 @@ struct Span {
   std::int64_t a{-1};
   std::int64_t b{-1};
   std::int64_t c{-1};
-  std::string label;
+  // Interned (DESIGN.md §12): spans are trivially copyable records and a
+  // steady-state flight retires them without touching the heap.
+  InternedString label;
 };
 
 /// One step of a root-cause chain. `what` is a token of the chain grammar
 /// (DESIGN.md "Observability"): deadline_miss, job_released,
 /// window_end_preemption, partition_inactive, schedule_switch, requested_by.
+/// Both strings live in the recorder's arena (SpanRecorder::intern).
 struct CauseLink {
-  std::string what;
+  InternedString what;
   SpanId span{0};  // causal span the link points at (0 = none recorded)
   Ticks at{-1};
-  std::string detail;
+  InternedString detail;
 };
 
 /// A deadline miss with its root-cause chain, built at detection time by
@@ -120,12 +125,21 @@ class SpanRecorder {
   /// its severity routing keeps such floods out of the critical ring).
   void set_trace(util::Trace* trace) { trace_ = trace; }
 
+  /// Use `arena` (borrowed, must outlive this recorder and every retained
+  /// span/anomaly) for label storage instead of the lazily created private
+  /// one. Call before the first labelled span is recorded.
+  void set_arena(StringArena* arena) { arena_ = arena; }
+  /// Arena backing labels and cause links (nullptr until first intern).
+  [[nodiscard]] const StringArena* arena() const { return arena_; }
+  /// Intern free text (labels, CauseLink what/detail) into the arena.
+  InternedString intern(std::string_view text);
+
   /// Open a span. Returns 0 when disabled. Message-kind spans passed
   /// trace_id 0 become their own flow root (trace_id = id).
   SpanId begin(SpanKind kind, Ticks start, SpanId parent = 0,
                std::uint64_t trace_id = 0, std::int64_t a = -1,
                std::int64_t b = -1, std::int64_t c = -1,
-               std::string label = {});
+               std::string_view label = {});
 
   /// Update the payload of an open span (no-op for unknown/closed ids).
   void annotate(SpanId id, std::int64_t a, std::int64_t b, std::int64_t c);
@@ -138,7 +152,7 @@ class SpanRecorder {
   SpanId instant(SpanKind kind, Ticks at, SpanId parent = 0,
                  std::uint64_t trace_id = 0, std::int64_t a = -1,
                  std::int64_t b = -1, std::int64_t c = -1,
-                 std::string label = {});
+                 std::string_view label = {});
 
   // --- causal brokerage between layers -------------------------------
   // Scalar caches maintained by begin()/end() so chain building never has
@@ -177,8 +191,10 @@ class SpanRecorder {
 
   // --- inspection ----------------------------------------------------
   [[nodiscard]] const Span* find_open(SpanId id) const;
-  /// Retained closed spans, in retirement order.
-  [[nodiscard]] const std::deque<Span>& closed() const { return closed_; }
+  /// Retained closed spans, in retirement order. In bounded mode this is a
+  /// lazily materialised view of the ring (rebuilt after retirements); in
+  /// unbounded mode it is the backing vector itself.
+  [[nodiscard]] const std::vector<Span>& closed() const;
   /// Copies of the still-open spans, in opening order.
   [[nodiscard]] std::vector<Span> open_spans() const;
 
@@ -198,13 +214,22 @@ class SpanRecorder {
   std::uint64_t seq_{0};
   std::size_t capacity_{0};
   util::Trace* trace_{nullptr};
+  StringArena* arena_{nullptr};
+  std::unique_ptr<StringArena> owned_arena_;
   std::vector<Span> open_;
-  std::deque<Span> closed_;
+  // Unbounded-mode storage; in bounded mode, the lazily rebuilt view of
+  // ring_ (mutable so the const closed() accessor can refresh it). Bounded
+  // retirement is a preallocated ring write -- no heap traffic per span.
+  mutable std::vector<Span> closed_;
+  mutable bool view_dirty_{false};
+  std::unique_ptr<util::RingBuffer<Span>> ring_;
   std::uint64_t closed_total_{0};
   std::uint64_t dropped_{0};
   std::array<Span, static_cast<std::size_t>(SpanKind::kCount)> last_ended_;
-  std::map<std::int32_t, SpanId> current_window_;
-  std::map<std::int32_t, Span> last_window_;
+  // Flat keyed-by-partition caches (a handful of partitions; linear scan
+  // beats std::map node churn and keeps the steady state allocation-free).
+  std::vector<std::pair<std::int32_t, SpanId>> current_window_;
+  std::vector<std::pair<std::int32_t, Span>> last_window_;
   SpanId pending_cause_{0};
   SpanId pending_switch_{0};
   std::vector<Anomaly> anomalies_;

@@ -1,0 +1,52 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace air::util {
+
+Sym StringArena::intern(std::string_view text) {
+  if (text.empty()) return 0;
+  if (auto it = index_.find(text); it != index_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+
+  // Find room in the newest block, else open one sized for the string.
+  if (blocks_.empty() ||
+      blocks_.back().capacity - blocks_.back().used < text.size()) {
+    Block block;
+    block.capacity = std::max(kBlockBytes, text.size());
+    block.bytes = std::make_unique<char[]>(block.capacity);
+    blocks_.push_back(std::move(block));
+    stats_.blocks = blocks_.size();
+    stats_.bytes_reserved += blocks_.back().capacity;
+  }
+  Block& block = blocks_.back();
+  char* dest = block.bytes.get() + block.used;
+  std::memcpy(dest, text.data(), text.size());
+  block.used += text.size();
+  stats_.bytes_used += text.size();
+  stats_.high_water = std::max(stats_.high_water, stats_.bytes_used);
+
+  const std::string_view stored{dest, text.size()};
+  symbols_.push_back(stored);
+  const Sym sym = static_cast<Sym>(symbols_.size());
+  index_.emplace(stored, sym);
+  stats_.symbols = symbols_.size();
+  return sym;
+}
+
+void StringArena::trim() {
+  blocks_.clear();
+  symbols_.clear();
+  index_.clear();
+  stats_.symbols = 0;
+  stats_.blocks = 0;
+  stats_.bytes_used = 0;
+  stats_.bytes_reserved = 0;
+  ++stats_.trims;
+}
+
+}  // namespace air::util

@@ -1,0 +1,131 @@
+// Interned-string arena (zero-allocation telemetry storage).
+//
+// ROADMAP item 3: after PR 7 flattened dispatch and pooled message
+// payloads, the honest Release profile showed the last steady-state heap
+// traffic coming from the observability plane itself -- span labels, trace
+// event labels and root-cause detail strings, all std::string-backed. The
+// arena removes that class of allocation wholesale: strings are interned
+// once into bump-allocated blocks and every record thereafter carries a
+// 4-byte symbol id. Flight labels repeat heavily (process names, HM
+// messages, OpLog text), so a steady-state mission stops allocating after
+// the first occurrence of each distinct label -- which the zero-allocation
+// flight test (tests/test_zero_alloc.cpp) proves with the arena's own
+// counters plus the payload-pool counters.
+//
+// Ownership rules (DESIGN.md §12): the arena outlives every InternedString
+// minted from it. A system::Module owns one arena shared by its trace and
+// span recorder; standalone recorders lazily own a private one. trim() is
+// a quiescent-state operation (tests, post-clear()): it invalidates every
+// outstanding symbol, exactly like ipc::Payload::trim_pool invalidates
+// parked blocks.
+//
+// Determinism: symbol ids are assigned in first-intern order, which is a
+// pure function of the simulated event sequence -- so exports that resolve
+// symbols back to text are byte-identical across runs and across the four
+// execution drivers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace air::util {
+
+/// Stable interned-string id. 0 is reserved for the empty string and is
+/// never handed out for real text.
+using Sym = std::uint32_t;
+
+class StringArena {
+ public:
+  /// Bump-block granularity. Oversized strings get a dedicated block.
+  static constexpr std::size_t kBlockBytes = 64 * 1024;
+
+  StringArena() = default;
+  StringArena(const StringArena&) = delete;
+  StringArena& operator=(const StringArena&) = delete;
+
+  /// Intern `text`: returns the existing symbol when the exact bytes were
+  /// seen before (a hit -- no allocation), otherwise copies the bytes into
+  /// the current bump block and mints the next id. Empty text is Sym 0.
+  Sym intern(std::string_view text);
+
+  /// Resolve a symbol. Sym 0 and unknown ids resolve to "".
+  [[nodiscard]] std::string_view lookup(Sym sym) const {
+    if (sym == 0 || sym > symbols_.size()) return {};
+    return symbols_[sym - 1];
+  }
+
+  // --- observability (status_report, profiler alloc attribution) ---
+  struct Stats {
+    std::size_t symbols{0};         // distinct strings interned
+    std::size_t blocks{0};          // bump blocks currently allocated
+    std::size_t bytes_used{0};      // payload bytes bump-allocated
+    std::size_t bytes_reserved{0};  // sum of block capacities
+    std::size_t high_water{0};      // max bytes_used ever observed
+    std::uint64_t hits{0};          // intern() calls resolved to an id
+    std::uint64_t misses{0};        // intern() calls that copied new bytes
+    std::uint64_t trims{0};         // trim() invocations
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Release every block and forget every symbol (counts hits/misses and
+  /// high_water survive; trims increments). Outstanding symbols become
+  /// dangling -- only call with no live InternedString referencing this
+  /// arena (tests; quiescent teardown).
+  void trim();
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> bytes;
+    std::size_t used{0};
+    std::size_t capacity{0};
+  };
+
+  std::vector<Block> blocks_;
+  std::vector<std::string_view> symbols_;  // sym - 1 -> text (arena-backed)
+  // Keys are views into the arena blocks, which never move once written.
+  std::unordered_map<std::string_view, Sym> index_;
+  Stats stats_;
+};
+
+/// A symbol plus the arena that can resolve it: the value type that
+/// replaces std::string in telemetry records. Copying is two words; the
+/// text is resolved only at export/inspection time.
+class InternedString {
+ public:
+  InternedString() = default;
+  InternedString(const StringArena* arena, Sym sym)
+      : arena_(arena), sym_(sym) {}
+
+  [[nodiscard]] bool empty() const { return sym_ == 0; }
+  [[nodiscard]] Sym sym() const { return sym_; }
+  [[nodiscard]] std::string_view view() const {
+    return arena_ != nullptr ? arena_->lookup(sym_) : std::string_view{};
+  }
+  operator std::string_view() const { return view(); }
+  [[nodiscard]] std::string str() const { return std::string{view()}; }
+
+  friend bool operator==(const InternedString& a, const InternedString& b) {
+    return a.view() == b.view();
+  }
+  friend bool operator==(const InternedString& a, std::string_view b) {
+    return a.view() == b;
+  }
+  // Exact-match overload for string literals (mirrors ipc::Payload).
+  friend bool operator==(const InternedString& a, const char* b) {
+    return a.view() == std::string_view{b};
+  }
+  friend std::ostream& operator<<(std::ostream& os, const InternedString& s) {
+    return os << s.view();
+  }
+
+ private:
+  const StringArena* arena_{nullptr};
+  Sym sym_{0};
+};
+
+}  // namespace air::util

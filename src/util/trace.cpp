@@ -74,11 +74,11 @@ void Trace::set_flight_recorder(std::size_t capacity,
     rebuild_view();
   }
   recorder_ = std::move(recorder);
-  for (TraceEvent& event : events_) {
+  for (const TraceEvent& event : events_) {
     const bool critical = severity(event.kind) == Severity::kCritical;
     RingBuffer<Stored>& ring =
         critical ? recorder_->critical : recorder_->ring;
-    if (ring.push_overwrite({std::move(event), recorder_->seq++})) {
+    if (ring.push_overwrite({event, recorder_->seq++})) {
       ++recorder_->dropped;
       if (critical) ++recorder_->dropped_critical;
     }
@@ -103,15 +103,15 @@ void Trace::remove_sink(TraceSink* sink) {
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
 }
 
-void Trace::record_slow(TraceEvent event) {
+void Trace::record_slow(const TraceEvent& event) {
   for (TraceSink* sink : sinks_) sink->on_event(event);
   if (recorder_ == nullptr) {
-    events_.push_back(std::move(event));
+    events_.push_back(event);
     return;
   }
   const bool critical = severity(event.kind) == Severity::kCritical;
   RingBuffer<Stored>& ring = critical ? recorder_->critical : recorder_->ring;
-  if (ring.push_overwrite({std::move(event), recorder_->seq++})) {
+  if (ring.push_overwrite({event, recorder_->seq++})) {
     ++recorder_->dropped;
     if (critical) ++recorder_->dropped_critical;
   }

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/types.hpp"
 
@@ -70,7 +71,9 @@ struct TraceEvent {
   std::int64_t a{-1};
   std::int64_t b{-1};
   std::int64_t c{-1};
-  std::string label;
+  // Interned: flight labels repeat, so steady-state recording allocates
+  // nothing after each distinct label's first occurrence (DESIGN.md §12).
+  InternedString label;
 };
 
 /// Streaming observer: receives every recorded event, in recording order,
@@ -91,14 +94,35 @@ class Trace {
 
   void record(Ticks time, EventKind kind, std::int64_t a = -1,
               std::int64_t b = -1, std::int64_t c = -1,
-              std::string label = {}) {
+              std::string_view label = {}) {
     if (!enabled_) return;
     ++recorded_;
+    const TraceEvent event{time, kind, a, b, c, intern(label)};
     if (recorder_ == nullptr && sinks_.empty()) {  // common fast path
-      events_.push_back({time, kind, a, b, c, std::move(label)});
+      events_.push_back(event);
       return;
     }
-    record_slow({time, kind, a, b, c, std::move(label)});
+    record_slow(event);
+  }
+
+  // --- label arena ---
+  /// Use `arena` (borrowed, must outlive this trace and every retained
+  /// event) for label storage instead of the lazily created private one.
+  /// Call before the first labelled event is recorded: symbols minted in
+  /// the old arena are not migrated.
+  void set_arena(StringArena* arena) { arena_ = arena; }
+  /// Arena backing the labels: the installed one, the lazily created
+  /// private one, or nullptr when no label has been interned yet.
+  [[nodiscard]] const StringArena* arena() const { return arena_; }
+  /// Intern free text into the label arena (for callers that assemble a
+  /// label once and reuse the symbol across events).
+  InternedString intern(std::string_view text) {
+    if (text.empty()) return {};
+    if (arena_ == nullptr) {
+      owned_arena_ = std::make_unique<StringArena>();
+      arena_ = owned_arena_.get();
+    }
+    return {arena_, arena_->intern(text)};
   }
 
   // --- flight recorder ---
@@ -155,11 +179,13 @@ class Trace {
     std::uint64_t seq{0};
   };
 
-  void record_slow(TraceEvent event);
+  void record_slow(const TraceEvent& event);
   void rebuild_view() const;
 
   bool enabled_{true};
   std::uint64_t recorded_{0};
+  StringArena* arena_{nullptr};
+  std::unique_ptr<StringArena> owned_arena_;
   // Unbounded-mode storage; in flight-recorder mode, the lazily rebuilt
   // merged view (mutable so the const events() accessor can refresh it).
   mutable std::vector<TraceEvent> events_;

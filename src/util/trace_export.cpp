@@ -103,7 +103,7 @@ std::string to_chrome_trace(const Trace& trace, double tick_us) {
                 std::to_string(e.a + 1)));
         break;
       case EventKind::kHmError:
-        events.push_back(instant("HM report", ts, e.a, e.label));
+        events.push_back(instant("HM report", ts, e.a, e.label.str()));
         break;
       case EventKind::kSpatialViolation:
         events.push_back(instant("spatial violation", ts, e.a,
@@ -130,7 +130,7 @@ std::string to_json(const Trace& trace) {
     event["a"] = json::Value{e.a};
     event["b"] = json::Value{e.b};
     event["c"] = json::Value{e.c};
-    if (!e.label.empty()) event["label"] = json::Value{e.label};
+    if (!e.label.empty()) event["label"] = json::Value{e.label.str()};
     events.push_back(json::Value{std::move(event)});
   }
   return json::Value{events}.dump(2);

@@ -1,0 +1,286 @@
+// Host profiler semantics (telemetry/profiler.hpp) and the interned-string
+// arena it attributes allocations against (util/arena.hpp).
+//
+// Host wall-clock values are nondeterministic by nature, so these tests
+// assert structure -- node topology, path strings, call counts, stat
+// monotonicity -- never concrete durations. The one determinism claim that
+// *is* tested: enabling the profiler must not perturb any deterministic
+// export (metrics, spans, trace are byte-identical with it on or off).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/fig8.hpp"
+#include "system/module.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/spans.hpp"
+#include "util/arena.hpp"
+#include "util/json.hpp"
+#include "util/trace_export.hpp"
+
+namespace air {
+namespace {
+
+using telemetry::HostProfiler;
+using telemetry::ProfilePoint;
+using util::StringArena;
+
+// --- profiler ---------------------------------------------------------
+
+TEST(HostProfiler, DisabledScopesRecordNothing) {
+  HostProfiler profiler;  // enabled_ defaults to false
+  profiler.begin_tick();
+  {
+    HostProfiler::Scope tick(profiler, ProfilePoint::kTick);
+    HostProfiler::Scope pal(profiler, ProfilePoint::kPal);
+  }
+  EXPECT_EQ(profiler.nodes().size(), 1u) << "only the synthetic root";
+  EXPECT_EQ(profiler.ticks(), 0u);
+  EXPECT_FALSE(profiler.sampling());
+}
+
+TEST(HostProfiler, OffStrideTicksRecordNothing) {
+  HostProfiler profiler;
+  profiler.enable(true);
+  profiler.set_stride(4);
+  std::uint64_t sampled = 0;
+  for (int tick = 0; tick < 8; ++tick) {
+    if (profiler.begin_tick()) ++sampled;
+    HostProfiler::Scope scope(profiler, ProfilePoint::kTick);
+  }
+  EXPECT_EQ(sampled, 2u);  // ticks 0 and 4
+  EXPECT_EQ(profiler.ticks(), 2u);
+  ASSERT_GE(profiler.nodes().size(), 2u);
+  EXPECT_EQ(profiler.nodes()[1].stats.calls, 2u)
+      << "off-stride scopes must not bump call counts";
+}
+
+TEST(HostProfiler, NestedScopesAggregatePerStackPath) {
+  HostProfiler profiler;
+  profiler.enable(true);
+  profiler.set_stride(1);
+  for (int tick = 0; tick < 3; ++tick) {
+    profiler.begin_tick();
+    HostProfiler::Scope t(profiler, ProfilePoint::kTick);
+    {
+      HostProfiler::Scope pal(profiler, ProfilePoint::kPal);
+      HostProfiler::Scope kd(profiler, ProfilePoint::kKernelDispatch);
+    }
+    {
+      HostProfiler::Scope ex(profiler, ProfilePoint::kExecutor);
+      HostProfiler::Scope kd(profiler, ProfilePoint::kKernelDispatch);
+    }
+    HostProfiler::Scope router(profiler, ProfilePoint::kRouter);
+  }
+
+  // Same point under different parents = distinct rows.
+  std::vector<std::string> paths;
+  for (std::uint32_t i = 1; i < profiler.nodes().size(); ++i) {
+    paths.push_back(profiler.path(i));
+  }
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "tick;pal;kernel_dispatch"),
+            paths.end());
+  EXPECT_NE(
+      std::find(paths.begin(), paths.end(), "tick;executor;kernel_dispatch"),
+      paths.end());
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "tick;router"), paths.end());
+
+  for (std::uint32_t i = 1; i < profiler.nodes().size(); ++i) {
+    EXPECT_EQ(profiler.nodes()[i].stats.calls, 3u) << profiler.path(i);
+  }
+  // point_stats folds both kernel_dispatch rows together.
+  EXPECT_EQ(profiler.point_stats(ProfilePoint::kKernelDispatch).calls, 6u);
+}
+
+TEST(HostProfiler, MaxTracksTheSlowestCallAndSelfExcludesChildren) {
+  HostProfiler profiler;
+  profiler.enable(true);
+  profiler.set_stride(1);
+  for (int tick = 0; tick < 4; ++tick) {
+    profiler.begin_tick();
+    HostProfiler::Scope t(profiler, ProfilePoint::kTick);
+    HostProfiler::Scope pal(profiler, ProfilePoint::kPal);
+    if (tick == 2) {  // one deliberately slow call
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  const HostProfiler::PathStats pal = profiler.point_stats(ProfilePoint::kPal);
+  ASSERT_EQ(pal.calls, 4u);
+  EXPECT_GE(pal.max_ns, 2'000'000u) << "max must capture the slow call";
+  EXPECT_LE(pal.max_ns, pal.total_ns);
+  // mean <= max always; with one 2ms outlier among 4 calls, max > mean.
+  EXPECT_GT(pal.max_ns, pal.total_ns / 4);
+
+  // tick's self time excludes the pal child (clamped, never wrapping).
+  const auto& nodes = profiler.nodes();
+  for (std::uint32_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LE(profiler.self_ns(i), nodes[i].stats.total_ns)
+        << profiler.path(i);
+  }
+}
+
+TEST(HostProfiler, ReportAndFoldedAndJsonShareTheTree) {
+  HostProfiler profiler;
+  profiler.enable(true);
+  profiler.set_stride(1);
+  profiler.begin_tick();
+  {
+    HostProfiler::Scope t(profiler, ProfilePoint::kTick);
+    HostProfiler::Scope s(profiler, ProfilePoint::kScheduler);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  const std::string report = profiler.report();
+  EXPECT_NE(report.find("tick;scheduler"), std::string::npos) << report;
+
+  const std::string folded = profiler.folded();
+  EXPECT_NE(folded.find("tick;scheduler "), std::string::npos) << folded;
+
+  const auto parsed =
+      util::json::parse(telemetry::profile_to_json(profiler, "test"));
+  ASSERT_TRUE(parsed.ok());
+  const auto* meta = parsed.value->find("meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->get_string("origin", ""), "test");
+  EXPECT_EQ(meta->get_int("sampled_ticks", -1), 1);
+  const auto* paths = parsed.value->find("paths");
+  ASSERT_NE(paths, nullptr);
+  ASSERT_EQ(paths->as_array().size(), 2u);
+  EXPECT_EQ(paths->as_array()[0].get_string("path", ""), "tick");
+  EXPECT_EQ(paths->as_array()[1].get_string("path", ""), "tick;scheduler");
+  EXPECT_GE(paths->as_array()[1].get_int("total_ns", 0), 100'000);
+}
+
+TEST(HostProfiler, ClearResetsToARoot) {
+  HostProfiler profiler;
+  profiler.enable(true);
+  profiler.set_stride(1);
+  profiler.begin_tick();
+  { HostProfiler::Scope t(profiler, ProfilePoint::kTick); }
+  ASSERT_GT(profiler.nodes().size(), 1u);
+  profiler.clear();
+  EXPECT_EQ(profiler.nodes().size(), 1u);
+  EXPECT_EQ(profiler.ticks(), 0u);
+}
+
+// The core determinism contract: host time must never leak into the
+// deterministic artifacts. A profiled flight and an unprofiled flight of
+// the same mission export byte-identical metrics, spans and traces.
+TEST(HostProfiler, ProfiledFlightExportsAreByteIdentical) {
+  auto fly = [](bool profiled) {
+    auto config = scenarios::fig8_config();
+    config.telemetry.profiler_enabled = profiled;
+    config.telemetry.profiler_stride = 1;
+    system::Module module(std::move(config));
+    module.start_process_by_name(module.partition_id("AOCS"),
+                                 scenarios::kFaultyProcessName);
+    module.run(3 * scenarios::kFig8Mtf);
+    return telemetry::to_json(module.metrics_snapshot()) +
+           telemetry::spans_to_json(module.spans()) +
+           util::to_json(module.trace());
+  };
+  EXPECT_EQ(fly(false), fly(true));
+}
+
+TEST(HostProfiler, ModuleStatusReportCarriesTheProfileLine) {
+  auto config = scenarios::fig8_config();
+  config.telemetry.profiler_enabled = true;
+  config.telemetry.profiler_stride = 1;
+  system::Module module(std::move(config));
+  module.run(scenarios::kFig8Mtf);
+  const std::string report = module.status_report();
+  EXPECT_NE(report.find("profile:"), std::string::npos) << report;
+  EXPECT_NE(report.find("payload pool:"), std::string::npos) << report;
+  EXPECT_NE(report.find("label arena:"), std::string::npos) << report;
+}
+
+// --- string arena -----------------------------------------------------
+
+TEST(StringArena, InternRoundTripsAndDeduplicates) {
+  StringArena arena;
+  const util::Sym a = arena.intern("activated");
+  const util::Sym b = arena.intern("deadline_miss");
+  const util::Sym a2 = arena.intern("activated");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, a2) << "same bytes -> same symbol";
+  EXPECT_EQ(arena.lookup(a), "activated");
+  EXPECT_EQ(arena.lookup(b), "deadline_miss");
+
+  EXPECT_EQ(arena.intern(""), 0u);
+  EXPECT_EQ(arena.lookup(0), "");
+  EXPECT_EQ(arena.lookup(999), "") << "unknown symbols resolve empty";
+
+  const StringArena::Stats& stats = arena.stats();
+  EXPECT_EQ(stats.symbols, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.bytes_used,
+            std::string_view{"activated"}.size() +
+                std::string_view{"deadline_miss"}.size());
+  EXPECT_EQ(stats.blocks, 1u);
+}
+
+TEST(StringArena, SteadyStateInterningIsHitOnly) {
+  StringArena arena;
+  arena.intern("window");
+  const std::size_t bytes = arena.stats().bytes_used;
+  for (int i = 0; i < 1000; ++i) arena.intern("window");
+  EXPECT_EQ(arena.stats().bytes_used, bytes) << "hits must not allocate";
+  EXPECT_EQ(arena.stats().hits, 1000u);
+  EXPECT_EQ(arena.stats().misses, 1u);
+}
+
+TEST(StringArena, OversizedStringsGetADedicatedBlock) {
+  StringArena arena;
+  const std::string big(StringArena::kBlockBytes + 17, 'x');
+  const util::Sym sym = arena.intern(big);
+  EXPECT_EQ(arena.lookup(sym), big);
+  EXPECT_EQ(arena.stats().bytes_used, big.size());
+  EXPECT_GE(arena.stats().bytes_reserved, big.size());
+}
+
+TEST(StringArena, TrimForgetsSymbolsButKeepsLifetimeCounters) {
+  StringArena arena;
+  arena.intern("a");
+  arena.intern("b");
+  arena.intern("a");
+  const std::size_t high_water = arena.stats().high_water;
+  arena.trim();
+  const StringArena::Stats& stats = arena.stats();
+  EXPECT_EQ(stats.symbols, 0u);
+  EXPECT_EQ(stats.blocks, 0u);
+  EXPECT_EQ(stats.bytes_used, 0u);
+  EXPECT_EQ(stats.trims, 1u);
+  EXPECT_EQ(stats.hits, 1u) << "lifetime counters survive trim";
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.high_water, high_water);
+  // The id space restarts: the same text mints a fresh symbol.
+  EXPECT_EQ(arena.intern("c"), 1u);
+}
+
+TEST(InternedString, ComparesByTextAndStreams) {
+  StringArena arena;
+  const util::InternedString a{&arena, arena.intern("activated")};
+  const util::InternedString b{&arena, arena.intern("activated")};
+  const util::InternedString c{&arena, arena.intern("other")};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, "activated");
+  EXPECT_EQ(a, std::string_view{"activated"});
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(util::InternedString{}.empty());
+  EXPECT_EQ(a.str(), "activated");
+  std::ostringstream os;
+  os << a;
+  EXPECT_EQ(os.str(), "activated");
+}
+
+}  // namespace
+}  // namespace air

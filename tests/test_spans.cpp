@@ -145,7 +145,7 @@ TEST(Spans, EveryMissCarriesARootCauseChain) {
     EXPECT_EQ(anomaly.chain[1].what, "job_released");
     // The faulty process misses across a window boundary, so the chain
     // names the preemption; misses inside a window blame the overrun.
-    const std::string& cause = anomaly.chain[2].what;
+    const std::string cause = anomaly.chain[2].what.str();
     EXPECT_TRUE(cause == "window_end_preemption" ||
                 cause == "capacity_overrun")
         << cause;

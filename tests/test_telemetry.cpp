@@ -245,23 +245,39 @@ TEST(ModuleTelemetry, StatusReportSummarisesMetrics) {
 TEST(ModuleTelemetry, ProfilerMeasuresEveryPhase) {
   auto config = scenarios::fig8_config();
   config.telemetry.profiler_enabled = true;
+  config.telemetry.profiler_stride = 1;  // measure every tick
   system::Module module(std::move(config));
   module.run(2 * scenarios::kFig8Mtf);
 
-  const telemetry::TickProfiler& profiler = module.profiler();
+  const telemetry::HostProfiler& profiler = module.profiler();
   EXPECT_EQ(profiler.ticks(),
             static_cast<std::uint64_t>(2 * scenarios::kFig8Mtf));
-  for (auto phase : {telemetry::TickPhase::kScheduler,
-                     telemetry::TickPhase::kDispatcher,
-                     telemetry::TickPhase::kRouter,
-                     telemetry::TickPhase::kPal,
-                     telemetry::TickPhase::kExecutor}) {
-    EXPECT_GT(profiler.stats(phase).calls, 0u)
-        << telemetry::to_string(phase);
+  for (auto point : {telemetry::ProfilePoint::kScheduler,
+                     telemetry::ProfilePoint::kDispatcher,
+                     telemetry::ProfilePoint::kRouter,
+                     telemetry::ProfilePoint::kPal,
+                     telemetry::ProfilePoint::kExecutor,
+                     telemetry::ProfilePoint::kKernelDispatch}) {
+    EXPECT_GT(profiler.point_stats(point).calls, 0u)
+        << telemetry::to_string(point);
   }
   const std::string report = profiler.report();
   EXPECT_NE(report.find("scheduler"), std::string::npos) << report;
-  EXPECT_NE(report.find("executor"), std::string::npos);
+  EXPECT_NE(report.find("tick;executor"), std::string::npos) << report;
+  // The kernel fast path is attributed under both PAL announce and the
+  // executor's syscall return -- distinct stack paths for the same point.
+  const std::string folded = profiler.folded();
+  EXPECT_NE(folded.find("tick;pal;kernel_dispatch"), std::string::npos)
+      << folded;
+}
+
+TEST(ModuleTelemetry, ProfilerStrideSamplesOneTickInN) {
+  auto config = scenarios::fig8_config();
+  config.telemetry.profiler_enabled = true;
+  config.telemetry.profiler_stride = 100;
+  system::Module module(std::move(config));
+  module.run(1000);
+  EXPECT_EQ(module.profiler().ticks(), 10u);  // ticks 0, 100, ..., 900
 }
 
 TEST(ModuleTelemetry, ProfilerIsOffByDefault) {
@@ -278,6 +294,7 @@ TEST(ConfigLoader, ParsesTelemetryBlock) {
                    "windows": [{"partition": "P1", "offset": 0,
                                 "duration": 10}]}],
     "telemetry": {"metrics": false, "profiler": true,
+                  "profiler_stride": 4,
                   "flight_recorder_capacity": 512,
                   "flight_recorder_critical_capacity": 64}
   })";
@@ -286,6 +303,7 @@ TEST(ConfigLoader, ParsesTelemetryBlock) {
   const auto& telemetry = result.config->telemetry;
   EXPECT_FALSE(telemetry.metrics_enabled);
   EXPECT_TRUE(telemetry.profiler_enabled);
+  EXPECT_EQ(telemetry.profiler_stride, 4u);
   EXPECT_EQ(telemetry.flight_recorder_capacity, 512u);
   EXPECT_EQ(telemetry.flight_recorder_critical_capacity, 64u);
 }
@@ -302,6 +320,8 @@ TEST(ConfigLoader, TelemetryDefaultsWhenAbsent) {
   ASSERT_TRUE(result.config.has_value()) << result.error;
   EXPECT_TRUE(result.config->telemetry.metrics_enabled);
   EXPECT_FALSE(result.config->telemetry.profiler_enabled);
+  EXPECT_EQ(result.config->telemetry.profiler_stride,
+            telemetry::HostProfiler::kDefaultStride);
   EXPECT_EQ(result.config->telemetry.flight_recorder_capacity, 0u);
 }
 

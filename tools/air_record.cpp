@@ -9,17 +9,21 @@
 // that crosses the bus.
 //
 // Usage: air-record [--no-warp] [--clean] [--health] [--fail-on-breach]
-//                   [--status] [out_dir]         (default out_dir: "flight")
+//                   [--profile] [--status] [out_dir]  (default: "flight")
 //
 // --clean omits the faulty process (the mission then has a zero-breach SLO:
 // the CI flight-health job asserts it). --health flies with the online
 // observability plane enabled on both modules and the bus, streaming
 // windowed digests and watchdog breaches to <out_dir>/health.ndjson -- the
-// file tools/air-top renders. --fail-on-breach exits 2 when any watchdog
-// fired. --status skips the mission: it prints the binary's build type and
-// a one-line ticks/s self-measurement (a wall-clocked clean Fig. 8 flight),
-// so a shell can tell at a glance whether its timings mean anything
-// (DESIGN.md §11).
+// file tools/air-top renders. --profile flies with the hierarchical host
+// profiler at stride 1 (exact capture; forces per-tick stepping) and writes
+// <name>_profile.json per module plus world_profile.json -- the artifacts
+// tools/air-profile renders. --fail-on-breach exits 2 when any watchdog
+// fired. --status skips the mission: it prints the binary's build type,
+// a one-line ticks/s self-measurement (a wall-clocked clean Fig. 8 flight)
+// and the pooled-memory counters the zero-allocation claim rests on, so a
+// shell can tell at a glance whether its timings mean anything
+// (DESIGN.md §11-§12).
 //
 // Writes per module: <name>_trace.json, <name>_metrics.json,
 // <name>_spans.json; plus bus_spans.json and meta.json (the manifest
@@ -32,9 +36,11 @@
 #include <string>
 
 #include "config/fig8.hpp"
+#include "ipc/payload.hpp"
 #include "system/build_info.hpp"
 #include "system/world.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/online.hpp"
 #include "telemetry/spans.hpp"
 #include "util/json.hpp"
@@ -109,6 +115,20 @@ int print_status() {
       system::release_build()
           ? ""
           : "  [non-Release: not comparable to Release baselines]");
+  const ipc::Payload::PoolStats pool = ipc::Payload::pool_stats();
+  std::printf(
+      "air-record: payload pool heap_allocs=%llu reuses=%llu returns=%llu "
+      "free=%zu\n",
+      static_cast<unsigned long long>(pool.heap_allocs),
+      static_cast<unsigned long long>(pool.pool_reuses),
+      static_cast<unsigned long long>(pool.pool_returns), pool.free_blocks);
+  const telemetry::StringArena::Stats& arena = module.arena().stats();
+  std::printf(
+      "air-record: label arena symbols=%zu blocks=%zu bytes=%zu "
+      "high_water=%zu hits=%llu misses=%llu\n",
+      arena.symbols, arena.blocks, arena.bytes_used, arena.high_water,
+      static_cast<unsigned long long>(arena.hits),
+      static_cast<unsigned long long>(arena.misses));
   return 0;
 }
 
@@ -118,6 +138,7 @@ int main(int argc, char** argv) {
   bool warp = true;
   bool clean = false;
   bool health = false;
+  bool profile = false;
   bool fail_on_breach = false;
   std::string out_dir = "flight";
   for (int i = 1; i < argc; ++i) {
@@ -127,6 +148,8 @@ int main(int argc, char** argv) {
       clean = true;
     } else if (std::strcmp(argv[i], "--health") == 0) {
       health = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else if (std::strcmp(argv[i], "--fail-on-breach") == 0) {
       fail_on_breach = true;
     } else if (std::strcmp(argv[i], "--status") == 0) {
@@ -168,6 +191,14 @@ int main(int argc, char** argv) {
     fig8.telemetry.online = online;
     ground_config.telemetry.online = online;
   }
+  if (profile) {
+    // Stride 1: exact offline capture (DESIGN.md §12). The profiler forces
+    // per-tick stepping, so the recording is slower but fully attributed.
+    fig8.telemetry.profiler_enabled = true;
+    fig8.telemetry.profiler_stride = 1;
+    ground_config.telemetry.profiler_enabled = true;
+    ground_config.telemetry.profiler_stride = 1;
+  }
 
   system::World world(
       {.slot_length = 10, .frames_per_slot = 2, .propagation_delay = 2});
@@ -175,6 +206,7 @@ int main(int argc, char** argv) {
   system::Module& ground = world.add_module(std::move(ground_config));
   prototype.set_time_warp(warp);
   ground.set_time_warp(warp);
+  if (profile) world.enable_profiler(1);
 
   std::ofstream health_file;
   if (health) {
@@ -223,7 +255,19 @@ int main(int argc, char** argv) {
     entry["trace"] = util::json::Value{name + "_trace.json"};
     entry["metrics"] = util::json::Value{name + "_metrics.json"};
     entry["spans"] = util::json::Value{name + "_spans.json"};
+    if (profile) {
+      if (!write_file(dir / (name + "_profile.json"),
+                      telemetry::profile_to_json(module.profiler(), name))) {
+        return 1;
+      }
+      entry["profile"] = util::json::Value{name + "_profile.json"};
+    }
     modules.push_back(util::json::Value{std::move(entry)});
+  }
+  if (profile &&
+      !write_file(dir / "world_profile.json",
+                  telemetry::profile_to_json(world.profiler(), "world"))) {
+    return 1;
   }
   if (!write_file(dir / "bus_spans.json",
                   telemetry::spans_to_json(world.bus_spans()))) {
@@ -235,6 +279,7 @@ int main(int argc, char** argv) {
   meta["modules"] = util::json::Value{std::move(modules)};
   meta["bus_spans"] = util::json::Value{"bus_spans.json"};
   if (health) meta["health"] = util::json::Value{"health.ndjson"};
+  if (profile) meta["world_profile"] = util::json::Value{"world_profile.json"};
   if (!write_file(dir / "meta.json", util::json::Value{std::move(meta)}.dump(2))) {
     return 1;
   }

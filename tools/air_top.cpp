@@ -11,15 +11,22 @@
 // view of a flying mission.
 //
 // Usage: air-top [--follow] [--interval-ms N] [--fail-on-breach]
-//                [--tail N] [health.ndjson]
+//                [--tail N] [--profile FILE] [health.ndjson]
+//
+// --profile FILE adds a hot-path line per origin from a host-profile
+// artifact (a *_profile.json written by air-record --profile, or a flight
+// directory containing them) -- where the recorded flight's host time went.
 //
 // Exit codes: 0 = rendered (no breach, or --fail-on-breach unset),
 //             2 = --fail-on-breach and the stream contains a health event,
 //             1 = usage or I/O error.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <thread>
@@ -173,10 +180,73 @@ std::size_t render(const Deck& deck, std::size_t tail) {
   return breaches;
 }
 
+/// Hot-path lines from host-profile artifacts: for each profile document,
+/// the path with the largest self time. Accepts a single *_profile.json or
+/// a flight directory (renders every profile meta.json names).
+void render_profile_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::printf("  hot: cannot read %s\n", path.c_str());
+    return;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  air::util::json::ParseResult parsed = air::util::json::parse(text);
+  if (!parsed.ok()) {
+    std::printf("  hot: %s: parse error\n", path.c_str());
+    return;
+  }
+  std::string origin = "?";
+  if (const Value* meta = parsed.value->find("meta")) {
+    origin = meta->get_string("origin", "?");
+  }
+  const Value* paths = parsed.value->find("paths");
+  if (paths == nullptr || !paths->is_array() || paths->as_array().empty()) {
+    std::printf("  hot [%s]: no profile data\n", origin.c_str());
+    return;
+  }
+  const Value* hottest = nullptr;
+  for (const Value& row : paths->as_array()) {
+    if (hottest == nullptr ||
+        row.get_int("self_ns", 0) > hottest->get_int("self_ns", 0)) {
+      hottest = &row;
+    }
+  }
+  std::printf("  hot [%s]: %s self=%lldns calls=%lld max=%lldns\n",
+              origin.c_str(), hottest->get_string("path", "?").c_str(),
+              static_cast<long long>(hottest->get_int("self_ns", 0)),
+              static_cast<long long>(hottest->get_int("calls", 0)),
+              static_cast<long long>(hottest->get_int("max_ns", 0)));
+}
+
+void render_profiles(const std::string& path) {
+  std::printf("-- host profile --\n");
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(fs::path{path})) {
+    render_profile_file(path);
+    return;
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(fs::path{path})) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 13 &&
+        name.compare(name.size() - 13, 13, "_profile.json") == 0) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::printf("  hot: no *_profile.json in %s\n", path.c_str());
+    return;
+  }
+  for (const std::string& file : files) render_profile_file(file);
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: air-top [--follow] [--interval-ms N] "
-               "[--fail-on-breach] [--tail N] [health.ndjson]\n");
+               "[--fail-on-breach] [--tail N] [--profile FILE] "
+               "[health.ndjson]\n");
   return 1;
 }
 
@@ -188,6 +258,7 @@ int main(int argc, char** argv) {
   long interval_ms = 500;
   std::size_t tail = 8;
   std::string path = "flight/health.ndjson";
+  std::string profile_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--follow") == 0) {
@@ -200,6 +271,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--tail") == 0 && i + 1 < argc) {
       tail = static_cast<std::size_t>(std::strtol(argv[++i], nullptr, 10));
       if (tail == 0) return usage();
+    } else if (std::strcmp(arg, "--profile") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
     } else if (arg[0] == '-') {
       return usage();
     } else {
@@ -216,6 +289,7 @@ int main(int argc, char** argv) {
     }
     if (follow) std::printf("\033[2J\033[H");  // clear, home
     breaches = render(deck, tail);
+    if (!profile_path.empty()) render_profiles(profile_path);
     std::fflush(stdout);
     if (!follow) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
