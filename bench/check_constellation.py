@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CI gate: assert the switched topology pays off at constellation scale.
+
+Reads a Google Benchmark JSON file containing BM_Constellation_Switched/N
+and BM_Constellation_Flat/N and fails unless, at N = 1000 modules:
+
+  1. switched modules_per_second >= MIN_RATIO x the flat rate (the
+     hierarchical switched data plane must beat the naive flat broadcast
+     by a wide margin, not a rounding error), and
+  2. switched modules_per_second >= MIN_FLOOR absolute (a ratio can also
+     be met by making the strawman slower; the floor pins the real rate).
+
+The ratio is the paper-facing figure: per-switch TDMA cycles drain beacon
+bursts in ~10 ticks and let the epoch driver warp the quiet gaps, while the
+flat 2 * N-tick cycle never drains and pins every module to propagation-
+length epochs (bench_constellation.cpp, DESIGN.md §13).
+
+Usage: check_constellation.py BENCH_constellation.json
+                              [min_ratio] [min_floor] [modules]
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    min_ratio = float(sys.argv[2]) if len(sys.argv) > 2 else 4.0
+    min_floor = float(sys.argv[3]) if len(sys.argv) > 3 else 2.0e6
+    modules = sys.argv[4] if len(sys.argv) > 4 else "1000"
+
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+
+    rates = {}
+    epochs = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if bench.get("run_type") == "aggregate":
+            continue
+        for kind in ("Switched", "Flat"):
+            prefix = f"BM_Constellation_{kind}/"
+            if name.startswith(prefix):
+                arg = name.split("/")[1]
+                rate = bench.get("modules_per_second")
+                if rate is not None:
+                    key = (kind, arg)
+                    # Keep the best repetition per (kind, module count).
+                    if float(rate) > rates.get(key, 0.0):
+                        rates[key] = float(rate)
+                        epochs[key] = float(bench.get("mean_epoch_ticks", 0.0))
+
+    switched = rates.get(("Switched", modules))
+    flat = rates.get(("Flat", modules))
+    if switched is None or flat is None:
+        print(f"error: {path} lacks BM_Constellation_Switched/{modules} or "
+              f"BM_Constellation_Flat/{modules} (found: {sorted(rates)})",
+              file=sys.stderr)
+        return 2
+
+    ratio = switched / flat if flat > 0 else float("inf")
+    print(f"constellation at {modules} modules: "
+          f"switched {switched:.3e} (mean epoch "
+          f"{epochs.get(('Switched', modules), 0):.1f} ticks), "
+          f"flat {flat:.3e} (mean epoch "
+          f"{epochs.get(('Flat', modules), 0):.1f} ticks) module-ticks/sec "
+          f"-> ratio {ratio:.2f}x (gate: >= {min_ratio}x, "
+          f"floor {min_floor:.1e})")
+    if ratio < min_ratio:
+        print("error: switched/flat modules_per_second ratio below the gate",
+              file=sys.stderr)
+        return 1
+    if switched < min_floor:
+        print("error: switched modules_per_second below the absolute floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -393,9 +393,10 @@ ReturnCode Apex::release_process(ProcessId pid) {
     if (release_at <= now) {
       pal_.kernel().wake(pid, pos::WakeResult::kOk);
     } else {
-      // Defer to the inter-arrival bound: turn the wait into a timed one.
-      p->wait_reason = pos::WaitReason::kNextRelease;
-      p->wake_time = release_at;
+      // Defer to the inter-arrival bound: turn the wait into a timed one
+      // (via the kernel, which keeps its timer columns in sync).
+      pal_.kernel().retarget_wait(pid, pos::WaitReason::kNextRelease,
+                                  release_at);
     }
     return ReturnCode::kNoError;
   }

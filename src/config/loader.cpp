@@ -453,4 +453,68 @@ LoadResult load_module_config_file(const std::string& path) {
   return load_module_config(buffer.str());
 }
 
+NetworkLoadResult load_network_config(std::string_view json_text) {
+  const util::json::ParseResult parsed = util::json::parse(json_text);
+  if (!parsed.ok()) return {std::nullopt, parsed.error->to_string()};
+
+  try {
+    const Value* root = &*parsed.value;
+    if (!root->is_object()) fail("top-level value must be an object");
+    if (const Value* wrapped = root->find("network")) {
+      if (!wrapped->is_object()) fail("\"network\" must be an object");
+      root = wrapped;
+    }
+
+    NetworkConfig config;
+    config.bus.slot_length = root->get_int("slot_length", 10);
+    if (config.bus.slot_length <= 0) fail("\"slot_length\" must be > 0");
+    config.bus.frames_per_slot =
+        static_cast<std::size_t>(root->get_int("frames_per_slot", 4));
+    if (config.bus.frames_per_slot == 0) {
+      fail("\"frames_per_slot\" must be > 0");
+    }
+    config.bus.propagation_delay = root->get_int("propagation_delay", 1);
+    if (config.bus.propagation_delay < 0) {
+      fail("\"propagation_delay\" must be >= 0");
+    }
+    config.bus.stations_per_switch =
+        static_cast<std::size_t>(root->get_int("stations_per_switch", 0));
+    config.bus.switch_hop_delay = root->get_int("switch_hop_delay", 2);
+    if (config.bus.switch_hop_delay < 0) {
+      fail("\"switch_hop_delay\" must be >= 0");
+    }
+
+    if (const Value* vls = root->find("virtual_links")) {
+      if (!vls->is_array()) fail("\"virtual_links\" must be an array");
+      for (const Value& vl : vls->as_array()) {
+        if (!vl.is_object()) fail("virtual link entries must be objects");
+        net::VirtualLinkConfig link;
+        const Value* source = vl.find("source");
+        const Value* dest = vl.find("dest");
+        if (source == nullptr || !source->is_number() || dest == nullptr ||
+            !dest->is_number()) {
+          fail("virtual link needs numeric \"source\" and \"dest\" ids");
+        }
+        link.source = ModuleId{static_cast<std::int32_t>(source->as_int())};
+        link.dest = ModuleId{static_cast<std::int32_t>(dest->as_int())};
+        link.min_gap = vl.get_int("min_gap", 0);
+        if (link.min_gap < 0) fail("\"min_gap\" must be >= 0");
+        link.jitter_budget = time_field(vl, "jitter_budget", -1);
+        config.virtual_links.push_back(link);
+      }
+    }
+    return {std::move(config), {}};
+  } catch (const LoadError& e) {
+    return {std::nullopt, e.what()};
+  }
+}
+
+NetworkLoadResult load_network_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {std::nullopt, "cannot open " + path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_network_config(buffer.str());
+}
+
 }  // namespace air::config

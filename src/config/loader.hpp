@@ -29,7 +29,9 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "net/bus.hpp"
 #include "system/module_config.hpp"
 
 namespace air::config {
@@ -43,5 +45,30 @@ struct LoadResult {
 
 [[nodiscard]] LoadResult load_module_config(std::string_view json_text);
 [[nodiscard]] LoadResult load_module_config_file(const std::string& path);
+
+/// World-level network topology (the integrator's counterpart of the ARINC
+/// 664 network configuration tables). Schema (all times in ticks; -1 means
+/// "infinite"; either the top-level object or its "network" member):
+///   { "network": {
+///       "slot_length": 10, "frames_per_slot": 4, "propagation_delay": 1,
+///       "stations_per_switch": 32, "switch_hop_delay": 2,
+///       "virtual_links": [ { "source": 0, "dest": 1,
+///                            "min_gap": 20, "jitter_budget": 100 } ] } }
+/// stations_per_switch 0 (the default) keeps the flat broadcast topology.
+struct NetworkConfig {
+  net::BusConfig bus;
+  std::vector<net::VirtualLinkConfig> virtual_links;
+};
+
+struct NetworkLoadResult {
+  std::optional<NetworkConfig> config;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return config.has_value(); }
+};
+
+[[nodiscard]] NetworkLoadResult load_network_config(std::string_view json_text);
+[[nodiscard]] NetworkLoadResult load_network_config_file(
+    const std::string& path);
 
 }  // namespace air::config

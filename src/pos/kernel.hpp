@@ -37,6 +37,12 @@ class IKernel {
   virtual void make_dormant(ProcessId id) = 0;
   virtual void block(ProcessId id, WaitReason reason, Ticks wake_time) = 0;
   virtual void wake(ProcessId id, WakeResult result) = 0;
+  /// Re-aim an already-waiting process's wait (reason + wake time) without
+  /// a state transition -- e.g. APEX parking a sporadic process for its
+  /// next release point. The one sanctioned way to touch a waiting PCB's
+  /// timer fields: the kernel keeps its timer index in sync with them.
+  virtual void retarget_wait(ProcessId id, WaitReason reason,
+                             Ticks wake_time) = 0;
   virtual void set_priority(ProcessId id, Priority priority) = 0;
   virtual void suspend(ProcessId id, Ticks wake_time) = 0;
   virtual void resume(ProcessId id) = 0;

@@ -12,6 +12,8 @@ ProcessId KernelBase::create_process(ProcessAttributes attrs) {
   pcb.current_priority = attrs.priority;
   pcb.attrs = std::move(attrs);
   table_.push_back(std::move(pcb));
+  wake_col_.push_back(kInfiniteTime);  // dormant: no timer armed
+  susp_col_.push_back(0);
   return table_.back().id;
 }
 
@@ -44,7 +46,12 @@ ProcessControlBlock& KernelBase::pcb_ref(ProcessId id) {
 
 void KernelBase::set_state(ProcessControlBlock& pcb, ProcessState state) {
   if (pcb.state == state) return;
+  const bool was_schedulable = pcb.schedulable();
   pcb.state = state;
+  if (pcb.schedulable() != was_schedulable) {
+    schedulable_count_ += pcb.schedulable() ? 1 : std::size_t(-1);
+  }
+  sync_wait_cols(pcb);
   if (on_state_change) on_state_change(pcb.id, state);
 }
 
@@ -89,6 +96,7 @@ void KernelBase::wake(ProcessId id, WakeResult result) {
     // that its underlying wait has concluded.
     p.wait_reason = WaitReason::kSuspended;
     p.wake_time = kInfiniteTime;
+    sync_wait_cols(p);  // disarms the timer column while still kWaiting
     return;
   }
   p.wait_reason = WaitReason::kNone;
@@ -98,20 +106,34 @@ void KernelBase::wake(ProcessId id, WakeResult result) {
   enqueue_ready(p);
 }
 
+void KernelBase::retarget_wait(ProcessId id, WaitReason reason,
+                               Ticks wake_time) {
+  ProcessControlBlock& p = pcb_ref(id);
+  AIR_ASSERT_MSG(p.state == ProcessState::kWaiting,
+                 "retarget_wait: process is not waiting");
+  p.wait_reason = reason;
+  p.wake_time = wake_time;
+  sync_wait_cols(p);
+}
+
 void KernelBase::suspend(ProcessId id, Ticks wake_time) {
   ProcessControlBlock& p = pcb_ref(id);
   if (p.state == ProcessState::kDormant) return;
   p.suspended = true;
   if (p.schedulable()) {
     block(id, WaitReason::kSuspended, wake_time);
+  } else {
+    // A waiting process keeps its wait; the suspended flag defers
+    // eligibility (and moves the armed timer to the suspended sweep).
+    sync_wait_cols(p);
   }
-  // A waiting process keeps its wait; the suspended flag defers eligibility.
 }
 
 void KernelBase::resume(ProcessId id) {
   ProcessControlBlock& p = pcb_ref(id);
   if (!p.suspended) return;
   p.suspended = false;
+  sync_wait_cols(p);
   if (p.state == ProcessState::kWaiting &&
       p.wait_reason == WaitReason::kSuspended) {
     // Either the suspension itself, or an underlying wait that has already
@@ -127,12 +149,14 @@ void KernelBase::tick_announce(Ticks now, Ticks elapsed) {
 
   // Wake expired timed waits in deterministic (wake_time, id) order.
   // due_scratch_ keeps its capacity across announces: the steady state
-  // sweeps without touching the heap.
+  // sweeps without touching the heap. The sweep reads only the hot
+  // columns (wake_col_ is kInfiniteTime unless the process is waiting, so
+  // one compare covers the state + armed-timer + expiry predicate).
   due_scratch_.clear();
-  for (const auto& p : table_) {
-    if (p.state == ProcessState::kWaiting && !p.suspended &&
-        p.wake_time != kInfiniteTime && p.wake_time <= now_) {
-      due_scratch_.emplace_back(p.wake_time, p.id);
+  for (std::size_t i = 0; i < wake_col_.size(); ++i) {
+    if (wake_col_[i] <= now_ && susp_col_[i] == 0) {
+      due_scratch_.emplace_back(wake_col_[i],
+                                ProcessId{static_cast<std::int32_t>(i)});
     }
   }
   std::sort(due_scratch_.begin(), due_scratch_.end(),
@@ -149,11 +173,12 @@ void KernelBase::tick_announce(Ticks now, Ticks elapsed) {
   }
 
   // Suspended-with-timeout processes whose timeout expired.
-  for (auto& p : table_) {
-    if (p.state == ProcessState::kWaiting && p.suspended &&
-        p.wake_time != kInfiniteTime && p.wake_time <= now_) {
+  for (std::size_t i = 0; i < wake_col_.size(); ++i) {
+    if (wake_col_[i] <= now_ && susp_col_[i] != 0) {
+      ProcessControlBlock& p = table_[i];
       p.suspended = false;
       p.wake_time = kInfiniteTime;
+      sync_wait_cols(p);
       wake(p.id, WakeResult::kTimeout);
     }
   }
@@ -177,6 +202,11 @@ void KernelBase::reset_all() {
     p.next_release = 0;
     if (on_state_change) on_state_change(p.id, ProcessState::kDormant);
   }
+  // The loop edits PCBs in place (deliberately not via set_state: restart
+  // traces one dormant event per process); reset the columns wholesale.
+  std::fill(wake_col_.begin(), wake_col_.end(), kInfiniteTime);
+  std::fill(susp_col_.begin(), susp_col_.end(), std::uint8_t{0});
+  schedulable_count_ = 0;
   current_ = ProcessId::invalid();
   preemption_lock_ = 0;
 }
@@ -184,23 +214,13 @@ void KernelBase::reset_all() {
 Ticks KernelBase::next_wake() const {
   // Both tick_announce loops key on the same predicate (waiting with a
   // finite wake_time; the suspended flag only changes *how* the expiry is
-  // handled), so one scan covers every armed timer.
+  // handled), so one min-fold over the timer column covers every armed
+  // timer -- non-waiting entries sit at kInfiniteTime and fold away.
   Ticks earliest = kInfiniteTime;
-  for (const auto& p : table_) {
-    if (p.state == ProcessState::kWaiting && p.wake_time != kInfiniteTime &&
-        p.wake_time < earliest) {
-      earliest = p.wake_time;
-    }
-  }
+  for (const Ticks w : wake_col_) earliest = std::min(earliest, w);
   return earliest;
 }
 
-std::size_t KernelBase::ready_depth() const {
-  std::size_t n = 0;
-  for (const auto& p : table_) {
-    if (p.schedulable()) ++n;
-  }
-  return n;
-}
+std::size_t KernelBase::ready_depth() const { return schedulable_count_; }
 
 }  // namespace air::pos

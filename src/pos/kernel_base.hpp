@@ -28,6 +28,7 @@ class KernelBase : public IKernel {
   void make_dormant(ProcessId id) final;
   void block(ProcessId id, WaitReason reason, Ticks wake_time) final;
   void wake(ProcessId id, WakeResult result) final;
+  void retarget_wait(ProcessId id, WaitReason reason, Ticks wake_time) final;
   void suspend(ProcessId id, Ticks wake_time) final;
   void resume(ProcessId id) final;
 
@@ -73,7 +74,27 @@ class KernelBase : public IKernel {
 
   [[nodiscard]] ProcessControlBlock& pcb_ref(ProcessId id);
 
+  /// Mirror a PCB's timer/eligibility fields into the hot columns. Must be
+  /// called after any in-place edit of state/wake_time/suspended that
+  /// bypasses set_state (wake-while-suspended, suspend of a waiter,
+  /// retarget_wait). Index = id: create_process assigns ids densely.
+  void sync_wait_cols(const ProcessControlBlock& pcb) {
+    const auto i = static_cast<std::size_t>(pcb.id.value());
+    wake_col_[i] =
+        pcb.state == ProcessState::kWaiting ? pcb.wake_time : kInfiniteTime;
+    susp_col_[i] = pcb.suspended ? 1 : 0;
+  }
+
   std::vector<ProcessControlBlock> table_;
+  // --- constellation hot columns (DESIGN.md §13) ---
+  // Timer and eligibility state split from the cold PCB rows (~1 KiB each
+  // with attributes, script and inbox): the per-tick sweeps -- the
+  // tick_announce due scan, next_wake() (the time-warp horizon query, run
+  // for every partition of every module per epoch), ready_depth() -- read
+  // only these contiguous columns and never page in a PCB row.
+  std::vector<Ticks> wake_col_;  // kWaiting ? wake_time : kInfiniteTime
+  std::vector<std::uint8_t> susp_col_;  // suspended flag, 0/1
+  std::size_t schedulable_count_{0};    // |{ready, running}| (ready_depth)
   // Scratch for tick_announce's due-timer sweep; a member so the steady
   // state reuses its capacity instead of allocating per expiry.
   std::vector<std::pair<Ticks, ProcessId>> due_scratch_;

@@ -23,6 +23,10 @@ Module& World::add_module(ModuleConfig config) {
   modules_.push_back(std::make_unique<Module>(std::move(config)));
   staged_.emplace_back();
   Module& module = *modules_.back();
+  mods_.push_back(&module);
+  live_.push_back(1);
+  staged_dirty_.push_back(0);
+  ++live_count_;
   // Telemetry state must be module-confined: workers advance modules
   // concurrently, so no recorder may be shared with the bus (or, by unique
   // origin above, with any other module).
@@ -40,7 +44,8 @@ Module& World::add_module(ModuleConfig config) {
   module.remote_send = [this, index](const ipc::RemotePortRef& dest,
                                      const ipc::Message& message,
                                      ipc::ChannelKind kind) {
-    staged_[index].push_back({modules_[index]->now(), dest, message, kind});
+    staged_[index].push_back({mods_[index]->now(), dest, message, kind});
+    staged_dirty_[index] = 1;  // own lane's byte: race-free under the pool
   };
   bus_.attach(id, [&module](PartitionId partition, const std::string& port,
                             const ipc::Message& message,
@@ -56,15 +61,17 @@ void World::enable_online(telemetry::OnlineOptions options) {
   bus_plane_->set_spans(&bus_spans_);
 }
 
-telemetry::BusSample World::sample_bus() const {
-  telemetry::BusSample sample;
+const telemetry::BusSample& World::sample_bus() const {
+  telemetry::BusSample& sample = bus_sample_;
   const net::BusStats& stats = bus_.stats();
   sample.frames_sent = stats.frames_sent;
   sample.frames_delivered = stats.frames_delivered;
   sample.backlog = bus_.pending_total();
   sample.spans_dropped = bus_spans_.dropped_spans();
-  sample.stations.reserve(modules_.size());
-  for (const net::StationStats& s : bus_.station_stats()) {
+  bus_.station_stats(station_scratch_);
+  sample.stations.clear();
+  sample.stations.reserve(station_scratch_.size());
+  for (const net::StationStats& s : station_scratch_) {
     telemetry::StationWindow w;
     w.module = s.module.value();
     w.frames_sent = static_cast<std::int64_t>(s.frames_sent);
@@ -73,6 +80,17 @@ telemetry::BusSample World::sample_bus() const {
     sample.stations.push_back(w);
   }
   return sample;
+}
+
+void World::refresh_live() {
+  // `stopped` is monotone, so demotion is the only transition; scan the
+  // compact byte column and only dereference modules still marked live.
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i] != 0 && mods_[i]->stopped()) {
+      live_[i] = 0;
+      --live_count_;
+    }
+  }
 }
 
 void World::set_workers(std::size_t workers) {
@@ -97,9 +115,9 @@ Ticks World::epoch_horizon(Ticks limit) const {
   // now + q, so nothing it sends can arrive before now + q + delay. A busy
   // module (q = 0) may send on the very next tick.
   const Ticks delay = bus_.config().propagation_delay;
-  for (const auto& module : modules_) {
-    if (module->stopped()) continue;
-    const Ticks quiet = module->warp_headroom();
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i] == 0) continue;
+    const Ticks quiet = mods_[i]->warp_headroom();
     if (quiet >= kInfiniteTime - delay - 1) continue;  // no constraint
     horizon = std::min(horizon, quiet + delay + 1);
   }
@@ -107,9 +125,14 @@ Ticks World::epoch_horizon(Ticks limit) const {
 }
 
 void World::merge_and_run_bus(Ticks start, Ticks ticks) {
-  bool any_staged = false;
-  for (const auto& queue : staged_) any_staged |= !queue.empty();
-  if (!any_staged && bus_.pending_total() == 0) {
+  // The dirty byte column is the only full-width scan: one byte per module,
+  // written solely by its own lane during the epoch, read here after the
+  // pool joined. Modules that stayed silent cost one byte load each.
+  merge_list_.clear();
+  for (std::size_t i = 0; i < staged_dirty_.size(); ++i) {
+    if (staged_dirty_[i] != 0) merge_list_.push_back(i);
+  }
+  if (merge_list_.empty() && bus_.pending_total() == 0) {
     // Every earlier tick of the span is provably a no-op (no queued
     // frames, and the horizon placed the first possible arrival at the
     // final tick): jump straight to the delivery edge. Digest boundaries
@@ -124,13 +147,17 @@ void World::merge_and_run_bus(Ticks start, Ticks ticks) {
     }
     return;
   }
-  std::vector<std::size_t> cursor(staged_.size(), 0);
+  // Per-tick merge walks only the dirty modules (attach order is preserved
+  // because merge_list_ is built in index order); the cursors are member
+  // scratch so an epoch barrier allocates nothing in the steady state.
+  merge_cursor_.assign(merge_list_.size(), 0);
   for (Ticks u = start; u < start + ticks; ++u) {
-    for (std::size_t i = 0; i < modules_.size(); ++i) {
+    for (std::size_t m = 0; m < merge_list_.size(); ++m) {
+      const std::size_t i = merge_list_[m];
       std::vector<StagedFrame>& queue = staged_[i];
-      std::size_t& next = cursor[i];
+      std::size_t& next = merge_cursor_[m];
       while (next < queue.size() && queue[next].tick == u) {
-        bus_.send(modules_[i]->config().id, queue[next].dest,
+        bus_.send(mods_[i]->config().id, queue[next].dest,
                   queue[next].message, queue[next].kind, u);
         ++stats_.frames_merged;
         ++next;
@@ -145,10 +172,12 @@ void World::merge_and_run_bus(Ticks start, Ticks ticks) {
       bus_plane_->close_through(u, sample_bus());
     }
   }
-  for (std::size_t i = 0; i < staged_.size(); ++i) {
-    AIR_ASSERT_MSG(cursor[i] == staged_[i].size(),
+  for (std::size_t m = 0; m < merge_list_.size(); ++m) {
+    const std::size_t i = merge_list_[m];
+    AIR_ASSERT_MSG(merge_cursor_[m] == staged_[i].size(),
                    "staged frame timestamped outside its epoch");
     staged_[i].clear();
+    staged_dirty_[i] = 0;
   }
 }
 
@@ -170,17 +199,24 @@ void World::run(Ticks ticks) {
     profiler_.begin_tick();
     telemetry::HostProfiler::Scope epoch_scope(
         profiler_, telemetry::ProfilePoint::kEpoch);
+    // Stopped modules fall out of every scan below: refresh the live
+    // column once per epoch (modules only stop while running, so the bits
+    // are exact until the pool runs again).
+    refresh_live();
     const Ticks span = epoch_horizon(ticks - done);
     const Ticks start = now_;
-    std::uint64_t active = 0;
-    for (const auto& module : modules_) active += module->stopped() ? 0 : 1;
+    const std::uint64_t active = live_count_;
     if (pooled) {
+      // Workers read the live byte (frozen during the epoch) to skip dead
+      // lanes without touching the module row.
       const auto task = [this, span](std::size_t i) {
-        modules_[i]->run(span);
+        if (live_[i] != 0) mods_[i]->run(span);
       };
-      pool_->run(modules_.size(), task);
+      pool_->run(mods_.size(), task);
     } else {
-      for (auto& module : modules_) module->run(span);
+      for (std::size_t i = 0; i < live_.size(); ++i) {
+        if (live_[i] != 0) mods_[i]->run(span);
+      }
     }
     {
       telemetry::HostProfiler::Scope barrier_scope(
@@ -216,9 +252,10 @@ Ticks World::lockstep_headroom(Ticks limit) {
     return 0;
   }
   // A stopped module never changes state again, so it bounds nothing.
-  for (std::size_t i = 0; i < modules_.size(); ++i) {
-    const Module& module = *modules_[i];
-    if (module.stopped()) continue;
+  refresh_live();
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i] == 0) continue;
+    const Module& module = *mods_[i];
     if (!module.time_warp_enabled()) {
       warp_blocker_ = i;
       return 0;
@@ -241,7 +278,11 @@ void World::run_lockstep(Ticks ticks) {
     // quiescent for it and the bus would neither transmit nor deliver.
     const Ticks n = lockstep_headroom(ticks - done);
     if (n > 0) {
-      for (auto& module : modules_) module->warp_advance(n);
+      // warp_advance is a no-op on stopped modules, so walking only the
+      // live column is byte-identical to walking every module.
+      for (std::size_t i = 0; i < live_.size(); ++i) {
+        if (live_[i] != 0) mods_[i]->warp_advance(n);
+      }
       // Bus stats are provably frozen across the warped span (no queued
       // frames, no delivery before its end), so boundaries inside it close
       // with exactly the values per-tick stepping would have sampled.
@@ -255,15 +296,20 @@ void World::run_lockstep(Ticks ticks) {
       continue;
     }
     profiler_.begin_tick();
-    for (auto& module : modules_) module->tick_once();
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i] != 0) mods_[i]->tick_once();
+    }
     // Inject this tick's staged frames in module attach order -- exactly
-    // where the modules' direct Bus::send calls used to land.
-    for (std::size_t i = 0; i < modules_.size(); ++i) {
+    // where the modules' direct Bus::send calls used to land. The dirty
+    // column keeps the injection sweep O(senders), not O(modules).
+    for (std::size_t i = 0; i < staged_dirty_.size(); ++i) {
+      if (staged_dirty_[i] == 0) continue;
       for (const StagedFrame& frame : staged_[i]) {
-        bus_.send(modules_[i]->config().id, frame.dest, frame.message,
+        bus_.send(mods_[i]->config().id, frame.dest, frame.message,
                   frame.kind, now_);
       }
       staged_[i].clear();
+      staged_dirty_[i] = 0;
     }
     {
       telemetry::HostProfiler::Scope scope(profiler_,

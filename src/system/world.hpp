@@ -126,8 +126,12 @@ class World {
 
   /// Safe epoch length in [1, limit]: no bus delivery (from in-flight or
   /// queued frames, nor from anything a module could send this epoch) can
-  /// land before the epoch's final tick.
+  /// land before the epoch's final tick. Scans only live modules.
   [[nodiscard]] Ticks epoch_horizon(Ticks limit) const;
+
+  /// Demote live_ bits for modules that stopped since the last refresh
+  /// (stopping is monotone, so a cleared bit never needs rechecking).
+  void refresh_live();
 
   /// Inject the staged frames of epoch [start, start + ticks) in (tick,
   /// module attach order) and replay the bus across the span.
@@ -140,10 +144,12 @@ class World {
   /// rescanning every module per tick.
   [[nodiscard]] Ticks lockstep_headroom(Ticks limit);
 
-  /// Cumulative bus totals for the online bus plane. Reads only bus and
-  /// bus-recorder state, which every driver mutates identically -- the
-  /// reason bus digests are byte-identical under lockstep and epochs.
-  [[nodiscard]] telemetry::BusSample sample_bus() const;
+  /// Cumulative bus totals for the online bus plane, rebuilt in place into
+  /// the member scratch (a digest-window sample at constellation scale must
+  /// not allocate). Reads only bus and bus-recorder state, which every
+  /// driver mutates identically -- the reason bus digests are
+  /// byte-identical under lockstep and epochs.
+  [[nodiscard]] const telemetry::BusSample& sample_bus() const;
 
   static constexpr std::size_t kUnblocked = static_cast<std::size_t>(-1);
   static constexpr std::size_t kBusBlocked = static_cast<std::size_t>(-2);
@@ -155,6 +161,22 @@ class World {
   net::Bus bus_;
   std::vector<std::unique_ptr<Module>> modules_;
   std::vector<std::vector<StagedFrame>> staged_;  // one queue per module
+  // --- constellation hot columns (DESIGN.md §13) ---
+  // Per-module per-tick state split out of the heap-owned Module rows so
+  // the tick loops and the epoch driver's horizon scans walk compact
+  // arrays, not a pointer chase over unique_ptrs:
+  std::vector<Module*> mods_;        // flat pointers, attach order
+  std::vector<std::uint8_t> live_;   // 1 = not stopped (monotone 1 -> 0)
+  /// 1 = staged_[i] is non-empty. Byte i is written only by the lane
+  /// advancing module i (its own staging queue), so the column is safe
+  /// under the pooled epoch driver and lets the merge/injection loops skip
+  /// idle modules with a byte scan instead of touching every deque.
+  std::vector<std::uint8_t> staged_dirty_;
+  std::size_t live_count_{0};
+  std::vector<std::size_t> merge_list_;    // scratch: dirty module indices
+  std::vector<std::size_t> merge_cursor_;  // scratch, parallel to merge_list_
+  mutable std::vector<net::StationStats> station_scratch_;
+  mutable telemetry::BusSample bus_sample_;  // sample_bus() storage
   std::unique_ptr<WorkerPool> pool_;
   std::size_t workers_{1};
   std::size_t warp_blocker_{kUnblocked};

@@ -156,6 +156,52 @@ TEST(ConfigLoader, NegativeTimesMeanInfinite) {
   EXPECT_EQ(attrs.time_capacity, kInfiniteTime);
 }
 
+TEST(ConfigLoader, NetworkConfigParsesTopologyAndVirtualLinks) {
+  const auto result = config::load_network_config(R"({
+    "network": {
+      "slot_length": 2, "frames_per_slot": 4, "propagation_delay": 6,
+      "stations_per_switch": 32, "switch_hop_delay": 3,
+      "virtual_links": [
+        { "source": 0, "dest": 1, "min_gap": 100, "jitter_budget": 50 },
+        { "source": 1, "dest": 0 }
+      ] }
+  })");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const config::NetworkConfig& net = *result.config;
+  EXPECT_EQ(net.bus.slot_length, 2);
+  EXPECT_EQ(net.bus.frames_per_slot, 4u);
+  EXPECT_EQ(net.bus.propagation_delay, 6);
+  EXPECT_EQ(net.bus.stations_per_switch, 32u);
+  EXPECT_EQ(net.bus.switch_hop_delay, 3);
+  ASSERT_EQ(net.virtual_links.size(), 2u);
+  EXPECT_EQ(net.virtual_links[0].source, ModuleId{0});
+  EXPECT_EQ(net.virtual_links[0].dest, ModuleId{1});
+  EXPECT_EQ(net.virtual_links[0].min_gap, 100);
+  EXPECT_EQ(net.virtual_links[0].jitter_budget, 50);
+  EXPECT_EQ(net.virtual_links[1].min_gap, 0) << "defaults apply";
+  EXPECT_EQ(net.virtual_links[1].jitter_budget, kInfiniteTime);
+}
+
+TEST(ConfigLoader, NetworkConfigDefaultsToFlatBroadcast) {
+  // Top-level form (no "network" wrapper), everything defaulted.
+  const auto result = config::load_network_config("{}");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.config->bus.stations_per_switch, 0u);
+  EXPECT_TRUE(result.config->virtual_links.empty());
+}
+
+TEST(ConfigLoader, NetworkConfigRejectsBadGeometry) {
+  const auto zero_slot =
+      config::load_network_config(R"({ "slot_length": 0 })");
+  ASSERT_FALSE(zero_slot.ok());
+  EXPECT_NE(zero_slot.error.find("slot_length"), std::string::npos);
+
+  const auto bad_vl = config::load_network_config(
+      R"({ "virtual_links": [ { "source": 0 } ] })");
+  ASSERT_FALSE(bad_vl.ok());
+  EXPECT_NE(bad_vl.error.find("dest"), std::string::npos);
+}
+
 TEST(ConfigLoader, InvalidScheduleIsCaughtAtModuleConstruction) {
   const auto result = config::load_module_config(R"({
     "partitions": [ { "name": "A" } ],

@@ -1,0 +1,197 @@
+// Constellation-scale equivalence (DESIGN.md §13): a 1000-module switched
+// mission must stay byte-identical between the per-tick lockstep reference
+// and the parallel epoch driver. Fingerprinting every module would dwarf
+// the flight itself, so the contract is checked on a sampled subset (every
+// 97th module -- coprime with the 8-station switch size, so the sample
+// crosses switch boundaries) plus the global bus statistics; any divergence
+// in the unsampled modules feeds back into the bus counters and the
+// sampled ring neighbours within one beacon lap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "system/world.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/spans.hpp"
+#include "util/trace_export.hpp"
+
+namespace air {
+namespace {
+
+using pos::ScriptBuilder;
+
+constexpr std::size_t kPerSwitch = 8;
+constexpr int kSampleStride = 97;
+
+// The bench_constellation satellite: one partition, one beacon process
+// (write + read the sampling ring, sleep ~400 ticks), trimmed memory so a
+// 1000-module world stays in the hundreds of MB.
+system::ModuleConfig satellite(int id, int nmodules) {
+  system::ModuleConfig config;
+  config.id = ModuleId{id};
+  config.name = "sat" + std::to_string(id);
+  config.memory_bytes = 256u << 10;
+  config.telemetry.flight_recorder_capacity = 64;
+  config.telemetry.spans_capacity = 256;
+  constexpr Ticks kMtf = 500;
+
+  system::PartitionConfig partition;
+  partition.name = "flight";
+  partition.sampling_ports.push_back(
+      {"OUT", ipc::PortDirection::kSource, 64, kInfiniteTime});
+  partition.sampling_ports.push_back(
+      {"IN", ipc::PortDirection::kDestination, 64, kInfiniteTime});
+  system::ProcessConfig chatter;
+  chatter.attrs.name = "chatter";
+  chatter.attrs.priority = 20;
+  chatter.attrs.script = ScriptBuilder{}
+                             .sampling_write(0, "beacon")
+                             .sampling_read(1)
+                             .timed_wait(400)
+                             .build();
+  partition.processes.push_back(std::move(chatter));
+  config.partitions.push_back(std::move(partition));
+
+  ipc::ChannelConfig ring;
+  ring.id = ChannelId{0};
+  ring.kind = ipc::ChannelKind::kSampling;
+  ring.source = {PartitionId{0}, "OUT"};
+  ring.remote_destinations = {
+      {ModuleId{(id + 1) % nmodules}, PartitionId{0}, "IN"}};
+  config.channels.push_back(std::move(ring));
+
+  model::Schedule schedule;
+  schedule.id = ScheduleId{0};
+  schedule.mtf = kMtf;
+  schedule.requirements = {{PartitionId{0}, kMtf, kMtf}};
+  schedule.windows = {{PartitionId{0}, 0, kMtf}};
+  config.schedules = {schedule};
+  return config;
+}
+
+std::unique_ptr<system::World> build_constellation(int nmodules,
+                                                   std::size_t per_switch) {
+  auto world = std::make_unique<system::World>(
+      net::BusConfig{.slot_length = 1,
+                     .frames_per_slot = 4,
+                     .propagation_delay = 2,
+                     .stations_per_switch = per_switch,
+                     .switch_hop_delay = 2});
+  for (int m = 0; m < nmodules; ++m) {
+    world->add_module(satellite(m, nmodules));
+    world->bus().define_virtual_link({ModuleId{m},
+                                      ModuleId{(m + 1) % nmodules},
+                                      /*min_gap=*/100,
+                                      /*jitter_budget=*/kInfiniteTime});
+  }
+  return world;
+}
+
+// Everything the equivalence contract covers, for one module: trace,
+// metrics exports, span stream, APEX-visible process state, console.
+std::string module_fingerprint(system::Module& module) {
+  std::string out = util::to_json(module.trace());
+  const telemetry::MetricsSnapshot snap = module.metrics_snapshot();
+  out += telemetry::to_json(snap) + telemetry::to_csv(snap);
+  out += telemetry::spans_to_json(module.spans());
+  for (std::size_t p = 0; p < module.partition_count(); ++p) {
+    const PartitionId id{static_cast<std::int32_t>(p)};
+    auto& kernel = module.kernel(id);
+    for (std::size_t q = 0; q < kernel.process_count(); ++q) {
+      apex::ProcessStatus st;
+      if (module.apex(id).get_process_status(
+              ProcessId{static_cast<std::int32_t>(q)}, st) !=
+          apex::ReturnCode::kNoError) {
+        continue;
+      }
+      out += st.name + " state=" + std::to_string(static_cast<int>(st.state)) +
+             " deadline=" + std::to_string(st.deadline_time) +
+             " completions=" + std::to_string(st.completions) + "\n";
+    }
+    for (const std::string& line : module.console(id)) {
+      out += "console: " + line + "\n";
+    }
+  }
+  out += "now=" + std::to_string(module.now());
+  return out;
+}
+
+std::string sampled_fingerprint(system::World& world, int stride) {
+  std::string out;
+  for (std::size_t m = 0; m < world.module_count();
+       m += static_cast<std::size_t>(stride)) {
+    out += "=== module " + std::to_string(m) + "\n";
+    out += module_fingerprint(world.module(m));
+  }
+  const net::BusStats& bus = world.bus().stats();
+  out += "=== bus sent=" + std::to_string(bus.frames_sent) +
+         " delivered=" + std::to_string(bus.frames_delivered) +
+         " dropped=" + std::to_string(bus.frames_dropped) +
+         " latency=" + std::to_string(bus.total_latency) +
+         " now=" + std::to_string(world.now());
+  return out;
+}
+
+TEST(Constellation, SampledThousandModuleFlightIsByteIdentical) {
+  constexpr int kModules = 1000;
+  constexpr Ticks kSpan = 900;  // two full beacon laps
+
+  const auto fly = [&](bool parallel) {
+    auto world = build_constellation(kModules, kPerSwitch);
+    if (parallel) {
+      world->set_workers(4);
+      world->run(kSpan);
+    } else {
+      world->run_lockstep(kSpan);
+    }
+    EXPECT_GT(world->bus().stats().frames_delivered, 1000u)
+        << "the ring must actually carry beacons";
+    return sampled_fingerprint(*world, kSampleStride);
+  };
+
+  const std::string lockstep = fly(false);
+  const std::string pooled = fly(true);
+  EXPECT_EQ(lockstep, pooled)
+      << "pooled epoch driver diverges from lockstep at 1000 modules";
+}
+
+TEST(Constellation, ParallelFlight256ModulesCarriesTraffic) {
+  // The TSan target (ci.yml thread-sanitizer job): a 256-module switched
+  // flight on the worker pool, long enough to cross several beacon laps.
+  constexpr int kModules = 256;
+  auto world = build_constellation(kModules, kPerSwitch);
+  world->set_workers(4);
+  world->run(1300);
+  EXPECT_EQ(world->now(), 1300) << "world clock sits at the next tick";
+  EXPECT_EQ(world->module(0).now(), 1299) << "modules retired ticks 0..1299";
+  EXPECT_GT(world->bus().stats().frames_delivered,
+            static_cast<std::uint64_t>(2 * kModules))
+      << "every satellite beacons at least once per ~400-tick lap";
+  EXPECT_EQ(world->bus().stats().frames_dropped, 0u);
+  EXPECT_EQ(world->bus().switch_count(), 32u);
+}
+
+TEST(Constellation, SwitchedTopologyYieldsLongerEpochs) {
+  // The perf mechanism behind BENCH_constellation (DESIGN.md §13): at a
+  // scale where the flat 2 * N-tick cycle cannot drain a beacon burst
+  // between laps, the 8-station switches drain it in ~10 ticks and the
+  // epoch driver warps the quiet gaps -- strictly fewer, longer epochs.
+  // Both flights are deterministic, so the comparison is exact, not noisy.
+  constexpr int kModules = 256;
+  constexpr Ticks kSpan = 900;
+  const auto epochs = [&](std::size_t per_switch) {
+    auto world = build_constellation(kModules, per_switch);
+    world->run(kSpan);
+    return world->stats().epochs;
+  };
+  const std::uint64_t switched = epochs(kPerSwitch);
+  const std::uint64_t flat = epochs(0);
+  EXPECT_LT(switched * 4, flat)
+      << "switched epochs should be >= 4x longer than flat's";
+}
+
+}  // namespace
+}  // namespace air

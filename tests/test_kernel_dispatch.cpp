@@ -65,6 +65,10 @@ class ForwardingKernel : public IKernel {
   void wake(ProcessId id, WakeResult result) override {
     inner_->wake(id, result);
   }
+  void retarget_wait(ProcessId id, WaitReason reason,
+                     Ticks wake_time) override {
+    inner_->retarget_wait(id, reason, wake_time);
+  }
   void set_priority(ProcessId id, Priority priority) override {
     inner_->set_priority(id, priority);
   }

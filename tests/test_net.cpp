@@ -185,6 +185,232 @@ TEST(Bus, NextDeliveryCoversInFlightAndQueuedFrames) {
   EXPECT_EQ(bus.next_delivery(6), kInfiniteTime);
 }
 
+// ---------- switched topology (DESIGN.md §13) ----------
+
+net::Bus::DeliverFn sink() {
+  return [](PartitionId, const std::string&, const ipc::Message&,
+            ipc::ChannelKind) {};
+}
+
+TEST(BusSwitched, SwitchLocalCyclesRunConcurrently) {
+  // 4 stations on 2 switches: stations 0 and 2 both own slot 0 of their
+  // switch-local cycle, so both transmit during the same tick -- the
+  // aggregate bandwidth a flat cycle cannot offer.
+  net::Bus bus({.slot_length = 1, .frames_per_slot = 4,
+                .propagation_delay = 1, .stations_per_switch = 2,
+                .switch_hop_delay = 2});
+  int deliveries = 0;
+  bus.attach(ModuleId{0}, sink());
+  bus.attach(ModuleId{1}, [&](PartitionId, const std::string&,
+                              const ipc::Message&,
+                              ipc::ChannelKind) { ++deliveries; });
+  bus.attach(ModuleId{2}, sink());
+  bus.attach(ModuleId{3}, [&](PartitionId, const std::string&,
+                              const ipc::Message&,
+                              ipc::ChannelKind) { ++deliveries; });
+  EXPECT_EQ(bus.switch_count(), 2u);
+  EXPECT_EQ(bus.switch_of(0), 0u);
+  EXPECT_EQ(bus.switch_of(3), 1u);
+
+  bus.send(ModuleId{0}, {ModuleId{1}, PartitionId{0}, "P"},
+           {"a", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  bus.send(ModuleId{2}, {ModuleId{3}, PartitionId{0}, "P"},
+           {"b", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  bus.tick(0);  // both switches' slot-0 owners transmit concurrently
+  EXPECT_EQ(bus.pending_total(), 0u);
+  bus.tick(1);
+  EXPECT_EQ(deliveries, 2) << "one TDMA tick served two transmissions";
+}
+
+TEST(BusSwitched, CrossSwitchFramesPayTheTrunkHop) {
+  net::Bus bus({.slot_length = 1, .frames_per_slot = 4,
+                .propagation_delay = 1, .stations_per_switch = 2,
+                .switch_hop_delay = 2});
+  std::vector<std::string> order;
+  bus.attach(ModuleId{0}, sink());
+  bus.attach(ModuleId{1},
+             [&](PartitionId, const std::string&, const ipc::Message& m,
+                 ipc::ChannelKind) { order.push_back(m.payload.str()); });
+  bus.attach(ModuleId{2}, sink());
+  bus.attach(ModuleId{3},
+             [&](PartitionId, const std::string&, const ipc::Message& m,
+                 ipc::ChannelKind) { order.push_back(m.payload.str()); });
+
+  // Both frames leave station 0 during the same slot tick; the same-switch
+  // one arrives after propagation_delay, the cross-switch one two ticks
+  // later (the trunk hop).
+  bus.send(ModuleId{0}, {ModuleId{3}, PartitionId{0}, "P"},
+           {"cross", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  bus.send(ModuleId{0}, {ModuleId{1}, PartitionId{0}, "P"},
+           {"local", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  bus.tick(0);
+  bus.tick(1);
+  ASSERT_EQ(order.size(), 1u) << "only the intra-switch frame is due";
+  EXPECT_EQ(order[0], "local");
+  bus.tick(2);
+  EXPECT_EQ(order.size(), 1u);
+  bus.tick(3);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[1], "cross") << "propagation + switch_hop_delay";
+}
+
+TEST(BusSwitched, FaultDelayedFrameIsOvertakenByALaterTransmission) {
+  // A fault-delayed frame stays in flight past a later, shorter-path frame:
+  // the (deliver_at, seq) heap must reorder them exactly as the old sorted
+  // deque did, and the warp queries must track the *earliest* arrival.
+  net::Bus bus({.slot_length = 1, .frames_per_slot = 1,
+                .propagation_delay = 1});
+  std::vector<std::string> order;
+  bus.attach(ModuleId{0}, sink());
+  bus.attach(ModuleId{1},
+             [&](PartitionId, const std::string&, const ipc::Message& m,
+                 ipc::ChannelKind) { order.push_back(m.payload.str()); });
+  bus.set_fault_hook([](std::uint64_t seq, ModuleId, const ipc::RemotePortRef&)
+                         -> net::Bus::FaultDecision {
+    return {.drop = false, .corrupt = false,
+            .extra_delay = seq == 0 ? 5 : 0};
+  });
+
+  bus.send(ModuleId{0}, {ModuleId{1}, PartitionId{0}, "P"},
+           {"first", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  bus.send(ModuleId{0}, {ModuleId{1}, PartitionId{0}, "P"},
+           {"second", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  bus.tick(0);  // "first" transmits, delayed: arrives at 0 + 1 + 5 = 6
+  // "second" is still queued; station 0's next slot is tick 2 (cycle 2),
+  // so its arrival at 3 -- not the delayed in-flight frame at 6 -- is the
+  // next-delivery bound.
+  EXPECT_EQ(bus.next_delivery(1), 3);
+  EXPECT_EQ(bus.idle_ticks(1), 0) << "a frame is still queued";
+  bus.tick(1);
+  bus.tick(2);  // "second" transmits: arrives at 2 + 1 = 3
+  EXPECT_EQ(bus.idle_ticks(3), 0) << "delivery due this very tick";
+  bus.tick(3);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], "second") << "overtook the fault-delayed frame";
+  EXPECT_EQ(bus.idle_ticks(4), 2) << "nothing to do until tick 6";
+  bus.tick(4);
+  bus.tick(5);
+  bus.tick(6);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[1], "first");
+  EXPECT_EQ(bus.stats().frames_fault_delayed, 1u);
+}
+
+TEST(BusSwitched, EmptyVirtualLinksAreFreeForTheWarpQueries) {
+  // Reserved-but-silent VLs are pure table entries: they keep no frames
+  // alive, so they must not perturb idle_ticks / next_delivery, and
+  // traffic of an *unreserved* pair rides past them unbudgeted.
+  net::Bus bus({.slot_length = 1, .frames_per_slot = 4,
+                .propagation_delay = 1, .stations_per_switch = 2});
+  int deliveries = 0;
+  bus.attach(ModuleId{0}, sink());
+  bus.attach(ModuleId{1}, [&](PartitionId, const std::string&,
+                              const ipc::Message&,
+                              ipc::ChannelKind) { ++deliveries; });
+  const std::size_t ab = bus.define_virtual_link(
+      {ModuleId{0}, ModuleId{1}, /*min_gap=*/50, /*jitter_budget=*/10});
+  const std::size_t ba = bus.define_virtual_link(
+      {ModuleId{1}, ModuleId{0}, /*min_gap=*/50, /*jitter_budget=*/10});
+  ASSERT_EQ(bus.virtual_link_count(), 2u);
+  EXPECT_EQ(bus.idle_ticks(0), kInfiniteTime);
+  EXPECT_EQ(bus.next_delivery(0), kInfiniteTime);
+
+  // The (1, 1) self-pair has no VL: the frame is carried but no VL counter
+  // moves, and the silent reservations stay silent.
+  bus.send(ModuleId{1}, {ModuleId{1}, PartitionId{0}, "P"},
+           {"x", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  bus.tick(1);  // station 1 owns switch 0's slot 1
+  bus.tick(2);
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(bus.vl_stats(ab).frames, 0u);
+  EXPECT_EQ(bus.vl_stats(ba).frames, 0u);
+  EXPECT_EQ(bus.vl_stats(ab).gated, 0u);
+  EXPECT_EQ(bus.idle_ticks(3), kInfiniteTime);
+}
+
+TEST(BusSwitched, VlMinGapGatesHeadOfLineTransmissions) {
+  net::Bus bus({.slot_length = 1, .frames_per_slot = 4,
+                .propagation_delay = 0, .stations_per_switch = 2});
+  std::vector<Ticks> arrivals;
+  Ticks now = 0;
+  bus.attach(ModuleId{0}, sink());
+  bus.attach(ModuleId{1},
+             [&](PartitionId, const std::string&, const ipc::Message&,
+                 ipc::ChannelKind) { arrivals.push_back(now); });
+  const std::size_t vl = bus.define_virtual_link(
+      {ModuleId{0}, ModuleId{1}, /*min_gap=*/6, /*jitter_budget=*/100});
+
+  bus.send(ModuleId{0}, {ModuleId{1}, PartitionId{0}, "P"},
+           {"a", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  bus.send(ModuleId{0}, {ModuleId{1}, PartitionId{0}, "P"},
+           {"b", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  for (now = 0; now <= 8; ++now) bus.tick(now);
+  // Station 0 owns even ticks. "a" transmits at 0; "b" is head-of-line
+  // gated at 0 (same slot), 2 and 4, then rides the first slot at or after
+  // next_allowed = 6.
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 1) << "transmit at 0, deliver next tick";
+  EXPECT_EQ(arrivals[1], 7) << "gap expired at 6, delivered next tick";
+  EXPECT_EQ(bus.vl_stats(vl).frames, 2u);
+  EXPECT_EQ(bus.vl_stats(vl).gated, 3u) << "slot ticks 0, 2 and 4";
+}
+
+TEST(BusSwitched, VlJitterBudgetCountsQueueWait) {
+  // Station 1 owns [5, 10) of its switch cycle: a frame enqueued at 0
+  // waits 5 ticks for its first slot, blowing a 3-tick jitter budget.
+  // Delivery is never blocked -- the violation is counted, not enforced.
+  net::Bus bus({.slot_length = 5, .frames_per_slot = 1,
+                .propagation_delay = 1, .stations_per_switch = 2});
+  int deliveries = 0;
+  bus.attach(ModuleId{0}, [&](PartitionId, const std::string&,
+                              const ipc::Message&,
+                              ipc::ChannelKind) { ++deliveries; });
+  bus.attach(ModuleId{1}, sink());
+  const std::size_t vl = bus.define_virtual_link(
+      {ModuleId{1}, ModuleId{0}, /*min_gap=*/0, /*jitter_budget=*/3});
+
+  bus.send(ModuleId{1}, {ModuleId{0}, PartitionId{0}, "P"},
+           {"x", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  for (Ticks t = 0; t <= 6; ++t) bus.tick(t);
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(bus.vl_stats(vl).jitter_violations, 1u);
+  EXPECT_EQ(bus.vl_stats(vl).max_queue_wait, 5);
+}
+
+TEST(BusSwitched, NextDeliveryWaitsOutTheSwitchLocalSlot) {
+  // The queued station's slot never comes inside a short warp window: the
+  // bound must point at the slot in the *switch-local* cycle (10 ticks
+  // here), not the flat 4-station cycle (20 ticks) -- and idle_ticks must
+  // hold the warp at 0 the whole wait.
+  net::Bus bus({.slot_length = 5, .frames_per_slot = 1,
+                .propagation_delay = 2, .stations_per_switch = 2});
+  int deliveries = 0;
+  bus.attach(ModuleId{0}, sink());
+  bus.attach(ModuleId{1}, sink());
+  bus.attach(ModuleId{2}, [&](PartitionId, const std::string&,
+                              const ipc::Message&,
+                              ipc::ChannelKind) { ++deliveries; });
+  bus.attach(ModuleId{3}, sink());
+
+  // Station 3 is switch 1's local slot 1: it owns [5, 10) of each 10-tick
+  // switch cycle.
+  bus.send(ModuleId{3}, {ModuleId{2}, PartitionId{0}, "P"},
+           {"x", 0, PartitionId{0}}, ipc::ChannelKind::kSampling, 0);
+  EXPECT_EQ(bus.next_delivery(0), 5 + 2);
+  EXPECT_EQ(bus.next_delivery(4), 5 + 2);
+  EXPECT_EQ(bus.next_delivery(9), 9 + 2) << "inside the slot";
+  EXPECT_EQ(bus.next_delivery(10), 15 + 2) << "next switch-local cycle";
+  for (Ticks t = 0; t < 5; ++t) {
+    EXPECT_EQ(bus.idle_ticks(t), 0) << "queued frame pins the warp at " << t;
+    bus.tick(t);
+    EXPECT_EQ(deliveries, 0) << "slot not reached at " << t;
+  }
+  bus.tick(5);  // transmits (same switch: no trunk hop)
+  bus.tick(6);
+  bus.tick(7);
+  EXPECT_EQ(deliveries, 1) << "transmit at 5 + propagation 2";
+}
+
 // ---------- end-to-end: two modules in a World ----------
 
 system::ModuleConfig sender_module() {

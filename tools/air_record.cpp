@@ -9,8 +9,12 @@
 // that crosses the bus.
 //
 // Usage: air-record [--no-warp] [--clean] [--health] [--fail-on-breach]
-//                   [--profile] [--status] [out_dir]  (default: "flight")
+//                   [--profile] [--status] [--network <file.json>]
+//                   [out_dir]  (default: "flight")
 //
+// --network loads the bus topology (switched/flat, virtual links) from an
+// integrator network file (config::load_network_config_file schema) instead
+// of the built-in flat two-station default.
 // --clean omits the faulty process (the mission then has a zero-breach SLO:
 // the CI flight-health job asserts it). --health flies with the online
 // observability plane enabled on both modules and the bus, streaming
@@ -36,6 +40,7 @@
 #include <string>
 
 #include "config/fig8.hpp"
+#include "config/loader.hpp"
 #include "ipc/payload.hpp"
 #include "system/build_info.hpp"
 #include "system/world.hpp"
@@ -140,6 +145,7 @@ int main(int argc, char** argv) {
   bool health = false;
   bool profile = false;
   bool fail_on_breach = false;
+  std::string network_file;
   std::string out_dir = "flight";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-warp") == 0) {
@@ -154,9 +160,25 @@ int main(int argc, char** argv) {
       fail_on_breach = true;
     } else if (std::strcmp(argv[i], "--status") == 0) {
       return print_status();
+    } else if (std::strcmp(argv[i], "--network") == 0 && i + 1 < argc) {
+      network_file = argv[++i];
     } else {
       out_dir = argv[i];
     }
+  }
+
+  // Default network: flat broadcast sized for the two-station mission.
+  config::NetworkConfig network{
+      {.slot_length = 10, .frames_per_slot = 2, .propagation_delay = 2}, {}};
+  if (!network_file.empty()) {
+    config::NetworkLoadResult loaded =
+        config::load_network_config_file(network_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "air-record: %s: %s\n", network_file.c_str(),
+                   loaded.error.c_str());
+      return 1;
+    }
+    network = std::move(*loaded.config);
   }
 
   const std::filesystem::path dir{out_dir};
@@ -200,8 +222,10 @@ int main(int argc, char** argv) {
     ground_config.telemetry.profiler_stride = 1;
   }
 
-  system::World world(
-      {.slot_length = 10, .frames_per_slot = 2, .propagation_delay = 2});
+  system::World world(network.bus);
+  for (const net::VirtualLinkConfig& vl : network.virtual_links) {
+    world.bus().define_virtual_link(vl);
+  }
   system::Module& prototype = world.add_module(std::move(fig8));
   system::Module& ground = world.add_module(std::move(ground_config));
   prototype.set_time_warp(warp);
