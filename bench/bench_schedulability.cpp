@@ -7,6 +7,7 @@
 // space an integrator can explore.
 #include <benchmark/benchmark.h>
 
+#include "model/batch.hpp"
 #include "model/generator.hpp"
 #include "model/schedulability.hpp"
 #include "model/validation.hpp"
@@ -89,5 +90,58 @@ void BM_ResponseTimeAnalysis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ResponseTimeAnalysis)->Arg(2)->Arg(8)->Arg(32);
+
+// --- the schedulability service (src/model/batch.hpp) ---
+//
+// Baseline vs service over the same generated candidate stream. The
+// baseline is the pre-service workflow: every candidate analysed in
+// isolation (no supply-table memoisation, one at a time). The service runs
+// the batch pipeline with the interned supply cache and the worker pool
+// (one lane per hardware thread). check_schedulability.py gates the
+// configs_per_second ratio and the cache hit rate.
+
+model::CandidateSpec bench_spec(std::int64_t count) {
+  model::CandidateSpec spec;
+  spec.count = static_cast<std::size_t>(count);
+  spec.seed = 42;
+  return spec;
+}
+
+void BM_BatchAnalyze_Baseline(benchmark::State& state) {
+  const auto candidates = model::generate_candidates(bench_spec(state.range(0)));
+  for (auto _ : state) {
+    model::BatchOptions options;
+    options.workers = 1;
+    options.memoise = false;
+    model::BatchAnalyzer analyzer(options);
+    benchmark::DoNotOptimize(analyzer.analyze(candidates));
+  }
+  state.counters["configs_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(candidates.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchAnalyze_Baseline)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_BatchAnalyze_Service(benchmark::State& state) {
+  const auto candidates = model::generate_candidates(bench_spec(state.range(0)));
+  double hit_rate = 0.0;
+  for (auto _ : state) {
+    model::BatchOptions options;
+    options.workers = 0;  // one lane per hardware thread
+    model::BatchAnalyzer analyzer(options);
+    benchmark::DoNotOptimize(analyzer.analyze(candidates));
+    const auto& cache = analyzer.stats().cache;
+    hit_rate = cache.lookups > 0 ? static_cast<double>(cache.hits) /
+                                       static_cast<double>(cache.lookups)
+                                 : 0.0;
+  }
+  state.counters["configs_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(candidates.size()),
+      benchmark::Counter::kIsRate);
+  state.counters["cache_hit_rate"] = hit_rate;
+}
+BENCHMARK(BM_BatchAnalyze_Service)->Arg(256)->Unit(benchmark::kMillisecond);
 
 }  // namespace

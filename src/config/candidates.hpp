@@ -1,0 +1,55 @@
+// Candidate-stream codec: JSON lines <-> model::Candidate.
+//
+// The batch schedulability service (src/model/batch.hpp) ingests candidate
+// configurations from integrator tooling as NDJSON -- one candidate per
+// line, so streams of thousands of configurations can be piped, split and
+// diffed with line tools, mirroring the verdict stream coming back out.
+//
+// Schema (all times in ticks; -1 encodes "infinite"):
+//   { "id": 7, "name": "cand-7", "mtf": 0,
+//     "requirements": [ { "partition": 0, "period": 80, "duration": 20 } ],
+//     "windows":      [ { "partition": 0, "offset": 0, "duration": 20 } ],
+//     "partitions":   [ { "id": 0, "name": "P0", "processes": [
+//         { "name": "q0", "period": 80, "deadline": 80, "priority": 10,
+//           "wcet": 5, "periodic": true } ] } ] }
+// "windows" is optional (absent/empty = generate the PST from the
+// requirements, eq. (23) by construction); "mtf" 0 selects the lcm of the
+// requirement periods. Blank lines and // comment lines are skipped.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/batch.hpp"
+
+namespace air::config {
+
+struct CandidateParse {
+  std::optional<model::Candidate> candidate;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return candidate.has_value(); }
+};
+
+/// Parse one NDJSON line into a candidate.
+[[nodiscard]] CandidateParse parse_candidate(std::string_view line);
+
+/// Parse a whole candidate stream. Malformed lines become errors ("line N:
+/// ..."); well-formed lines still load, so one bad candidate does not sink
+/// a batch.
+struct CandidateStream {
+  std::vector<model::Candidate> candidates;
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+[[nodiscard]] CandidateStream parse_candidates(std::string_view text);
+
+/// Serialise a candidate back to one deterministic NDJSON line (the
+/// divergence-reproducer format of air-schedule --differential).
+[[nodiscard]] std::string candidate_to_jsonl(const model::Candidate& candidate);
+
+}  // namespace air::config

@@ -1,0 +1,398 @@
+#include "model/batch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace air::model {
+
+namespace {
+
+/// Binding-equation citation for an infeasibility class (the verdict
+/// stream's contract: every rejection names the violated condition).
+[[nodiscard]] std::string_view binding_for(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kWindowPartitionUnknown:
+      return "eq. (20): window partition not in Q";
+    case ViolationKind::kWindowsOverlap:
+      return "eq. (21): windows overlap";
+    case ViolationKind::kWindowExceedsMtf:
+      return "eq. (21): window exceeds the MTF";
+    case ViolationKind::kMtfNotMultipleOfLcm:
+      return "eq. (22): MTF not a multiple of the cycle lcm";
+    case ViolationKind::kCycleDurationUnmet:
+      return "eq. (23): cycle duration unmet";
+    case ViolationKind::kDurationExceedsPeriod:
+      return "eq. (19): duration exceeds period";
+    case ViolationKind::kPeriodNotDivisorOfMtf:
+      return "eq. (23): period does not divide the MTF";
+    case ViolationKind::kRequirementWithoutWindow:
+      return "eq. (23): requirement without a window";
+    case ViolationKind::kWindowCrossesCycle:
+      return "eq. (23): window crosses a cycle boundary";
+    case ViolationKind::kNonPositiveField:
+      return "eq. (19): non-positive field";
+  }
+  return "eq. (20)-(23)";
+}
+
+/// Canonical supply-cache key: the partition's window set modulo schedule
+/// identity. Two schedules granting the same (offset, duration) pattern
+/// over the same MTF share one sbf table.
+[[nodiscard]] std::string supply_key(const Schedule& schedule,
+                                     PartitionId partition) {
+  std::string key = "m" + std::to_string(schedule.mtf) + '|';
+  for (const Window& w : schedule.windows) {
+    if (w.partition != partition) continue;
+    key += std::to_string(w.offset);
+    key += '+';
+    key += std::to_string(w.duration);
+    key += ',';
+  }
+  return key;
+}
+
+/// Approximate heap footprint of one cached PartitionSupply (the
+/// available/prefix/sbf tables; see schedulability.hpp).
+[[nodiscard]] std::size_t supply_bytes(Ticks mtf) {
+  const auto n = static_cast<std::size_t>(mtf);
+  return n * sizeof(char) + 2 * (n + 1) * sizeof(Ticks);
+}
+
+[[nodiscard]] std::size_t pool_threads(std::size_t workers) {
+  if (workers == 1) return 0;  // inline on the caller
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 0;
+  }
+  return workers - 1;  // the caller is a lane too (WorkerPool::run)
+}
+
+}  // namespace
+
+std::string_view to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kSchedulable: return "schedulable";
+    case Verdict::kUnschedulable: return "unschedulable";
+    case Verdict::kInfeasible: return "infeasible";
+  }
+  return "?";
+}
+
+std::string BatchVerdict::to_ndjson() const {
+  std::ostringstream os;
+  os << "{\"id\":" << id
+     << ",\"name\":" << util::json::Value(name).dump()
+     << ",\"verdict\":\"" << to_string(verdict) << '"'
+     << ",\"binding\":" << util::json::Value(binding).dump()
+     << ",\"definite\":" << (definite ? "true" : "false");
+  char util_buf[40];
+  std::snprintf(util_buf, sizeof util_buf, "%.6g", utilisation);
+  os << ",\"utilisation\":" << util_buf << ",\"worst_wcrt\":" << worst_wcrt
+     << '}';
+  return os.str();
+}
+
+/// Per-candidate working state. Written only by the lane owning the
+/// candidate's index; read across phases after a pool barrier.
+struct BatchAnalyzer::Slot {
+  std::optional<Schedule> schedule;
+  std::vector<const PartitionModel*> parts;   // analysable partitions
+  std::vector<std::size_t> supply_index;      // parallel to parts (memoised)
+  BatchVerdict verdict;
+  bool done{false};  // verdict settled in prepare() (infeasible)
+};
+
+BatchAnalyzer::BatchAnalyzer(BatchOptions options)
+    : options_(options), pool_(pool_threads(options.workers)) {}
+
+void BatchAnalyzer::prepare(const Candidate& candidate, Slot& slot) const {
+  slot.verdict.id = candidate.id;
+  slot.verdict.name = candidate.name;
+
+  const auto infeasible = [&](std::string binding) {
+    slot.verdict.verdict = Verdict::kInfeasible;
+    slot.verdict.binding = std::move(binding);
+    slot.verdict.worst_wcrt = 0;
+    slot.done = true;
+  };
+
+  if (candidate.windows.empty()) {
+    // Mirror the generator's rejection order so the verdict can cite the
+    // actual binding condition instead of a bare "construction failed".
+    for (const ScheduleRequirement& req : candidate.requirements) {
+      if (req.period <= 0 || req.duration < 0) {
+        return infeasible(std::string{
+            binding_for(ViolationKind::kNonPositiveField)});
+      }
+      if (req.duration > req.period) {
+        return infeasible(std::string{
+            binding_for(ViolationKind::kDurationExceedsPeriod)});
+      }
+    }
+    const Ticks period_lcm = lcm_of_periods(candidate.requirements);
+    if (period_lcm <= 0) {
+      return infeasible(
+          std::string{binding_for(ViolationKind::kNonPositiveField)});
+    }
+    if (candidate.mtf > 0 && candidate.mtf % period_lcm != 0) {
+      return infeasible(
+          std::string{binding_for(ViolationKind::kMtfNotMultipleOfLcm)});
+    }
+    if (requirement_utilisation(candidate.requirements) > 1.0) {
+      return infeasible("eq. (8): total utilisation exceeds 1");
+    }
+    GeneratorInput input;
+    input.requirements = candidate.requirements;
+    input.mtf = candidate.mtf;
+    input.name = candidate.name.empty() ? "generated" : candidate.name;
+    slot.schedule = generate_schedule(input);
+    if (!slot.schedule.has_value()) {
+      return infeasible("eq. (23): EDF found no feasible window layout");
+    }
+  } else {
+    Schedule schedule;
+    schedule.id = ScheduleId{0};
+    schedule.name = candidate.name;
+    schedule.mtf = candidate.mtf > 0
+                       ? candidate.mtf
+                       : lcm_of_periods(candidate.requirements);
+    schedule.requirements = candidate.requirements;
+    schedule.windows = candidate.windows;
+    std::sort(schedule.windows.begin(), schedule.windows.end(),
+              [](const Window& a, const Window& b) {
+                return a.offset < b.offset;
+              });
+    if (schedule.mtf <= 0) {
+      return infeasible(
+          std::string{binding_for(ViolationKind::kNonPositiveField)});
+    }
+    const ValidationReport report = validate_schedule(schedule);
+    if (!report.ok()) {
+      return infeasible(std::string{binding_for(report.violations[0].kind)});
+    }
+    slot.schedule = std::move(schedule);
+  }
+
+  slot.verdict.utilisation = slot.schedule->utilisation();
+  for (const PartitionModel& pm : candidate.partitions) {
+    if (slot.schedule->requirement_for(pm.id) != nullptr) {
+      slot.parts.push_back(&pm);
+    }
+  }
+}
+
+void BatchAnalyzer::finish(const Candidate& candidate, Slot& slot) const {
+  AIR_ASSERT(slot.schedule.has_value());
+  BatchVerdict& v = slot.verdict;
+  v.verdict = Verdict::kSchedulable;
+  v.binding = "eq. (14): wcrt <= D for every process";
+  v.worst_wcrt = 0;
+
+  for (std::size_t k = 0; k < slot.parts.size(); ++k) {
+    const PartitionModel& pm = *slot.parts[k];
+    PartitionAnalysis pa;
+    if (options_.memoise) {
+      const PartitionSupply* supply = supplies_[slot.supply_index[k]].get();
+      AIR_ASSERT(supply != nullptr);
+      pa = analyze_partition(*slot.schedule, pm, *supply, options_.analysis);
+    } else {
+      const PartitionSupply supply(*slot.schedule, pm.id);
+      pa = analyze_partition(*slot.schedule, pm, supply, options_.analysis);
+    }
+    if (!pa.schedulable && v.verdict == Verdict::kSchedulable) {
+      v.verdict = Verdict::kUnschedulable;
+      v.binding = "eq. (14): wcrt > D";
+    }
+    if (pa.overloaded) {
+      v.definite = true;
+      v.binding = "eq. (8): partition demand exceeds its PST supply";
+    }
+    for (const ProcessAnalysis& proc : pa.processes) {
+      if (proc.wcrt == kInfiniteTime) {
+        v.worst_wcrt = -1;
+      } else if (v.worst_wcrt >= 0) {
+        v.worst_wcrt = std::max(v.worst_wcrt, proc.wcrt);
+      }
+    }
+    v.partitions.push_back(std::move(pa));
+  }
+  (void)candidate;
+}
+
+std::vector<BatchVerdict> BatchAnalyzer::analyze(
+    const std::vector<Candidate>& candidates) {
+  const std::size_t n = candidates.size();
+  std::vector<Slot> slots(n);
+
+  // Phase 1 (parallel): PST construction/validation per candidate.
+  pool_.run(n, [&](std::size_t i) { prepare(candidates[i], slots[i]); });
+
+  // Phase 2 (serial): intern canonical window-set keys in candidate order.
+  // Serialising the *interning* (cheap string work) is what makes hit/miss
+  // counts and table identity independent of the worker count; the O(MTF^2)
+  // table constructions stay parallel in phase 3.
+  struct Build {
+    std::size_t cand;
+    std::size_t part;
+    std::size_t index;  // into supplies_
+  };
+  std::vector<Build> builds;
+  if (options_.memoise) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& slot = slots[i];
+      if (slot.done) continue;
+      slot.supply_index.resize(slot.parts.size());
+      for (std::size_t k = 0; k < slot.parts.size(); ++k) {
+        ++stats_.cache.lookups;
+        std::string key = supply_key(*slot.schedule, slot.parts[k]->id);
+        const auto [it, inserted] =
+            cache_.try_emplace(std::move(key), supplies_.size());
+        if (inserted) {
+          supplies_.emplace_back(nullptr);
+          builds.push_back({i, k, it->second});
+          ++stats_.cache.misses;
+          stats_.cache.bytes += supply_bytes(slot.schedule->mtf);
+        } else {
+          ++stats_.cache.hits;
+        }
+        slot.supply_index[k] = it->second;
+      }
+    }
+    stats_.cache.entries = supplies_.size();
+
+    // Phase 3 (parallel): build the missing sbf tables, one lane per table.
+    pool_.run(builds.size(), [&](std::size_t b) {
+      const Build& build = builds[b];
+      const Slot& slot = slots[build.cand];
+      supplies_[build.index] = std::make_unique<const PartitionSupply>(
+          *slot.schedule, slot.parts[build.part]->id);
+    });
+  }
+
+  // Phase 4 (parallel): per-candidate response-time analyses.
+  pool_.run(n, [&](std::size_t i) {
+    if (!slots[i].done) finish(candidates[i], slots[i]);
+  });
+
+  std::vector<BatchVerdict> verdicts;
+  verdicts.reserve(n);
+  for (Slot& slot : slots) {
+    ++stats_.analyzed;
+    switch (slot.verdict.verdict) {
+      case Verdict::kSchedulable: ++stats_.schedulable; break;
+      case Verdict::kUnschedulable: ++stats_.unschedulable; break;
+      case Verdict::kInfeasible: ++stats_.infeasible; break;
+    }
+    verdicts.push_back(std::move(slot.verdict));
+  }
+  return verdicts;
+}
+
+void BatchAnalyzer::publish(telemetry::MetricsRegistry& registry) const {
+  using telemetry::Metric;
+  registry.set_counter(Metric::kBatchConfigs, -1, stats_.analyzed);
+  registry.set_counter(Metric::kBatchSchedulable, -1, stats_.schedulable);
+  registry.set_counter(Metric::kBatchUnschedulable, -1,
+                       stats_.unschedulable);
+  registry.set_counter(Metric::kBatchInfeasible, -1, stats_.infeasible);
+  registry.set_counter(Metric::kBatchSupplyHits, -1, stats_.cache.hits);
+  registry.set_counter(Metric::kBatchSupplyMisses, -1, stats_.cache.misses);
+}
+
+std::vector<Candidate> generate_candidates(const CandidateSpec& spec) {
+  util::Rng rng(spec.seed);
+  const std::size_t distinct =
+      spec.distinct_psts > 0
+          ? spec.distinct_psts
+          : std::max<std::size_t>(1, spec.count / 8);
+  static constexpr Ticks kPeriods[] = {80, 160, 320};
+
+  struct ReqSet {
+    std::vector<ScheduleRequirement> reqs;
+    bool infeasible{false};
+  };
+  std::vector<ReqSet> sets;
+  sets.reserve(distinct);
+  for (std::size_t d = 0; d < distinct; ++d) {
+    ReqSet set;
+    set.infeasible = rng.uniform01() < spec.infeasible_fraction;
+    const int partitions = static_cast<int>(rng.uniform(2, 4));
+    double budget = 0.9;
+    for (int p = 0; p < partitions; ++p) {
+      const Ticks period =
+          kPeriods[static_cast<std::size_t>(rng.uniform(0, 2))];
+      const double share = budget / static_cast<double>(partitions - p) *
+                           (0.5 + rng.uniform01() * 0.5);
+      const Ticks duration = std::max<Ticks>(
+          6, static_cast<Ticks>(share * static_cast<double>(period)));
+      budget -= static_cast<double>(duration) / static_cast<double>(period);
+      set.reqs.push_back({PartitionId{p}, period, duration});
+    }
+    // Infeasible sets: inflate durations until utilisation exceeds 1 (the
+    // generator then rejects with the eq. (8) binding). Bounded: durations
+    // are clamped at their periods, where utilisation >= 2.
+    while (set.infeasible && requirement_utilisation(set.reqs) <= 1.0) {
+      for (ScheduleRequirement& req : set.reqs) {
+        req.duration = std::min(req.period, req.duration * 4 / 3 + 1);
+      }
+    }
+    sets.push_back(std::move(set));
+  }
+
+  std::vector<Candidate> candidates;
+  candidates.reserve(spec.count);
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    Candidate c;
+    c.id = i;
+    c.name = "cand-" + std::to_string(i);
+    const ReqSet& set =
+        sets[static_cast<std::size_t>(rng.uniform(
+            0, static_cast<std::int64_t>(distinct) - 1))];
+    c.requirements = set.reqs;
+
+    const int partitions = static_cast<int>(set.reqs.size());
+    const bool overload =
+        !set.infeasible && rng.uniform01() < spec.overload_fraction;
+    const int victim =
+        overload ? static_cast<int>(rng.uniform(0, partitions - 1)) : -1;
+    for (int p = 0; p < partitions; ++p) {
+      const ScheduleRequirement& req = set.reqs[static_cast<std::size_t>(p)];
+      PartitionModel pm;
+      pm.id = PartitionId{p};
+      pm.name = "P" + std::to_string(p);
+      if (set.infeasible) {
+        // Analysis never runs on infeasible candidates; keep a token set.
+        pm.processes.push_back({"q0", req.period, req.period, 10, 3, true});
+      } else if (p == victim) {
+        // Long-run demand ~1.35x the partition's supply: definitely
+        // unschedulable, and guaranteed to miss within a few MTFs when
+        // flown (the necessity-check population).
+        const Ticks wcet = std::max<Ticks>(
+            3, std::min(req.period, req.duration * 27 / 20 + 1));
+        pm.processes.push_back({"hog", req.period, req.period, 10, wcet,
+                                true});
+      } else {
+        const int processes = static_cast<int>(rng.uniform(1, 3));
+        for (int q = 0; q < processes; ++q) {
+          const Ticks period = req.period * rng.uniform(1, 2);
+          const Ticks compute = std::max<Ticks>(
+              1, req.duration / (2 * processes) + rng.uniform(-2, 2));
+          pm.processes.push_back({"q" + std::to_string(q), period, period,
+                                  static_cast<Priority>(10 + q), compute + 1,
+                                  true});
+        }
+      }
+      c.partitions.push_back(std::move(pm));
+    }
+    candidates.push_back(std::move(c));
+  }
+  return candidates;
+}
+
+}  // namespace air::model

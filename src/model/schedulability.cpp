@@ -124,11 +124,27 @@ Ticks response_time(const std::vector<const ProcessModel*>& interferers,
 PartitionAnalysis analyze_partition(const Schedule& schedule,
                                     const PartitionModel& partition,
                                     Phasing phasing) {
+  const PartitionSupply supply(schedule, partition.id);
+  return analyze_partition(schedule, partition, supply,
+                           AnalysisOptions{phasing, 0});
+}
+
+PartitionAnalysis analyze_partition(const Schedule& schedule,
+                                    const PartitionModel& partition,
+                                    const PartitionSupply& supply,
+                                    const AnalysisOptions& options) {
+  const Phasing phasing = options.phasing;
+  // The selftest mutation: claim `bonus` extra ticks of supply in every
+  // interval by shrinking the demand handed to the inverse functions.
+  const Ticks bonus = options.supply_bonus;
+  const auto debit = [bonus](Ticks demanded) {
+    return demanded > bonus ? demanded - bonus : 0;
+  };
+
   PartitionAnalysis result;
   result.partition = partition.id;
   result.schedulable = true;
 
-  const PartitionSupply supply(schedule, partition.id);
   result.supply_ratio =
       static_cast<double>(supply.per_mtf()) /
       static_cast<double>(schedule.mtf);
@@ -139,6 +155,8 @@ PartitionAnalysis analyze_partition(const Schedule& schedule,
           static_cast<double>(p.wcet) / static_cast<double>(p.period);
     }
   }
+  result.overloaded =
+      result.process_utilisation > kOverloadMargin * result.supply_ratio;
 
   for (std::size_t q = 0; q < partition.processes.size(); ++q) {
     const ProcessModel& self = partition.processes[q];
@@ -169,7 +187,7 @@ PartitionAnalysis analyze_partition(const Schedule& schedule,
     if (phasing == Phasing::kWorstCase || self.period <= 0 ||
         self.period == kInfiniteTime) {
       wcrt = response_time(interferers, self, bound, [&](Ticks x) {
-        return supply.inverse_sbf(x);
+        return supply.inverse_sbf(debit(x));
       });
     } else {
       // MTF-aligned releases: maximise over the process's distinct release
@@ -180,7 +198,7 @@ PartitionAnalysis analyze_partition(const Schedule& schedule,
         const Ticks phase = release % schedule.mtf;
         const Ticks r =
             response_time(interferers, self, bound, [&](Ticks x) {
-              return supply.inverse_supply_from(phase, x);
+              return supply.inverse_supply_from(phase, debit(x));
             });
         if (r == kInfiniteTime) {
           wcrt = kInfiniteTime;

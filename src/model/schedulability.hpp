@@ -63,6 +63,12 @@ struct PartitionAnalysis {
   bool schedulable{false};
   double process_utilisation{0.0};  // sum C/T
   double supply_ratio{0.0};         // partition time per MTF / MTF
+  /// Long-run demand strictly exceeds long-run supply by a safety margin
+  /// (process_utilisation > kOverloadMargin * supply_ratio): the verdict is
+  /// not merely conservative, a deadline miss is guaranteed in any
+  /// sufficiently long flight. The differential oracle's necessity check
+  /// samples exactly these (analysis-rejected => the flight must miss).
+  bool overloaded{false};
   std::vector<ProcessAnalysis> processes;
 };
 
@@ -85,12 +91,36 @@ struct SystemAnalysis {
 /// offsets within the hyperperiod.
 enum class Phasing { kWorstCase, kMtfAligned };
 
+/// Demand/supply ratio above which a partition is declared `overloaded`
+/// (guaranteed to miss in flight, not merely analysis-rejected). The 10%
+/// margin keeps the necessity oracle's time-to-first-miss within a few MTFs.
+inline constexpr double kOverloadMargin = 1.1;
+
+/// Knobs threaded through the batch service. `supply_bonus` pretends every
+/// interval supplies that many extra ticks -- UNSOUND for any value > 0; it
+/// exists solely as the deliberately broken analysis variant behind
+/// `air-schedule --selftest` (the fi campaign's --weaken-hm idiom), proving
+/// the differential flight oracle can detect an optimistic analyzer.
+struct AnalysisOptions {
+  Phasing phasing{Phasing::kWorstCase};
+  Ticks supply_bonus{0};
+};
+
 /// Fixed-priority preemptive response-time analysis of `partition`'s process
 /// set under `schedule`. Ties in priority are treated as mutual interference
 /// (conservative w.r.t. the FIFO-within-priority rule of eq. 14).
 [[nodiscard]] PartitionAnalysis analyze_partition(
     const Schedule& schedule, const PartitionModel& partition,
     Phasing phasing = Phasing::kWorstCase);
+
+/// Core analysis over a caller-provided supply function -- the entry point
+/// the batch service uses so one memoised PartitionSupply (the dominant
+/// construction cost, an O(MTF^2) table) can serve every candidate sharing
+/// the same canonical window set. `supply` must describe `partition.id`
+/// under `schedule`.
+[[nodiscard]] PartitionAnalysis analyze_partition(
+    const Schedule& schedule, const PartitionModel& partition,
+    const PartitionSupply& supply, const AnalysisOptions& options = {});
 
 /// Analysis of every partition that owns windows in `schedule`.
 [[nodiscard]] SystemAnalysis analyze_system(

@@ -1,53 +1,13 @@
-// Fixed-size worker pool for the World's epoch-based parallel executor.
-//
-// One pool per World, sized once; each epoch is a parallel-for over the
-// attached modules. Work items are claimed with an atomic cursor so the
-// assignment of modules to threads is load-balanced, while everything a
-// worker touches (the module object and its staging queue) is owned by
-// exactly one task -- determinism never depends on the thread interleaving.
+// The World's worker pool is the shared util::WorkerPool (hoisted in PR 10
+// so the schedulability batch service can reuse it from the model layer;
+// see util/worker_pool.hpp for the claiming/determinism contract). This
+// alias preserves the historical system-layer spelling.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <cstdint>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "util/worker_pool.hpp"
 
 namespace air::system {
 
-class WorkerPool {
- public:
-  /// Spawn `threads` persistent worker threads (0 = none; run() then
-  /// executes inline on the caller).
-  explicit WorkerPool(std::size_t threads);
-  ~WorkerPool();
-
-  WorkerPool(const WorkerPool&) = delete;
-  WorkerPool& operator=(const WorkerPool&) = delete;
-
-  [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
-
-  /// Execute task(0) .. task(count - 1), each exactly once, across the pool
-  /// plus the calling thread; returns only after every invocation finished.
-  /// Not reentrant: one batch at a time (the World drives one epoch at a
-  /// time, so this is structural, and asserted via the batch counter).
-  void run(std::size_t count, const std::function<void(std::size_t)>& task);
-
- private:
-  void worker_loop();
-
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  const std::function<void(std::size_t)>* task_{nullptr};
-  std::size_t count_{0};
-  std::atomic<std::size_t> cursor_{0};
-  std::size_t unfinished_{0};  // workers still inside the current batch
-  std::uint64_t batch_{0};
-  bool shutdown_{false};
-  std::vector<std::thread> threads_;
-};
+using WorkerPool = util::WorkerPool;
 
 }  // namespace air::system

@@ -42,6 +42,12 @@ constexpr std::array<MetricInfo, static_cast<std::size_t>(Metric::kCount)>
         {"telemetry.spans_recorded", MetricKind::kCounter},
         {"telemetry.spans_dropped", MetricKind::kCounter},
         {"telemetry.spans_open", MetricKind::kGauge},
+        {"batch.configs", MetricKind::kCounter},
+        {"batch.schedulable", MetricKind::kCounter},
+        {"batch.unschedulable", MetricKind::kCounter},
+        {"batch.infeasible", MetricKind::kCounter},
+        {"batch.supply_cache_hits", MetricKind::kCounter},
+        {"batch.supply_cache_misses", MetricKind::kCounter},
     }};
 
 [[nodiscard]] const MetricInfo& info(Metric metric) {

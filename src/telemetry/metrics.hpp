@@ -64,6 +64,14 @@ enum class Metric : std::uint8_t {
   kSpansRecorded,                 // counter: spans closed by the recorder
   kSpansDropped,                  // counter: closed spans evicted (bounded)
   kSpansOpen,                     // gauge: spans open at snapshot time
+  // --- schedulability service (index = -1; host-side batch analysis
+  //     plane, published by model::BatchAnalyzer::publish) ---
+  kBatchConfigs,                  // counter: candidate configs analysed
+  kBatchSchedulable,              // counter: verdicts = schedulable
+  kBatchUnschedulable,            // counter: verdicts = unschedulable
+  kBatchInfeasible,               // counter: verdicts = infeasible
+  kBatchSupplyHits,               // counter: memoised sbf tables reused
+  kBatchSupplyMisses,             // counter: sbf tables constructed
   kCount
 };
 

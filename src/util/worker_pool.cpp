@@ -1,6 +1,6 @@
-#include "system/worker_pool.hpp"
+#include "util/worker_pool.hpp"
 
-namespace air::system {
+namespace air::util {
 
 WorkerPool::WorkerPool(std::size_t threads) {
   threads_.reserve(threads);
@@ -72,4 +72,4 @@ void WorkerPool::worker_loop() {
   }
 }
 
-}  // namespace air::system
+}  // namespace air::util

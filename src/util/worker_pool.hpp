@@ -1,0 +1,56 @@
+// Fixed-size worker pool (shared fan-out machinery).
+//
+// Born as the World's epoch executor (DESIGN.md §8) and hoisted into util
+// for PR 10 so the schedulability batch service (src/model/batch.*) can fan
+// independent per-config analyses over the same pool without dragging the
+// whole system layer into the model library. One pool per owner, sized
+// once; each batch is a parallel-for over N items. Work items are claimed
+// with an atomic cursor so the assignment of items to threads is
+// load-balanced, while everything a task touches is owned by exactly one
+// item index -- determinism never depends on the thread interleaving.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace air::util {
+
+class WorkerPool {
+ public:
+  /// Spawn `threads` persistent worker threads (0 = none; run() then
+  /// executes inline on the caller).
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
+
+  /// Execute task(0) .. task(count - 1), each exactly once, across the pool
+  /// plus the calling thread; returns only after every invocation finished.
+  /// Not reentrant: one batch at a time (every owner drives one batch at a
+  /// time, so this is structural, and asserted via the batch counter).
+  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* task_{nullptr};
+  std::size_t count_{0};
+  std::atomic<std::size_t> cursor_{0};
+  std::size_t unfinished_{0};  // workers still inside the current batch
+  std::uint64_t batch_{0};
+  bool shutdown_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace air::util

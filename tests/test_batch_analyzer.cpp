@@ -1,0 +1,251 @@
+// The schedulability service (src/model/batch.hpp) end to end:
+// determinism contract (verdict stream and cache stats byte-identical for
+// any worker count), memoisation transparency (cached supplies change
+// nothing but speed), infeasibility classification with binding equations,
+// NDJSON candidate codec round-trip, telemetry publication, the
+// differential flight oracle over a generated 500-config stream, and the
+// mutation self-test (a deliberately unsound analysis must be caught).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "config/candidates.hpp"
+#include "model/batch.hpp"
+#include "system/flight_validate.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace air {
+namespace {
+
+std::string verdict_stream(const std::vector<model::BatchVerdict>& verdicts) {
+  std::string out;
+  for (const auto& v : verdicts) {
+    out += v.to_ndjson();
+    out += '\n';
+  }
+  return out;
+}
+
+model::CandidateSpec small_spec() {
+  model::CandidateSpec spec;
+  spec.count = 96;
+  spec.seed = 2024;
+  return spec;
+}
+
+TEST(BatchAnalyzer, VerdictStreamIsByteIdenticalForAnyWorkerCount) {
+  const auto candidates = model::generate_candidates(small_spec());
+  std::string reference;
+  model::BatchAnalyzer::Stats reference_stats;
+  for (const std::size_t workers : {1u, 2u, 5u, 0u}) {
+    model::BatchOptions options;
+    options.workers = workers;
+    model::BatchAnalyzer analyzer(options);
+    const auto verdicts = analyzer.analyze(candidates);
+    const std::string stream = verdict_stream(verdicts);
+    if (reference.empty()) {
+      reference = stream;
+      reference_stats = analyzer.stats();
+      continue;
+    }
+    EXPECT_EQ(stream, reference) << "workers = " << workers;
+    // The cache stats are part of the determinism contract too: interning
+    // is serial in candidate order, so hit/miss counts cannot depend on
+    // the lane interleaving.
+    EXPECT_EQ(analyzer.stats().cache.lookups, reference_stats.cache.lookups);
+    EXPECT_EQ(analyzer.stats().cache.hits, reference_stats.cache.hits);
+    EXPECT_EQ(analyzer.stats().cache.misses, reference_stats.cache.misses);
+    EXPECT_EQ(analyzer.stats().cache.entries, reference_stats.cache.entries);
+  }
+}
+
+TEST(BatchAnalyzer, MemoisationChangesNothingButSpeed) {
+  const auto candidates = model::generate_candidates(small_spec());
+  model::BatchOptions memoised;
+  model::BatchOptions bare;
+  bare.memoise = false;
+  model::BatchAnalyzer with_cache(memoised);
+  model::BatchAnalyzer without_cache(bare);
+  EXPECT_EQ(verdict_stream(with_cache.analyze(candidates)),
+            verdict_stream(without_cache.analyze(candidates)));
+
+  const auto& cache = with_cache.stats().cache;
+  EXPECT_EQ(cache.hits + cache.misses, cache.lookups);
+  EXPECT_EQ(cache.entries, cache.misses);
+  EXPECT_GT(cache.lookups, 0u);
+  // The generated stream shares requirement sets (distinct_psts ~ count/8),
+  // so the cache must actually pay off -- a broken canonical key degrades
+  // to miss-every-time and fails here.
+  EXPECT_GT(static_cast<double>(cache.hits),
+            0.5 * static_cast<double>(cache.lookups));
+  EXPECT_EQ(without_cache.stats().cache.lookups, 0u);
+}
+
+TEST(BatchAnalyzer, CachePersistsAcrossBatches) {
+  const auto candidates = model::generate_candidates(small_spec());
+  model::BatchAnalyzer analyzer;
+  const auto first = analyzer.analyze(candidates);
+  const auto misses_after_first = analyzer.stats().cache.misses;
+  const auto second = analyzer.analyze(candidates);
+  // Daemon mode: the second pass over the same stream builds no new table.
+  EXPECT_EQ(analyzer.stats().cache.misses, misses_after_first);
+  EXPECT_EQ(verdict_stream(first), verdict_stream(second));
+  EXPECT_EQ(analyzer.stats().analyzed, 2 * candidates.size());
+}
+
+TEST(BatchAnalyzer, InfeasibleCandidatesCiteTheBindingEquation) {
+  // Over-utilised requirement set: eq. (8).
+  model::Candidate over;
+  over.id = 1;
+  over.name = "over";
+  over.requirements = {{PartitionId{0}, 100, 80},
+                       {PartitionId{1}, 100, 40}};
+
+  // Overlapping explicit windows: eq. (21).
+  model::Candidate overlap;
+  overlap.id = 2;
+  overlap.name = "overlap";
+  overlap.mtf = 100;
+  overlap.requirements = {{PartitionId{0}, 100, 40},
+                          {PartitionId{1}, 100, 40}};
+  overlap.windows = {{PartitionId{0}, 0, 40}, {PartitionId{1}, 30, 40}};
+
+  // MTF not a multiple of the cycle lcm: eq. (22).
+  model::Candidate badmtf;
+  badmtf.id = 3;
+  badmtf.name = "badmtf";
+  badmtf.mtf = 150;
+  badmtf.requirements = {{PartitionId{0}, 100, 40}};
+
+  // And one good candidate to prove the batch keeps going.
+  model::Candidate good;
+  good.id = 4;
+  good.name = "good";
+  good.requirements = {{PartitionId{0}, 100, 40}};
+  model::PartitionModel pm;
+  pm.id = PartitionId{0};
+  pm.processes.push_back({"q0", 100, 100, 10, 5, true});
+  good.partitions.push_back(pm);
+
+  model::BatchAnalyzer analyzer;
+  const auto verdicts =
+      analyzer.analyze({over, overlap, badmtf, good});
+  ASSERT_EQ(verdicts.size(), 4u);
+  EXPECT_EQ(verdicts[0].verdict, model::Verdict::kInfeasible);
+  EXPECT_NE(verdicts[0].binding.find("eq. (8)"), std::string::npos)
+      << verdicts[0].binding;
+  EXPECT_EQ(verdicts[1].verdict, model::Verdict::kInfeasible);
+  EXPECT_NE(verdicts[1].binding.find("eq. (21)"), std::string::npos)
+      << verdicts[1].binding;
+  EXPECT_EQ(verdicts[2].verdict, model::Verdict::kInfeasible);
+  EXPECT_NE(verdicts[2].binding.find("eq. (22)"), std::string::npos)
+      << verdicts[2].binding;
+  EXPECT_EQ(verdicts[3].verdict, model::Verdict::kSchedulable);
+  EXPECT_NE(verdicts[3].binding.find("eq. (14)"), std::string::npos)
+      << verdicts[3].binding;
+  EXPECT_EQ(analyzer.stats().infeasible, 3u);
+  EXPECT_EQ(analyzer.stats().schedulable, 1u);
+}
+
+TEST(BatchAnalyzer, GeneratedStreamIsNotVacuous) {
+  model::CandidateSpec spec;
+  spec.count = 256;
+  spec.seed = 7;
+  const auto candidates = model::generate_candidates(spec);
+  model::BatchAnalyzer analyzer;
+  const auto verdicts = analyzer.analyze(candidates);
+  std::size_t definite = 0;
+  for (const auto& v : verdicts) definite += v.definite ? 1 : 0;
+  const auto& s = analyzer.stats();
+  // Every verdict class must be populated, or the differential oracle and
+  // the bench measure nothing.
+  EXPECT_GE(s.schedulable, 32u);
+  EXPECT_GE(s.infeasible, 8u);
+  EXPECT_GE(definite, 16u) << "necessity-check population too small";
+}
+
+TEST(BatchAnalyzer, PublishExportsTheRunningTotals) {
+  const auto candidates = model::generate_candidates(small_spec());
+  model::BatchAnalyzer analyzer;
+  (void)analyzer.analyze(candidates);
+  telemetry::MetricsRegistry registry;
+  analyzer.publish(registry);
+  const auto snap = registry.snapshot(0);
+  const auto& s = analyzer.stats();
+  EXPECT_EQ(snap.counter(telemetry::Metric::kBatchConfigs), s.analyzed);
+  EXPECT_EQ(snap.counter(telemetry::Metric::kBatchSchedulable),
+            s.schedulable);
+  EXPECT_EQ(snap.counter(telemetry::Metric::kBatchUnschedulable),
+            s.unschedulable);
+  EXPECT_EQ(snap.counter(telemetry::Metric::kBatchInfeasible), s.infeasible);
+  EXPECT_EQ(snap.counter(telemetry::Metric::kBatchSupplyHits),
+            s.cache.hits);
+  EXPECT_EQ(snap.counter(telemetry::Metric::kBatchSupplyMisses),
+            s.cache.misses);
+}
+
+TEST(CandidateCodec, JsonlRoundTripPreservesTheVerdictStream) {
+  const auto candidates = model::generate_candidates(small_spec());
+  std::string text = "// candidate stream\n\n";
+  for (const auto& c : candidates) {
+    text += config::candidate_to_jsonl(c);
+    text += '\n';
+  }
+  const auto stream = config::parse_candidates(text);
+  ASSERT_TRUE(stream.ok()) << stream.errors.front();
+  ASSERT_EQ(stream.candidates.size(), candidates.size());
+
+  model::BatchAnalyzer a;
+  model::BatchAnalyzer b;
+  EXPECT_EQ(verdict_stream(a.analyze(candidates)),
+            verdict_stream(b.analyze(stream.candidates)));
+}
+
+TEST(CandidateCodec, MalformedLinesAreReportedNotFatal) {
+  const auto stream = config::parse_candidates(
+      "{\"id\":1,\"requirements\":[{\"partition\":0,\"period\":100,"
+      "\"duration\":10}],\"partitions\":[]}\n"
+      "{not json}\n"
+      "{\"id\":2,\"partitions\":[]}\n");
+  ASSERT_EQ(stream.candidates.size(), 1u);
+  ASSERT_EQ(stream.errors.size(), 2u);
+  EXPECT_NE(stream.errors[0].find("line 2"), std::string::npos);
+  EXPECT_NE(stream.errors[1].find("line 3"), std::string::npos)
+      << "missing requirements must be an error";
+}
+
+TEST(DifferentialValidation, OracleHoldsOver500GeneratedConfigs) {
+  model::CandidateSpec spec;
+  spec.count = 500;
+  spec.seed = 11;
+  const auto candidates = model::generate_candidates(spec);
+  model::BatchAnalyzer analyzer;
+  const auto verdicts = analyzer.analyze(candidates);
+
+  system::DifferentialOptions options;
+  options.max_accepted = 10;
+  options.max_rejected = 5;
+  const auto report =
+      system::validate_differential(candidates, verdicts, options);
+  EXPECT_TRUE(report.ok()) << report.to_text();
+  EXPECT_EQ(report.accepted_flown, 10u);
+  EXPECT_EQ(report.rejected_flown, 5u);
+  // All four drivers per flown candidate.
+  EXPECT_EQ(report.flights, 4u * (report.accepted_flown +
+                                  report.rejected_flown));
+  EXPECT_GE(report.accepted_population, 100u);
+  EXPECT_GE(report.rejected_population, 40u);
+}
+
+TEST(DifferentialValidation, MutationSelftestCatchesUnsoundAnalysis) {
+  const auto report = system::schedulability_selftest(96, 7);
+  EXPECT_TRUE(report.caught()) << report.to_text();
+  EXPECT_GT(report.flipped, 0u);
+  // Every flown unsoundly-accepted candidate was a definite overload: the
+  // flight must observe the miss the sound analysis predicted.
+  EXPECT_EQ(report.divergent, report.flown) << report.to_text();
+}
+
+}  // namespace
+}  // namespace air

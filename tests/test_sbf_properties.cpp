@@ -1,0 +1,124 @@
+// Property tests of the supply-bound function machinery behind the
+// schedulability analysis (and the batch service's memoised tables).
+//
+// Over randomized generator-produced PSTs (seeds logged on failure), for
+// every partition of every schedule:
+//   - sbf is monotone non-decreasing and 1-Lipschitz (one tick of interval
+//     buys at most one tick of supply);
+//   - MTF additivity, the property the tabulation relies on:
+//       sbf(q*MTF + r) == q*A + sbf(r),  A = partition time per MTF;
+//   - inverse_sbf is the exact lower inverse of sbf: the returned length
+//     reaches the demand and no shorter length does;
+//   - the phase-free sbf lower-bounds every phase-aware supply (and the
+//     phase-aware inverse never waits longer than the phase-free one) --
+//     the soundness relation between Phasing::kWorstCase and kMtfAligned.
+#include <gtest/gtest.h>
+
+#include "model/generator.hpp"
+#include "model/schedulability.hpp"
+#include "util/rng.hpp"
+
+namespace air {
+namespace {
+
+model::Schedule random_schedule(std::uint64_t seed) {
+  util::Rng rng(seed);
+  static constexpr Ticks kPeriods[] = {40, 80, 160};
+  const int partitions = static_cast<int>(rng.uniform(2, 4));
+  std::vector<model::ScheduleRequirement> reqs;
+  double budget = 0.95;
+  for (int p = 0; p < partitions; ++p) {
+    const Ticks period =
+        kPeriods[static_cast<std::size_t>(rng.uniform(0, 2))];
+    const double share = budget / static_cast<double>(partitions - p) *
+                         (0.4 + rng.uniform01() * 0.6);
+    const Ticks duration = std::max<Ticks>(
+        3, static_cast<Ticks>(share * static_cast<double>(period)));
+    budget -= static_cast<double>(duration) / static_cast<double>(period);
+    reqs.push_back({PartitionId{p}, period, duration});
+  }
+  model::GeneratorInput input;
+  input.requirements = reqs;
+  const auto schedule = model::generate_schedule(input);
+  EXPECT_TRUE(schedule.has_value()) << "seed " << seed;
+  return *schedule;
+}
+
+class SbfProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SbfProperties, MonotoneAndLipschitz) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  const model::Schedule schedule = random_schedule(seed);
+  for (const auto& req : schedule.requirements) {
+    const model::PartitionSupply supply(schedule, req.partition);
+    Ticks prev = supply.sbf(0);
+    EXPECT_EQ(prev, 0);
+    for (Ticks len = 1; len <= 2 * schedule.mtf; ++len) {
+      const Ticks cur = supply.sbf(len);
+      EXPECT_GE(cur, prev) << "len " << len;
+      EXPECT_LE(cur - prev, 1) << "len " << len;
+      prev = cur;
+    }
+  }
+}
+
+TEST_P(SbfProperties, MtfAdditivity) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  const model::Schedule schedule = random_schedule(seed);
+  for (const auto& req : schedule.requirements) {
+    const model::PartitionSupply supply(schedule, req.partition);
+    const Ticks a = supply.per_mtf();
+    for (const Ticks q : {Ticks{1}, Ticks{2}, Ticks{7}}) {
+      for (Ticks r = 0; r <= schedule.mtf; r += 3) {
+        EXPECT_EQ(supply.sbf(q * schedule.mtf + r), q * a + supply.sbf(r))
+            << "q " << q << " r " << r;
+      }
+    }
+  }
+}
+
+TEST_P(SbfProperties, InverseSbfIsTheExactLowerInverse) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  const model::Schedule schedule = random_schedule(seed);
+  for (const auto& req : schedule.requirements) {
+    const model::PartitionSupply supply(schedule, req.partition);
+    ASSERT_GT(supply.per_mtf(), 0);
+    for (Ticks demand = 1; demand <= 2 * supply.per_mtf() + 3; ++demand) {
+      const Ticks t = supply.inverse_sbf(demand);
+      ASSERT_NE(t, kInfiniteTime) << "demand " << demand;
+      EXPECT_GE(supply.sbf(t), demand) << "demand " << demand;
+      ASSERT_GT(t, 0) << "demand " << demand;
+      EXPECT_LT(supply.sbf(t - 1), demand)
+          << "demand " << demand << ": not the smallest such length";
+    }
+  }
+}
+
+TEST_P(SbfProperties, PhaseAwareSupplyDominatesPhaseFreeBound) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  const model::Schedule schedule = random_schedule(seed);
+  for (const auto& req : schedule.requirements) {
+    const model::PartitionSupply supply(schedule, req.partition);
+    for (Ticks phase = 0; phase < schedule.mtf; phase += 7) {
+      for (Ticks len = 0; len <= schedule.mtf; len += 5) {
+        EXPECT_GE(supply.supply(phase, len), supply.sbf(len))
+            << "phase " << phase << " len " << len;
+      }
+      for (Ticks demand = 1; demand <= supply.per_mtf(); demand += 4) {
+        EXPECT_LE(supply.inverse_supply_from(phase, demand),
+                  supply.inverse_sbf(demand))
+            << "phase " << phase << " demand " << demand;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SbfProperties,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace air

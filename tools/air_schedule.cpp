@@ -1,0 +1,235 @@
+// air-schedule: the schedulability service CLI.
+//
+// Batch front-end to model::BatchAnalyzer: ingest thousands of candidate
+// configurations (NDJSON lines, or generated), analyse them against the
+// paper's conditions (eqs. (8), (14), (19)-(23)) with supply-table
+// memoisation and worker fan-out, and emit a deterministic verdict stream
+// (NDJSON, byte-identical for any --workers value). Optionally close the
+// loop: fly a sample of the verdicts in the simulator and check the
+// differential oracle (analysis-schedulable <=> zero deadline misses).
+//
+// Usage:
+//   air-schedule [--in <file.jsonl>|-] [--generate <count>] [--seed <n>]
+//                [--distinct <n>] [--overload <frac>] [--infeasible <frac>]
+//                [--workers <n>] [--no-memoise] [--out <file>]
+//                [--metrics <file>] [--stats]
+//                [--differential] [--accepted <n>] [--rejected <n>]
+//                [--switched-bus] [--reproducers <file.jsonl>]
+//                [--selftest]
+//
+// Exit codes: 0 ok; 1 usage/IO failure; 2 candidate parse errors;
+// 3 differential divergence detected (reproducers written when asked);
+// with --selftest, 0 = mutation caught (pipeline works), 3 = not caught.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "config/candidates.hpp"
+#include "model/batch.hpp"
+#include "system/flight_validate.hpp"
+#include "telemetry/export.hpp"
+
+namespace {
+
+bool read_input(const std::string& path, std::string& out) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    out = buffer.str();
+    return true;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "air-schedule: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool write_output(const std::string& path, const std::string& text) {
+  if (path.empty() || path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "air-schedule: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: air-schedule [--in <file.jsonl>|-] [--generate <count>]\n"
+      "                    [--seed <n>] [--distinct <n>] [--overload <f>]\n"
+      "                    [--infeasible <f>] [--workers <n>]\n"
+      "                    [--no-memoise] [--out <file>] [--metrics <file>]\n"
+      "                    [--stats] [--differential] [--accepted <n>]\n"
+      "                    [--rejected <n>] [--switched-bus]\n"
+      "                    [--reproducers <file.jsonl>] [--selftest]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path;
+  std::string out_path;
+  std::string metrics_path;
+  std::string reproducers_path;
+  air::model::CandidateSpec spec;
+  bool generate = false;
+  bool stats = false;
+  bool differential = false;
+  bool selftest = false;
+  air::model::BatchOptions batch_options;
+  air::system::DifferentialOptions diff_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "air-schedule: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--in") == 0) {
+      in_path = next("--in");
+    } else if (std::strcmp(argv[i], "--generate") == 0) {
+      generate = true;
+      spec.count = static_cast<std::size_t>(
+          std::strtoull(next("--generate"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      spec.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--distinct") == 0) {
+      spec.distinct_psts = static_cast<std::size_t>(
+          std::strtoull(next("--distinct"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      spec.overload_fraction = std::strtod(next("--overload"), nullptr);
+    } else if (std::strcmp(argv[i], "--infeasible") == 0) {
+      spec.infeasible_fraction = std::strtod(next("--infeasible"), nullptr);
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      batch_options.workers = static_cast<std::size_t>(
+          std::strtoull(next("--workers"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-memoise") == 0) {
+      batch_options.memoise = false;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next("--out");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path = next("--metrics");
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (std::strcmp(argv[i], "--differential") == 0) {
+      differential = true;
+    } else if (std::strcmp(argv[i], "--accepted") == 0) {
+      diff_options.max_accepted = static_cast<std::size_t>(
+          std::strtoull(next("--accepted"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rejected") == 0) {
+      diff_options.max_rejected = static_cast<std::size_t>(
+          std::strtoull(next("--rejected"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--switched-bus") == 0) {
+      diff_options.switched_bus = true;
+    } else if (std::strcmp(argv[i], "--reproducers") == 0) {
+      reproducers_path = next("--reproducers");
+    } else if (std::strcmp(argv[i], "--selftest") == 0) {
+      selftest = true;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+
+  if (selftest) {
+    const auto report = air::system::schedulability_selftest();
+    std::fputs(report.to_text().c_str(), stderr);
+    return report.caught() ? 0 : 3;
+  }
+
+  // --- ingest ---
+  std::vector<air::model::Candidate> candidates;
+  if (generate) {
+    candidates = air::model::generate_candidates(spec);
+  } else if (!in_path.empty()) {
+    std::string text;
+    if (!read_input(in_path, text)) return 1;
+    air::config::CandidateStream stream =
+        air::config::parse_candidates(text);
+    for (const std::string& err : stream.errors) {
+      std::fprintf(stderr, "air-schedule: %s\n", err.c_str());
+    }
+    if (!stream.ok()) return 2;
+    candidates = std::move(stream.candidates);
+  } else {
+    usage();
+    return 1;
+  }
+
+  // --- analyse ---
+  air::model::BatchAnalyzer analyzer(batch_options);
+  const auto verdicts = analyzer.analyze(candidates);
+
+  std::string out;
+  for (const auto& v : verdicts) {
+    out += v.to_ndjson();
+    out += '\n';
+  }
+  if (!write_output(out_path, out)) return 1;
+
+  if (stats) {
+    const auto& s = analyzer.stats();
+    std::fprintf(stderr,
+                 "air-schedule: %llu configs (%llu schedulable, %llu "
+                 "unschedulable, %llu infeasible); supply cache: %llu "
+                 "lookups, %llu hits, %llu misses, %zu entries\n",
+                 static_cast<unsigned long long>(s.analyzed),
+                 static_cast<unsigned long long>(s.schedulable),
+                 static_cast<unsigned long long>(s.unschedulable),
+                 static_cast<unsigned long long>(s.infeasible),
+                 static_cast<unsigned long long>(s.cache.lookups),
+                 static_cast<unsigned long long>(s.cache.hits),
+                 static_cast<unsigned long long>(s.cache.misses),
+                 s.cache.entries);
+  }
+  if (!metrics_path.empty()) {
+    air::telemetry::MetricsRegistry registry;
+    analyzer.publish(registry);
+    if (!write_output(metrics_path,
+                      air::telemetry::to_json(registry.snapshot(0)))) {
+      return 1;
+    }
+  }
+
+  // --- differential flight validation ---
+  if (differential) {
+    const auto report =
+        air::system::validate_differential(candidates, verdicts,
+                                           diff_options);
+    std::fputs(report.to_text().c_str(), stderr);
+    if (!report.ok()) {
+      if (!reproducers_path.empty()) {
+        std::string repro;
+        for (std::uint64_t id : report.divergent_ids) {
+          for (const auto& c : candidates) {
+            if (c.id == id) {
+              repro += air::config::candidate_to_jsonl(c);
+              repro += '\n';
+              break;
+            }
+          }
+        }
+        if (!write_output(reproducers_path, repro)) return 1;
+      }
+      return 3;
+    }
+  }
+  return 0;
+}
